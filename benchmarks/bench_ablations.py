@@ -1,0 +1,85 @@
+"""Ablations for this reproduction's own design choices (DESIGN.md §6).
+
+Not paper figures — these measure the engineering decisions the
+reproduction adds on top of the paper's algorithms:
+
+* **warm start** — seeding AdvMax with the greedy peeling lower bound;
+* **greedy heuristic alone** — polynomial-time approximation quality;
+* **vectorised dissimilarity index** — numpy pairwise paths vs the
+  generic double loop (geo and weighted-Jaccard data).
+"""
+
+from conftest import run_once
+
+from repro.bench import workloads as wl
+from repro.bench.harness import run_max_timed
+from repro.core.config import adv_max_config
+from repro.core.heuristics import greedy_maximum_krcore
+from repro.similarity.index import _build_index_generic, build_index
+
+
+def test_warm_start_never_hurts_nodes(benchmark, time_cap):
+    """Warm start may only shrink the search tree, never the answer."""
+    g = wl.graph("gowalla")
+    pred = wl.geo_predicate("gowalla", 20.0)
+
+    def run_both():
+        cold = run_max_timed(
+            g, 5, pred, adv_max_config(), "cold", time_cap,
+        )
+        warm = run_max_timed(
+            g, 5, pred, adv_max_config(warm_start=True), "warm", time_cap,
+        )
+        return cold, warm
+
+    cold, warm = run_once(benchmark, run_both)
+    assert warm.max_size == cold.max_size
+    assert warm.nodes <= cold.nodes
+
+
+def test_greedy_heuristic_quality(benchmark, time_cap):
+    """The polynomial greedy core reaches a large fraction of optimal."""
+    g = wl.graph("dblp")
+    pred = wl.permille_predicate("dblp", 3.0)
+
+    def run_both():
+        approx = greedy_maximum_krcore(g, 5, pred)
+        exact = run_max_timed(g, 5, pred, "advanced", "exact", time_cap)
+        return approx, exact
+
+    approx, exact = run_once(benchmark, run_both)
+    approx_size = approx.size if approx else 0
+    assert approx_size <= exact.max_size
+    if exact.max_size:
+        # The greedy peeling should be a usable lower bound, not junk.
+        assert approx_size >= exact.max_size * 0.5
+
+
+def test_vectorized_geo_index_matches_generic(benchmark):
+    """The numpy Euclidean index path equals the double loop."""
+    g = wl.graph("gowalla")
+    pred = wl.geo_predicate("gowalla", 20.0)
+    vertices = list(g.vertices())[:300]
+
+    def build_fast():
+        return build_index(g, pred, vertices)
+
+    fast = run_once(benchmark, build_fast)
+    slow = _build_index_generic(g, pred, sorted(vertices))
+    for u in vertices:
+        assert fast.dissimilar_to(u) == slow.dissimilar_to(u)
+
+
+def test_vectorized_wjaccard_index_matches_generic(benchmark):
+    """The numpy weighted-Jaccard index path equals the double loop."""
+    g = wl.graph("dblp")
+    pred = wl.permille_predicate("dblp", 5.0)
+    vertices = list(g.vertices())[:250]
+
+    def build_fast():
+        return build_index(g, pred, vertices)
+
+    fast = run_once(benchmark, build_fast)
+    slow = _build_index_generic(g, pred, sorted(vertices))
+    for u in vertices:
+        assert fast.dissimilar_to(u) == slow.dissimilar_to(u)

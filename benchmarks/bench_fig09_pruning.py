@@ -1,0 +1,47 @@
+"""Figure 9 — pruning-technique ablation for enumeration.
+
+BasicEnum → BE+CR (candidate retention, Thm 4) → BE+CR+ET (early
+termination, Thm 5) → AdvEnum (search-based maximal check, Thm 6).
+The paper's claim: every added technique helps, by orders of magnitude
+for retention.  Asserted via the deterministic node counters (wall-clock
+is noisy at these scales): each variant must visit no more search nodes
+than its predecessor, and all finishing variants must agree on the
+result set.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig09a, fig09b
+
+INF = float("inf")
+
+
+def _check_monotone_nodes(rows):
+    order = ["BasicEnum", "BE+CR", "BE+CR+ET", "AdvEnum"]
+    by_point = {}
+    for row in rows:
+        key = (row.get("r_km"), row.get("permille"), row["k"])
+        by_point.setdefault(key, {})[row["algorithm"]] = row
+    for point, algs in by_point.items():
+        # Retention must shrink the search tree vs BasicEnum (unless
+        # BasicEnum timed out, in which case its node count is a lower
+        # bound and the inequality is conservative anyway).
+        if algs["BasicEnum"]["seconds"] != INF:
+            assert algs["BE+CR"]["nodes"] <= algs["BasicEnum"]["nodes"], point
+        # Early termination can only remove subtrees.
+        assert algs["BE+CR+ET"]["nodes"] <= algs["BE+CR"]["nodes"], point
+        finished = [
+            algs[a] for a in order if algs[a]["seconds"] != INF
+        ]
+        counts = {row["cores"] for row in finished}
+        assert len(counts) <= 1, f"finishing variants disagree at {point}"
+
+
+def test_fig9a_gowalla_vary_r(benchmark, time_cap):
+    rows = run_once(benchmark, fig09a, quick=True, time_cap=time_cap)
+    _check_monotone_nodes(rows)
+
+
+def test_fig9b_dblp_vary_k(benchmark, time_cap):
+    rows = run_once(benchmark, fig09b, quick=True, time_cap=time_cap)
+    _check_monotone_nodes(rows)

@@ -1,0 +1,41 @@
+"""Figure 10 — size upper bounds for the maximum (k,r)-core search.
+
+Naive |M|+|C| vs Color+Kcore ([31]) vs the paper's (k,k')-core bound
+("DoubleKcore", Algorithm 6).  Tighter bounds prune more subtrees, so
+the deterministic search-node counts must be (weakly) ordered
+DoubleKcore <= Color+Kcore <= naive, and all three must return the same
+maximum size.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig10a, fig10b
+
+INF = float("inf")
+
+
+def _check_bound_ordering(rows):
+    by_point = {}
+    for row in rows:
+        key = (row.get("permille"), row["k"])
+        by_point.setdefault(key, {})[row["algorithm"]] = row
+    for point, algs in by_point.items():
+        naive = algs["|M|+|C|"]
+        ck = algs["Color+Kcore"]
+        dk = algs["DoubleKcore"]
+        finished = [r for r in (naive, ck, dk) if r["seconds"] != INF]
+        sizes = {r["max_size"] for r in finished}
+        assert len(sizes) <= 1, f"bound variants disagree at {point}"
+        if naive["seconds"] != INF:
+            assert dk["nodes"] <= naive["nodes"], point
+            assert ck["nodes"] <= naive["nodes"], point
+
+
+def test_fig10a_bounds_vary_r(benchmark, time_cap):
+    rows = run_once(benchmark, fig10a, quick=True, time_cap=time_cap)
+    _check_bound_ordering(rows)
+
+
+def test_fig10b_bounds_vary_k(benchmark, time_cap):
+    rows = run_once(benchmark, fig10b, quick=True, time_cap=time_cap)
+    _check_bound_ordering(rows)

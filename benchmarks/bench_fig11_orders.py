@@ -1,0 +1,63 @@
+"""Figure 11 — search-order evaluation.
+
+(a) λ tuning for λΔ1−Δ2; (b) branch orders Expand/Shrink/adaptive;
+(c) vertex orders for the maximum solver; (d)(e) vertex orders for
+enumeration; (f) orders inside the maximal check.  Orders affect only
+performance, never results — asserted everywhere both run.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import (
+    fig11a,
+    fig11b,
+    fig11c,
+    fig11d,
+    fig11e,
+    fig11f,
+)
+
+INF = float("inf")
+
+
+def _results_agree(rows, group_keys):
+    by_point = {}
+    for row in rows:
+        key = tuple(row.get(k) for k in group_keys)
+        by_point.setdefault(key, []).append(row)
+    for point, group in by_point.items():
+        finished = [r for r in group if r["seconds"] != INF]
+        sizes = {r["max_size"] for r in finished}
+        counts = {r["cores"] for r in finished}
+        assert len(sizes) <= 1, f"max sizes disagree at {point}"
+        assert len(counts) <= 1, f"core counts disagree at {point}"
+
+
+def test_fig11a_lambda_tuning(benchmark, time_cap):
+    rows = run_once(benchmark, fig11a, quick=True, time_cap=time_cap)
+    _results_agree(rows, ("dataset",))
+
+
+def test_fig11b_branch_orders(benchmark, time_cap):
+    rows = run_once(benchmark, fig11b, quick=True, time_cap=time_cap)
+    _results_agree(rows, ("k",))
+
+
+def test_fig11c_maximum_orders(benchmark, time_cap):
+    rows = run_once(benchmark, fig11c, quick=True, time_cap=time_cap)
+    _results_agree(rows, ("k",))
+
+
+def test_fig11d_enum_orders_basic(benchmark, time_cap):
+    rows = run_once(benchmark, fig11d, quick=True, time_cap=time_cap)
+    _results_agree(rows, ("r_km",))
+
+
+def test_fig11e_enum_orders_delta(benchmark, time_cap):
+    rows = run_once(benchmark, fig11e, quick=True, time_cap=time_cap)
+    _results_agree(rows, ("r_km",))
+
+
+def test_fig11f_check_orders(benchmark, time_cap):
+    rows = run_once(benchmark, fig11f, quick=True, time_cap=time_cap)
+    _results_agree(rows, ("r_km",))

@@ -1,0 +1,39 @@
+"""Figure 12 — technique/order ablations across all four datasets.
+
+(a) AdvEnum-O (degree order) / AdvEnum-P (best order, no advanced
+pruning) / AdvEnum; (b) AdvMax-O / AdvMax-UB / AdvMax.  The full
+algorithm must finish on every analog within the cap; whenever an
+ablated variant also finishes it must agree on the result.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig12a, fig12b
+
+INF = float("inf")
+
+
+def test_fig12a_enumeration_across_datasets(benchmark, time_cap):
+    rows = run_once(benchmark, fig12a, quick=True, time_cap=time_cap)
+    by_ds = {}
+    for row in rows:
+        by_ds.setdefault(row["dataset"], {})[row["algorithm"]] = row
+    for ds, algs in by_ds.items():
+        assert algs["AdvEnum"]["seconds"] != INF, f"AdvEnum INF on {ds}"
+        full = algs["AdvEnum"]
+        for name in ("AdvEnum-O", "AdvEnum-P"):
+            if algs[name]["seconds"] != INF:
+                assert algs[name]["cores"] == full["cores"], ds
+
+
+def test_fig12b_maximum_across_datasets(benchmark, time_cap):
+    rows = run_once(benchmark, fig12b, quick=True, time_cap=time_cap)
+    by_ds = {}
+    for row in rows:
+        by_ds.setdefault(row["dataset"], {})[row["algorithm"]] = row
+    for ds, algs in by_ds.items():
+        assert algs["AdvMax"]["seconds"] != INF, f"AdvMax INF on {ds}"
+        full = algs["AdvMax"]
+        for name in ("AdvMax-O", "AdvMax-UB"):
+            if algs[name]["seconds"] != INF:
+                assert algs[name]["max_size"] == full["max_size"], ds

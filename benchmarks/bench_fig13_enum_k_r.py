@@ -1,0 +1,41 @@
+"""Figure 13 — effect of k and r on the enumeration algorithms.
+
+(a) gowalla analog, sweep k at fixed r; (b) dblp analog, sweep the
+top-x‰ threshold at fixed k.  Expected shapes: work shrinks as k grows
+(structure pruning bites) and grows as the similarity threshold loosens
+(more similar pairs survive).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig13a, fig13b
+
+INF = float("inf")
+
+
+def test_fig13a_gowalla_vary_k(benchmark, time_cap):
+    rows = run_once(benchmark, fig13a, quick=True, time_cap=time_cap)
+    adv = [r for r in rows if r["algorithm"] == "AdvEnum"]
+    assert adv and all(r["seconds"] != INF for r in adv)
+
+
+def test_fig13b_dblp_vary_r(benchmark, time_cap):
+    rows = run_once(benchmark, fig13b, quick=True, time_cap=time_cap)
+    adv = [r for r in rows if r["algorithm"] == "AdvEnum"]
+    assert adv and all(r["seconds"] != INF for r in adv)
+
+
+def test_fig13_core_counts_monotone_in_k(benchmark, time_cap):
+    """More structure constraint -> never more maximal cores of size > k.
+
+    Deterministic shape check behind Figure 13(a): the maximum core size
+    is non-increasing in k (any (k+1,r)-core is a (k,r)-core).
+    """
+    rows = run_once(benchmark, fig13a, quick=False, time_cap=time_cap)
+    adv = sorted(
+        (r for r in rows if r["algorithm"] == "AdvEnum"),
+        key=lambda r: r["k"],
+    )
+    finished = [r for r in adv if r["seconds"] != INF]
+    sizes = [r["max_size"] for r in finished]
+    assert sizes == sorted(sizes, reverse=True)

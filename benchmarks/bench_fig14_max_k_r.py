@@ -1,0 +1,43 @@
+"""Figure 14 — effect of k and r on the maximum algorithms.
+
+Same workloads as Figure 13 with the AdvMax variants.  Cross-checks the
+maximum result against the enumeration's largest core (the two problems
+must agree) at one sweep point per figure.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig14a, fig14b
+from repro.bench import workloads as wl
+from repro.core.api import enumerate_maximal_krcores, find_maximum_krcore
+
+INF = float("inf")
+
+
+def test_fig14a_gowalla_vary_k(benchmark, time_cap):
+    rows = run_once(benchmark, fig14a, quick=True, time_cap=time_cap)
+    adv = [r for r in rows if r["algorithm"] == "AdvMax"]
+    assert adv and all(r["seconds"] != INF for r in adv)
+
+
+def test_fig14b_dblp_vary_r(benchmark, time_cap):
+    rows = run_once(benchmark, fig14b, quick=True, time_cap=time_cap)
+    adv = [r for r in rows if r["algorithm"] == "AdvMax"]
+    assert adv and all(r["seconds"] != INF for r in adv)
+
+
+def test_fig14_maximum_agrees_with_enumeration(benchmark, time_cap):
+    """The maximum core equals the largest maximal core (dblp, k=5)."""
+    g = wl.graph("dblp")
+    pred = wl.permille_predicate("dblp", 3.0)
+
+    def both():
+        best = find_maximum_krcore(g, 5, predicate=pred, time_limit=time_cap)
+        cores = enumerate_maximal_krcores(
+            g, 5, predicate=pred, time_limit=time_cap
+        )
+        return best, cores
+
+    best, cores = run_once(benchmark, both)
+    largest = max((c.size for c in cores), default=0)
+    assert (best.size if best else 0) == largest

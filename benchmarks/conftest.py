@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark wraps one representative point of a paper experiment in
+``benchmark.pedantic(rounds=1)``: the solvers are deterministic and a
+single timed round per point keeps the whole suite quick.  Full sweeps
+(the actual figure series) run through ``python -m repro.bench.cli``;
+see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+TIME_CAP = 20.0
+
+
+@pytest.fixture(scope="session")
+def time_cap() -> float:
+    """Per-run time cap (seconds) shared by all benchmark points."""
+    return TIME_CAP
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

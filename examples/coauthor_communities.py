@@ -1,0 +1,73 @@
+"""Co-author communities — the Figure 5 case study on synthetic DBLP.
+
+The paper's DBLP case study (k=15, r=top 3‰) found one k-core splitting
+into two (k,r)-cores — EBI bioinformaticians and Wellcome Trust Centre
+researchers — sharing exactly one author who had worked at both.  This
+example reproduces the shape on a planted co-author network with known
+ground truth, then runs the same analysis on the full DBLP analog with a
+top-x‰ threshold, reporting the maximum core (the "Ensembl project"
+analog: a tight project team with near-identical venue profiles).
+
+Run:  python examples/coauthor_communities.py
+"""
+
+from repro import enumerate_maximal_krcores, find_maximum_krcore
+from repro.datasets import load_dataset, planted_bridge_case_study
+from repro.datasets.registry import default_predicate
+from repro.graph.kcore import k_core_vertices
+
+
+def bridge_study() -> None:
+    """Two labs, one dual-affiliation author (Figure 5(a) shape)."""
+    study = planted_bridge_case_study(block_size=14, k=4, seed=11)
+    g = study.graph
+
+    kcore = k_core_vertices(g, study.k)
+    print(f"[bridge study] k-core alone: {len(kcore)} of "
+          f"{g.vertex_count} vertices in one blob")
+
+    cores = enumerate_maximal_krcores(g, study.k, predicate=study.predicate)
+    print(f"[bridge study] maximal (k,r)-cores: {len(cores)} "
+          f"(sizes {sorted(c.size for c in cores)})")
+    if len(cores) == 2:
+        shared = set(cores[0].vertices) & set(cores[1].vertices)
+        print(f"[bridge study] shared authors: {sorted(shared)} "
+              "(the dual-affiliation researcher)")
+    recovered = (
+        sorted(sorted(c.vertices) for c in cores)
+        == sorted(sorted(c) for c in study.communities)
+    )
+    print(f"[bridge study] planted ground truth recovered: {recovered}")
+
+
+def dblp_analog_study() -> None:
+    """Maximum core on the DBLP analog (Figure 5(b) / Ensembl shape)."""
+    g = load_dataset("dblp")
+    pred = default_predicate("dblp", g, permille=3)
+    k = 5
+    print(f"\n[dblp analog] {g.vertex_count} authors, {g.edge_count} "
+          f"co-author edges; k={k}, r=top 3‰ "
+          f"(threshold {pred.r:.3f} weighted Jaccard)")
+
+    cores = enumerate_maximal_krcores(g, k, predicate=pred, time_limit=60)
+    sizes = sorted((c.size for c in cores), reverse=True)
+    print(f"[dblp analog] maximal (k,r)-cores: {len(cores)}; "
+          f"largest sizes {sizes[:10]}")
+
+    best = find_maximum_krcore(g, k, predicate=pred, time_limit=60)
+    if best is None:
+        print("[dblp analog] no (k,r)-core at this setting")
+        return
+    print(f"[dblp analog] maximum core: {best.size} authors")
+    # Show how attribute-coherent the team is: its venue profiles.
+    members = sorted(best.vertices)
+    venues = set()
+    for u in members[:5]:
+        venues |= set(g.attribute(u))
+    print(f"[dblp analog] sample of the team's shared venues: "
+          f"{sorted(venues)[:6]}")
+
+
+if __name__ == "__main__":
+    bridge_study()
+    dblp_analog_study()

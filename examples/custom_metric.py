@@ -1,0 +1,69 @@
+"""Using a custom similarity metric and tuning the solver.
+
+Shows the extension points a downstream user needs:
+
+* a custom metric callable wrapped in a SimilarityPredicate with an
+  explicit kind (similarity vs distance threshold direction);
+* explicit SearchConfig choices (orders, bounds, budgets);
+* reading the search statistics to understand solver behaviour.
+
+Run:  python examples/custom_metric.py
+"""
+
+from repro import (
+    SearchConfig,
+    SimilarityPredicate,
+    enumerate_maximal_krcores,
+    find_maximum_krcore,
+)
+from repro.datasets import random_attributed_graph
+from repro.similarity.metrics import MetricKind
+
+
+def dice_similarity(a, b) -> float:
+    """Dice coefficient — not built in, supplied by the caller."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 0.0
+    return 2.0 * len(sa & sb) / (len(sa) + len(sb))
+
+
+def main() -> None:
+    graph = random_attributed_graph(
+        n=60, p=0.25, attrs_per_vertex=3, seed=42,
+    )
+    predicate = SimilarityPredicate(
+        dice_similarity, r=0.55, kind=MetricKind.SIMILARITY,
+    )
+
+    cores, stats = enumerate_maximal_krcores(
+        graph, k=3, predicate=predicate, with_stats=True,
+    )
+    sizes = sorted((c.size for c in cores), reverse=True)
+    print(f"custom-metric cores: {len(cores)} (sizes {sizes[:5]})")
+    print(f"search nodes: {stats.nodes}, "
+          f"similarity prunes: {stats.similarity_pruned}, "
+          f"structure prunes: {stats.structure_pruned}")
+
+    # Explicit configuration: degree order, colour+kcore bound, node cap.
+    config = SearchConfig(
+        order="degree",
+        bound="color-kcore",
+        maximal_check="none",
+        node_limit=100_000,
+        on_budget="partial",
+    )
+    best, mstats = find_maximum_krcore(
+        graph, k=3, predicate=predicate, config=config, with_stats=True,
+    )
+    print(f"\nmaximum core size: {best.size if best else 0} "
+          f"(nodes {mstats.nodes}, bound prunes {mstats.bound_pruned})")
+
+    # Every result can be re-verified from first principles.
+    for core in cores:
+        assert core.verify(graph, predicate)
+    print("\nall cores re-verified against Definition 3 ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Geo-social groups — the Figure 6 case study on synthetic Gowalla.
+
+The paper sets k=10, r=10 km on Gowalla and finds two user groups
+emerging from a single k-core, each geographically coherent (and the
+maximum core sitting in Austin, Gowalla's home town).  This example
+mines the Gowalla analog at several distance thresholds and reports how
+the maximal cores concentrate around the dominant hub.
+
+Run:  python examples/geosocial_groups.py
+"""
+
+from collections import Counter
+
+from repro import enumerate_maximal_krcores, find_maximum_krcore
+from repro.datasets import load_dataset
+from repro.datasets.registry import default_predicate
+
+
+def centroid(graph, vertices):
+    xs = [graph.attribute(u)[0] for u in vertices]
+    ys = [graph.attribute(u)[1] for u in vertices]
+    return (sum(xs) / len(xs), sum(ys) / len(ys))
+
+
+def main() -> None:
+    g = load_dataset("gowalla")
+    k = 5
+    print(f"gowalla analog: {g.vertex_count} users, {g.edge_count} "
+          f"friendships; k={k}")
+
+    for km in (10.0, 20.0, 50.0):
+        pred = default_predicate("gowalla", g, km=km)
+        cores = enumerate_maximal_krcores(g, k, predicate=pred, time_limit=60)
+        sizes = sorted((c.size for c in cores), reverse=True)
+        print(f"\nr = {km:.0f} km: {len(cores)} maximal cores, "
+              f"largest sizes {sizes[:5]}")
+        best = find_maximum_krcore(g, k, predicate=pred, time_limit=60)
+        if best:
+            cx, cy = centroid(g, best.vertices)
+            print(f"  maximum core: {best.size} users centred at "
+                  f"({cx:.0f}, {cy:.0f}) km — the analog's 'Austin'")
+
+    # The paper's observation: at tight thresholds the maximum core is
+    # always in the dominant hub.  Count which hub wins across r.
+    winners = Counter()
+    for km in (5.0, 10.0, 15.0, 20.0):
+        pred = default_predicate("gowalla", g, km=km)
+        best = find_maximum_krcore(g, k, predicate=pred, time_limit=60)
+        if best:
+            cx, cy = centroid(g, best.vertices)
+            winners[(round(cx, -2), round(cy, -2))] += 1
+    print(f"\nmaximum-core locations across thresholds: {dict(winners)}")
+    print("(a single dominant location = the paper's Austin effect)")
+
+
+if __name__ == "__main__":
+    main()

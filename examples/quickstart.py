@@ -1,0 +1,65 @@
+"""Quickstart: build a small attributed graph and mine (k,r)-cores.
+
+Reproduces the paper's running example shape (Figure 1): a co-author
+graph where structure alone (k-core) finds one big community, but the
+(k,r)-core model splits it into research groups whose members are both
+well connected and pairwise similar.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    enumerate_maximal_krcores,
+    find_maximum_krcore,
+    from_edge_list,
+)
+from repro.graph.kcore import k_core_vertices
+
+
+def main() -> None:
+    # Two collaboration clusters joined by a couple of cross edges.
+    # Attributes are research-interest keyword sets.
+    edges = [
+        # database group (clique-ish)
+        ("ana", "bo"), ("ana", "cy"), ("ana", "dee"), ("bo", "cy"),
+        ("bo", "dee"), ("cy", "dee"),
+        # systems group
+        ("eve", "fu"), ("eve", "gil"), ("eve", "hal"), ("fu", "gil"),
+        ("fu", "hal"), ("gil", "hal"),
+        # weak cross-group collaborations
+        ("dee", "eve"), ("cy", "fu"),
+    ]
+    interests = {
+        "ana": {"databases", "query-opt", "indexing"},
+        "bo": {"databases", "query-opt", "transactions"},
+        "cy": {"databases", "indexing", "transactions"},
+        "dee": {"databases", "query-opt", "indexing"},
+        "eve": {"os", "scheduling", "kernels"},
+        "fu": {"os", "scheduling", "networking"},
+        "gil": {"os", "kernels", "networking"},
+        "hal": {"os", "scheduling", "kernels"},
+    }
+    graph = from_edge_list(edges, attributes=interests)
+
+    k, r = 2, 0.4
+    print(f"graph: {graph.vertex_count} vertices, {graph.edge_count} edges")
+
+    # Structure alone: everyone survives the 2-core — one community.
+    kcore = k_core_vertices(graph, k)
+    print(f"{k}-core alone keeps {len(kcore)} of {graph.vertex_count} "
+          "vertices (one undifferentiated blob)")
+
+    # Structure + similarity: the two real groups emerge.
+    cores = enumerate_maximal_krcores(graph, k=k, r=r, metric="jaccard")
+    print(f"\nmaximal ({k},{r})-cores: {len(cores)}")
+    for core in cores:
+        names = sorted(graph.label(u) for u in core)
+        print(f"  size {core.size}: {', '.join(names)}")
+
+    best = find_maximum_krcore(graph, k=k, r=r, metric="jaccard")
+    print(f"\nmaximum ({k},{r})-core has {best.size} members: "
+          f"{', '.join(sorted(graph.label(u) for u in best))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The execution environment has setuptools 65 but no `wheel` package, so
+PEP 517 editable installs fail with "invalid command 'bdist_wheel'".
+`pip install -e . --no-build-isolation` falls back to `setup.py develop`
+when this file exists.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""repro — a from-scratch reproduction of
+"When Engagement Meets Similarity: Efficient (k,r)-Core Computation on
+Social Networks" (Zhang, Zhang, Qin, Zhang, Lin; VLDB 2017).
+
+A (k,r)-core is a connected subgraph in which every vertex has at least
+``k`` neighbours inside the subgraph (engagement / k-core constraint) and
+every pair of vertices is similar under a chosen metric and threshold
+``r`` (similarity constraint).  The library enumerates all maximal
+(k,r)-cores and finds the maximum one, with every pruning technique,
+upper bound and search order the paper proposes.
+
+Quickstart
+----------
+>>> from repro import from_edge_list, enumerate_maximal_krcores
+>>> g = from_edge_list(
+...     [("a", "b"), ("b", "c"), ("a", "c")],
+...     attributes={"a": {"x", "y"}, "b": {"x", "y"}, "c": {"x", "z"}},
+... )
+>>> cores = enumerate_maximal_krcores(g, k=2, r=0.3, metric="jaccard")
+
+See README.md for the architecture overview and DESIGN.md for the paper
+-to-module mapping.
+"""
+
+from repro.core import (
+    KRCore,
+    SearchConfig,
+    SearchStats,
+    enumerate_maximal_krcores,
+    find_maximum_krcore,
+    krcore_statistics,
+)
+from repro.exceptions import (
+    GraphError,
+    InvalidParameterError,
+    MissingAttributeError,
+    ReproError,
+    SearchBudgetExceeded,
+)
+from repro.graph import AttributedGraph, GraphBuilder, from_edge_list
+from repro.similarity import (
+    SimilarityPredicate,
+    euclidean_distance,
+    jaccard,
+    top_permille_threshold,
+    weighted_jaccard,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributedGraph",
+    "GraphBuilder",
+    "from_edge_list",
+    "KRCore",
+    "SearchConfig",
+    "SearchStats",
+    "enumerate_maximal_krcores",
+    "find_maximum_krcore",
+    "krcore_statistics",
+    "SimilarityPredicate",
+    "jaccard",
+    "weighted_jaccard",
+    "euclidean_distance",
+    "top_permille_threshold",
+    "ReproError",
+    "GraphError",
+    "InvalidParameterError",
+    "MissingAttributeError",
+    "SearchBudgetExceeded",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Benchmark harness: regenerates every table and figure of Section 8.
+
+Structure:
+
+* :mod:`~repro.bench.harness` — timed runners with the paper's INF
+  convention (a run over the time cap reports ``INF``), plus table
+  formatting and JSON export;
+* :mod:`~repro.bench.workloads` — cached dataset + predicate builders in
+  the paper's parameter conventions (km for geo data, top-x‰ for
+  keyword data);
+* :mod:`~repro.bench.experiments` — one function per table/figure; each
+  returns the same rows/series the paper plots;
+* :mod:`~repro.bench.cli` — ``python -m repro.bench.cli --experiment
+  fig9a`` (or ``--all``) prints the series and optionally writes JSON.
+
+The ``benchmarks/`` directory wraps representative points of each
+experiment in pytest-benchmark tests; the CLI runs the full sweeps.
+"""
+
+from repro.bench.harness import (
+    INF,
+    RunRecord,
+    format_table,
+    run_enum_timed,
+    run_max_timed,
+)
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "INF",
+    "RunRecord",
+    "format_table",
+    "run_enum_timed",
+    "run_max_timed",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,91 @@
+"""Command-line driver for the benchmark experiments.
+
+Usage::
+
+    python -m repro.bench.cli --experiment fig9a
+    python -m repro.bench.cli --all --time-cap 20 --json results/
+    python -m repro.bench.cli --list
+
+Each experiment prints the same series the paper's figure plots, using
+the INF convention for runs over the time cap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.harness import dump_json, format_table
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--experiment", "-e", action="append", default=[],
+        help="experiment name (repeatable); see --list",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every experiment",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment names and exit",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="representative points only (fast sanity run)",
+    )
+    parser.add_argument(
+        "--time-cap", type=float, default=30.0,
+        help="per-run cap in seconds; over-cap runs report INF (default 30)",
+    )
+    parser.add_argument(
+        "--json", metavar="DIR", default=None,
+        help="also write one JSON file per experiment into DIR",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="also render each timing experiment as an ASCII bar chart",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:10s} {doc}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.all else args.experiment
+    if not names:
+        parser.error("pass --experiment NAME (repeatable), --all, or --list")
+
+    if args.json:
+        os.makedirs(args.json, exist_ok=True)
+
+    for name in names:
+        start = time.monotonic()
+        rows = run_experiment(name, quick=args.quick, time_cap=args.time_cap)
+        elapsed = time.monotonic() - start
+        doc = (EXPERIMENTS[name.lower()].__doc__ or "").strip().splitlines()[0]
+        print(format_table(rows, title=f"{name} — {doc} [{elapsed:.1f}s]"))
+        print()
+        if args.chart and rows and "seconds" in rows[0]:
+            from repro.bench.plotting import guess_x_key, render_time_chart
+
+            x_key = guess_x_key(rows)
+            if x_key:
+                print(render_time_chart(rows, x_key, title=f"{name} chart"))
+                print()
+        if args.json:
+            dump_json(rows, os.path.join(args.json, f"{name}.json"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

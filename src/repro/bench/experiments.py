@@ -1,0 +1,521 @@
+"""One experiment function per table/figure of the paper's Section 8.
+
+Each function returns a list of row dicts — the same series the paper
+plots — and takes ``quick=True`` to shrink the sweep to representative
+points (used by the pytest-benchmark wrappers) plus a ``time_cap`` for
+the INF convention.  See DESIGN.md §4 for the experiment index and
+EXPERIMENTS.md for paper-vs-measured shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.bench import workloads as wl
+from repro.bench.harness import RunRecord, run_enum_timed, run_max_timed
+from repro.core.config import (
+    adv_enum_config,
+    adv_max_config,
+    resolve_enum_config,
+)
+from repro.core.results import summarize_cores
+from repro.core.api import enumerate_maximal_krcores
+from repro.datasets.planted import (
+    planted_bridge_case_study,
+    planted_communities,
+)
+from repro.datasets.registry import dataset_statistics
+from repro.exceptions import InvalidParameterError
+from repro.similarity.threshold import SimilarityPredicate
+
+Rows = List[Dict[str, object]]
+
+DATASET_NAMES = ("brightkite", "gowalla", "dblp", "pokec")
+
+
+def _record_row(base: Dict[str, object], rec: RunRecord) -> Dict[str, object]:
+    row = dict(base)
+    row.update(
+        algorithm=rec.label,
+        seconds=rec.display_seconds,
+        cores=rec.cores,
+        max_size=rec.max_size,
+        nodes=rec.nodes,
+    )
+    return row
+
+
+# ----------------------------------------------------------------------
+# Table 3 — dataset statistics
+# ----------------------------------------------------------------------
+
+def table3(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Nodes / edges / davg / dmax of the four analogs vs the paper."""
+    return [dataset_statistics(name) for name in DATASET_NAMES]
+
+
+# ----------------------------------------------------------------------
+# Figures 5 and 6 — effectiveness case studies
+# ----------------------------------------------------------------------
+
+def fig05_06(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Case studies: (k,r)-cores split one k-core along attribute lines.
+
+    Row 1 reproduces Figure 5(a)'s shape on a planted co-author bridge
+    (two overlapping cores sharing one dual-profile author); row 2
+    reproduces Figure 6's shape on planted geo communities (one k-core,
+    several geographically coherent (k,r)-cores).  ``recovered`` reports
+    whether the solver found exactly the planted ground truth.
+    """
+    rows: Rows = []
+    study = planted_bridge_case_study(block_size=14, k=4, seed=11)
+    cores = enumerate_maximal_krcores(
+        study.graph, study.k, predicate=study.predicate
+    )
+    got = sorted(sorted(c.vertices) for c in cores)
+    want = sorted(sorted(c) for c in study.communities)
+    overlap = (
+        set.intersection(*(set(c.vertices) for c in cores))
+        if len(cores) > 1 else set()
+    )
+    rows.append({
+        "experiment": "fig5 (coauthor bridge)",
+        "cores": len(cores),
+        "sizes": [len(c) for c in got],
+        "shared_vertices": len(overlap),
+        "recovered": got == want,
+    })
+
+    geo = planted_communities(
+        n_blocks=2 if quick else 4, block_size=12, k=3,
+        attribute_kind="geo", seed=12,
+    )
+    cores = enumerate_maximal_krcores(geo.graph, geo.k, predicate=geo.predicate)
+    got = sorted(sorted(c.vertices) for c in cores)
+    want = sorted(sorted(c) for c in geo.communities)
+    rows.append({
+        "experiment": "fig6 (geo groups)",
+        "cores": len(cores),
+        "sizes": [len(c) for c in got],
+        "shared_vertices": 0,
+        "recovered": got == want,
+    })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — (k,r)-core statistics
+# ----------------------------------------------------------------------
+
+def fig07a(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """#cores / max size / avg size vs r (gowalla analog, k=5)."""
+    sweep = wl.GOWALLA_R_SWEEP[:2] if quick else wl.GOWALLA_R_SWEEP
+    rows: Rows = []
+    g = wl.graph("gowalla")
+    for km in sweep:
+        pred = wl.geo_predicate("gowalla", km)
+        cores = enumerate_maximal_krcores(
+            g, 5, predicate=pred, time_limit=time_cap,
+        )
+        stats = summarize_cores(cores)
+        rows.append({"r_km": km, "k": 5, **stats})
+    return rows
+
+
+def fig07b(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """#cores / max size / avg size vs k (dblp analog, r = top 3‰)."""
+    sweep = wl.DBLP_K_SWEEP[:2] if quick else wl.DBLP_K_SWEEP
+    rows: Rows = []
+    g = wl.graph("dblp")
+    pred = wl.permille_predicate("dblp", 3.0)
+    for k in sweep:
+        cores = enumerate_maximal_krcores(
+            g, k, predicate=pred, time_limit=time_cap,
+        )
+        stats = summarize_cores(cores)
+        rows.append({"permille": 3.0, "k": k, **stats})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — clique-based baseline vs BasicEnum
+# ----------------------------------------------------------------------
+
+def fig08a(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Clique+ vs BasicEnum while varying r (gowalla analog, k=5)."""
+    sweep = (5.0, 10.0) if quick else wl.GOWALLA_R_SWEEP
+    rows: Rows = []
+    g = wl.graph("gowalla")
+    for km in sweep:
+        pred = wl.geo_predicate("gowalla", km)
+        for alg, label in (("clique", "Clique+"), ("basic", "BasicEnum")):
+            rec = run_enum_timed(g, 5, pred, alg, label, time_cap)
+            rows.append(_record_row({"r_km": km, "k": 5}, rec))
+    return rows
+
+
+def fig08b(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Clique+ vs BasicEnum while varying k (dblp analog, r = top 3‰)."""
+    sweep = (7, 8) if quick else tuple(reversed(wl.DBLP_K_SWEEP))
+    rows: Rows = []
+    g = wl.graph("dblp")
+    pred = wl.permille_predicate("dblp", 3.0)
+    for k in sweep:
+        for alg, label in (("clique", "Clique+"), ("basic", "BasicEnum")):
+            rec = run_enum_timed(g, k, pred, alg, label, time_cap)
+            rows.append(_record_row({"permille": 3.0, "k": k}, rec))
+    return rows
+
+
+def fig08c(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Clique+ collapse on scattered dissimilarity (contested workload).
+
+    The paper's Figure 8 shows BasicEnum beating Clique+ because real
+    similarity graphs materialise huge numbers of maximal cliques.  The
+    blocky synthetic analogs do not reach that regime (fig8a/b), so this
+    extension panel uses the contested-similarity generator where the
+    within-block similarity graph is near-multipartite — there the
+    clique count explodes and the paper's ordering reappears.
+    """
+    from repro.datasets.synthetic import contested_network
+
+    sizes = (120,) if quick else (120, 160, 200, 240)
+    rows: Rows = []
+    for n in sizes:
+        g = contested_network(n=n, seed=7)
+        pred = SimilarityPredicate("jaccard", 0.3)
+        for alg, label in (
+            ("clique", "Clique+"),
+            ("basic", "BasicEnum"),
+            ("advanced", "AdvEnum"),
+        ):
+            rec = run_enum_timed(g, 5, pred, alg, label, time_cap)
+            rows.append(_record_row({"n": n, "k": 5, "r": 0.3}, rec))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — pruning-technique ablation
+# ----------------------------------------------------------------------
+
+_ENUM_ABLATION = (
+    ("basic", "BasicEnum"),
+    ("be+cr", "BE+CR"),
+    ("be+cr+et", "BE+CR+ET"),
+    ("advanced", "AdvEnum"),
+)
+
+
+def fig09a(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Pruning ablation while varying r (gowalla analog, k=5)."""
+    sweep = (10.0,) if quick else wl.GOWALLA_R_SWEEP
+    rows: Rows = []
+    g = wl.graph("gowalla")
+    for km in sweep:
+        pred = wl.geo_predicate("gowalla", km)
+        for alg, label in _ENUM_ABLATION:
+            rec = run_enum_timed(g, 5, pred, alg, label, time_cap)
+            rows.append(_record_row({"r_km": km, "k": 5}, rec))
+    return rows
+
+
+def fig09b(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Pruning ablation while varying k (dblp analog, r = top 3‰)."""
+    sweep = (6,) if quick else wl.DBLP_K_SWEEP
+    rows: Rows = []
+    g = wl.graph("dblp")
+    pred = wl.permille_predicate("dblp", 3.0)
+    for k in sweep:
+        for alg, label in _ENUM_ABLATION:
+            rec = run_enum_timed(g, k, pred, alg, label, time_cap)
+            rows.append(_record_row({"permille": 3.0, "k": k}, rec))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — upper-bound techniques for the maximum problem
+# ----------------------------------------------------------------------
+
+_BOUND_ABLATION = (
+    ("advanced-ub", "|M|+|C|"),
+    ("color-kcore", "Color+Kcore"),
+    ("advanced", "DoubleKcore"),
+)
+
+
+def fig10a(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Upper bounds while varying r (dblp analog, k=5)."""
+    sweep = (3.0,) if quick else wl.DBLP_PERMILLE_SWEEP
+    rows: Rows = []
+    g = wl.graph("dblp")
+    for pm in sweep:
+        pred = wl.permille_predicate("dblp", pm)
+        for alg, label in _BOUND_ABLATION:
+            rec = run_max_timed(g, 5, pred, alg, label, time_cap)
+            row = _record_row({"permille": pm, "k": 5}, rec)
+            row["bound_calls"] = rec.bound_calls
+            rows.append(row)
+    return rows
+
+
+def fig10b(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Upper bounds while varying k (dblp analog, r = top 3‰)."""
+    sweep = (5,) if quick else wl.DBLP_K_SWEEP
+    rows: Rows = []
+    g = wl.graph("dblp")
+    pred = wl.permille_predicate("dblp", 3.0)
+    for k in sweep:
+        for alg, label in _BOUND_ABLATION:
+            rec = run_max_timed(g, k, pred, alg, label, time_cap)
+            row = _record_row({"permille": 3.0, "k": k}, rec)
+            row["bound_calls"] = rec.bound_calls
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — search orders
+# ----------------------------------------------------------------------
+
+def fig11a(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """λ tuning for the λΔ1−Δ2 maximum order (dblp + gowalla analogs)."""
+    lams = (1.0, 5.0) if quick else (1.0, 2.0, 4.0, 5.0, 6.0, 8.0, 10.0)
+    rows: Rows = []
+    for name in ("dblp", "gowalla"):
+        g, k, pred = wl.workload(name)
+        for lam in lams:
+            cfg = adv_max_config(lam=lam)
+            rec = run_max_timed(g, k, pred, cfg, f"lambda={lam}", time_cap)
+            rows.append(_record_row({"dataset": name, "lambda": lam}, rec))
+    return rows
+
+
+def fig11b(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Branch orders for AdvMax (dblp analog, vary k)."""
+    sweep = (5,) if quick else wl.DBLP_K_SWEEP
+    rows: Rows = []
+    g = wl.graph("dblp")
+    pred = wl.permille_predicate("dblp", 3.0)
+    variants = (
+        (adv_max_config(branch="expand"), "Expand"),
+        (adv_max_config(branch="shrink"), "Shrink"),
+        (adv_max_config(branch="adaptive"), "AdvMax"),
+    )
+    for k in sweep:
+        for cfg, label in variants:
+            rec = run_max_timed(g, k, pred, cfg, label, time_cap)
+            rows.append(_record_row({"permille": 3.0, "k": k}, rec))
+    return rows
+
+
+_MAX_ORDERS = (
+    "random", "degree", "delta2", "delta1", "delta1-then-delta2",
+    "weighted-delta",
+)
+
+
+def fig11c(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Vertex orders for AdvMax (dblp analog, vary k)."""
+    sweep = (5,) if quick else wl.DBLP_K_SWEEP
+    orders = ("degree", "weighted-delta") if quick else _MAX_ORDERS
+    rows: Rows = []
+    g = wl.graph("dblp")
+    pred = wl.permille_predicate("dblp", 3.0)
+    for k in sweep:
+        for order in orders:
+            cfg = adv_max_config(order=order)
+            rec = run_max_timed(g, k, pred, cfg, order, time_cap)
+            rows.append(_record_row({"permille": 3.0, "k": k}, rec))
+    return rows
+
+
+def fig11d(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Enumeration orders: Random vs Degree vs Δ1-then-Δ2 (gowalla)."""
+    sweep = (10.0,) if quick else wl.GOWALLA_R_SWEEP
+    rows: Rows = []
+    g = wl.graph("gowalla")
+    for km in sweep:
+        pred = wl.geo_predicate("gowalla", km)
+        for order in ("random", "degree", "delta1-then-delta2"):
+            cfg = adv_enum_config(order=order)
+            rec = run_enum_timed(g, 5, pred, cfg, order, time_cap)
+            rows.append(_record_row({"r_km": km, "k": 5}, rec))
+    return rows
+
+
+def fig11e(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Enumeration orders: Δ1 vs λΔ1−Δ2 vs Δ1-then-Δ2 (gowalla)."""
+    sweep = (10.0,) if quick else wl.GOWALLA_R_SWEEP
+    rows: Rows = []
+    g = wl.graph("gowalla")
+    for km in sweep:
+        pred = wl.geo_predicate("gowalla", km)
+        for order in ("delta1", "weighted-delta", "delta1-then-delta2"):
+            cfg = adv_enum_config(order=order)
+            rec = run_enum_timed(g, 5, pred, cfg, order, time_cap)
+            rows.append(_record_row({"r_km": km, "k": 5}, rec))
+    return rows
+
+
+def fig11f(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Maximal-check orders (gowalla): Degree is expected to win."""
+    sweep = (10.0,) if quick else wl.GOWALLA_R_SWEEP
+    rows: Rows = []
+    g = wl.graph("gowalla")
+    for km in sweep:
+        pred = wl.geo_predicate("gowalla", km)
+        for order in ("weighted-delta", "delta1-then-delta2", "degree"):
+            cfg = adv_enum_config(check_order=order)
+            rec = run_enum_timed(g, 5, pred, cfg, f"check:{order}", time_cap)
+            row = _record_row({"r_km": km, "k": 5}, rec)
+            row["check_nodes"] = rec.check_nodes
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — all datasets
+# ----------------------------------------------------------------------
+
+def fig12a(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """AdvEnum-O / AdvEnum-P / AdvEnum across the four analogs."""
+    names = ("gowalla", "dblp") if quick else DATASET_NAMES
+    rows: Rows = []
+    for name in names:
+        g, k, pred = wl.workload(name)
+        for alg, label in (
+            ("advanced-o", "AdvEnum-O"),
+            ("advanced-p", "AdvEnum-P"),
+            ("advanced", "AdvEnum"),
+        ):
+            rec = run_enum_timed(g, k, pred, alg, label, time_cap)
+            rows.append(_record_row({"dataset": name, "k": k}, rec))
+    return rows
+
+
+def fig12b(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """AdvMax-O / AdvMax-UB / AdvMax across the four analogs."""
+    names = ("gowalla", "dblp") if quick else DATASET_NAMES
+    rows: Rows = []
+    for name in names:
+        g, k, pred = wl.workload(name)
+        for alg, label in (
+            ("advanced-o", "AdvMax-O"),
+            ("advanced-ub", "AdvMax-UB"),
+            ("advanced", "AdvMax"),
+        ):
+            rec = run_max_timed(g, k, pred, alg, label, time_cap)
+            rows.append(_record_row({"dataset": name, "k": k}, rec))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 13/14 — effect of k and r
+# ----------------------------------------------------------------------
+
+_ENUM_VARIANTS = (
+    ("advanced-o", "AdvEnum-O"),
+    ("advanced-p", "AdvEnum-P"),
+    ("advanced", "AdvEnum"),
+)
+_MAX_VARIANTS = (
+    ("advanced-o", "AdvMax-O"),
+    ("advanced-ub", "AdvMax-UB"),
+    ("advanced", "AdvMax"),
+)
+
+
+def fig13a(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Enumeration variants vs k (gowalla analog, r = 20 km)."""
+    sweep = (6,) if quick else wl.GOWALLA_K_SWEEP
+    rows: Rows = []
+    g = wl.graph("gowalla")
+    pred = wl.geo_predicate("gowalla", 20.0)
+    for k in sweep:
+        for alg, label in _ENUM_VARIANTS:
+            rec = run_enum_timed(g, k, pred, alg, label, time_cap)
+            rows.append(_record_row({"r_km": 20.0, "k": k}, rec))
+    return rows
+
+
+def fig13b(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Enumeration variants vs r (dblp analog, k=5)."""
+    sweep = (3.0,) if quick else wl.DBLP_PERMILLE_SWEEP
+    rows: Rows = []
+    g = wl.graph("dblp")
+    for pm in sweep:
+        pred = wl.permille_predicate("dblp", pm)
+        for alg, label in _ENUM_VARIANTS:
+            rec = run_enum_timed(g, 5, pred, alg, label, time_cap)
+            rows.append(_record_row({"permille": pm, "k": 5}, rec))
+    return rows
+
+
+def fig14a(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Maximum variants vs k (gowalla analog, r = 20 km)."""
+    sweep = (6,) if quick else wl.GOWALLA_K_SWEEP
+    rows: Rows = []
+    g = wl.graph("gowalla")
+    pred = wl.geo_predicate("gowalla", 20.0)
+    for k in sweep:
+        for alg, label in _MAX_VARIANTS:
+            rec = run_max_timed(g, k, pred, alg, label, time_cap)
+            rows.append(_record_row({"r_km": 20.0, "k": k}, rec))
+    return rows
+
+
+def fig14b(quick: bool = False, time_cap: float = 30.0) -> Rows:
+    """Maximum variants vs r (dblp analog, k=5)."""
+    sweep = (3.0,) if quick else wl.DBLP_PERMILLE_SWEEP
+    rows: Rows = []
+    g = wl.graph("dblp")
+    for pm in sweep:
+        pred = wl.permille_predicate("dblp", pm)
+        for alg, label in _MAX_VARIANTS:
+            rec = run_max_timed(g, 5, pred, alg, label, time_cap)
+            rows.append(_record_row({"permille": pm, "k": 5}, rec))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+EXPERIMENTS: Dict[str, Callable[..., Rows]] = {
+    "table3": table3,
+    "fig5_6": fig05_06,
+    "fig7a": fig07a,
+    "fig7b": fig07b,
+    "fig8a": fig08a,
+    "fig8b": fig08b,
+    "fig8c": fig08c,
+    "fig9a": fig09a,
+    "fig9b": fig09b,
+    "fig10a": fig10a,
+    "fig10b": fig10b,
+    "fig11a": fig11a,
+    "fig11b": fig11b,
+    "fig11c": fig11c,
+    "fig11d": fig11d,
+    "fig11e": fig11e,
+    "fig11f": fig11f,
+    "fig12a": fig12a,
+    "fig12b": fig12b,
+    "fig13a": fig13a,
+    "fig13b": fig13b,
+    "fig14a": fig14a,
+    "fig14b": fig14b,
+}
+
+
+def run_experiment(
+    name: str, quick: bool = False, time_cap: float = 30.0
+) -> Rows:
+    """Run a named experiment and return its rows."""
+    try:
+        fn = EXPERIMENTS[name.lower()]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(quick=quick, time_cap=time_cap)

@@ -1,0 +1,98 @@
+"""ASCII chart rendering for benchmark series.
+
+The paper's figures are log-scale line charts of time vs a swept
+parameter; the bench CLI can render the same series as terminal bar
+charts (``--chart``), one bar group per sweep point, INF bars marked.
+Pure text — no plotting dependency — so results read well in CI logs
+and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import INF, format_seconds
+
+BAR_WIDTH = 46
+
+
+def _bar(fraction: float, width: int = BAR_WIDTH) -> str:
+    filled = max(0, min(width, round(fraction * width)))
+    return "█" * filled
+
+
+def render_time_chart(
+    rows: Sequence[Dict[str, object]],
+    x_key: str,
+    series_key: str = "algorithm",
+    value_key: str = "seconds",
+    title: Optional[str] = None,
+) -> str:
+    """Render a grouped log-scale bar chart of ``value_key`` per series.
+
+    ``rows`` are experiment rows (as produced by
+    :mod:`repro.bench.experiments`); each distinct ``x_key`` value forms
+    a group, each distinct ``series_key`` value a bar within it.  Times
+    are log-scaled between the smallest and largest finite value; INF
+    rows render as a full bar tagged ``INF``.
+    """
+    finite = [
+        float(r[value_key]) for r in rows
+        if r.get(value_key) not in (None, INF)
+        and isinstance(r.get(value_key), (int, float))
+        and float(r[value_key]) > 0
+    ]
+    if not finite:
+        return f"{title or 'chart'}: (no finite values)"
+    lo = min(finite)
+    hi = max(finite)
+    span = math.log10(hi / lo) if hi > lo else 1.0
+
+    def scaled(value: float) -> float:
+        if value <= lo:
+            return 0.02
+        return 0.02 + 0.98 * (math.log10(value / lo) / span)
+
+    groups: Dict[object, List[Dict[str, object]]] = {}
+    for row in rows:
+        groups.setdefault(row.get(x_key), []).append(row)
+
+    label_width = max(
+        (len(str(r.get(series_key, ""))) for r in rows), default=8
+    )
+    out: List[str] = []
+    if title:
+        out.append(f"== {title} ==")
+    out.append(
+        f"(log scale, {format_seconds(lo)} .. {format_seconds(hi)}; "
+        f"█-full = INF)"
+    )
+    for x_value, group in groups.items():
+        out.append(f"{x_key} = {x_value}")
+        for row in group:
+            value = row.get(value_key)
+            name = str(row.get(series_key, "?")).ljust(label_width)
+            if value in (None, INF):
+                out.append(f"  {name} {_bar(1.0)} INF")
+            else:
+                value = float(value)
+                out.append(
+                    f"  {name} {_bar(scaled(value))} "
+                    f"{format_seconds(value)}"
+                )
+    return "\n".join(out)
+
+
+def guess_x_key(rows: Sequence[Dict[str, object]]) -> Optional[str]:
+    """The sweep key of an experiment's rows (first varying axis)."""
+    if not rows:
+        return None
+    for key in ("r_km", "permille", "k", "lambda", "dataset", "n"):
+        values = {row.get(key) for row in rows if key in row}
+        if len(values) > 1:
+            return key
+    for key in ("r_km", "permille", "k", "dataset"):
+        if key in rows[0]:
+            return key
+    return None

@@ -1,0 +1,196 @@
+"""Command-line interface for the (k,r)-core library.
+
+Usage::
+
+    python -m repro mine --dataset gowalla --k 5 --km 20
+    python -m repro maximum --dataset dblp --k 5 --permille 3
+    python -m repro stats --dataset dblp --k 5 --permille 3
+    python -m repro mine --edges edges.txt --attrs attrs.txt \\
+        --attr-kind set --metric jaccard --k 3 --r 0.5
+    python -m repro datasets
+
+Graphs come either from the named synthetic analogs (``--dataset``) or
+from edge-list + attribute files in the formats of
+:mod:`repro.graph.io` (``--edges``/``--attrs``/``--attr-kind``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from repro.core.api import (
+    enumerate_maximal_krcores,
+    find_maximum_krcore,
+    krcore_statistics,
+)
+from repro.datasets.registry import (
+    DATASETS,
+    dataset_statistics,
+    default_predicate,
+    load_dataset,
+)
+from repro.exceptions import ReproError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.io import read_attributed_graph
+from repro.similarity.threshold import (
+    SimilarityPredicate,
+    top_permille_threshold,
+)
+
+
+def _add_graph_args(p: argparse.ArgumentParser) -> None:
+    src = p.add_argument_group("graph source")
+    src.add_argument("--dataset", choices=sorted(DATASETS),
+                     help="named synthetic analog")
+    src.add_argument("--scale", type=float, default=1.0,
+                     help="dataset scale factor (named analogs only)")
+    src.add_argument("--seed", type=int, default=7,
+                     help="dataset generation seed")
+    src.add_argument("--edges", help="edge-list file (u v per line)")
+    src.add_argument("--attrs", help="attribute file")
+    src.add_argument(
+        "--attr-kind", choices=("point", "set", "counter"),
+        help="attribute file format (required with --attrs)",
+    )
+
+    sim = p.add_argument_group("similarity")
+    sim.add_argument("--metric", default=None,
+                     help="metric name (file graphs; inferred for analogs)")
+    sim.add_argument("--r", type=float, default=None,
+                     help="raw similarity/distance threshold")
+    sim.add_argument("--km", type=float, default=None,
+                     help="distance threshold in km (geo datasets)")
+    sim.add_argument("--permille", type=float, default=None,
+                     help="top-x permille threshold (keyword datasets)")
+
+    p.add_argument("--k", type=int, required=True, help="degree threshold")
+    p.add_argument("--algorithm", default="advanced",
+                   help="algorithm preset (see README)")
+    p.add_argument("--time-limit", type=float, default=None,
+                   help="seconds before the solver stops with partial results")
+    p.add_argument("--max-print", type=int, default=10,
+                   help="cores to print (mine command)")
+
+
+def _load_graph(args) -> Tuple[AttributedGraph, SimilarityPredicate]:
+    if args.dataset and args.edges:
+        raise ReproError("pass either --dataset or --edges, not both")
+    if args.dataset:
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        if args.r is not None:
+            metric = args.metric or DATASETS[args.dataset].metric
+            return graph, SimilarityPredicate(metric, args.r)
+        pred = default_predicate(
+            args.dataset, graph, km=args.km, permille=args.permille,
+        )
+        return graph, pred
+    if not args.edges or not args.attrs or not args.attr_kind:
+        raise ReproError(
+            "file graphs need --edges, --attrs and --attr-kind"
+        )
+    graph = read_attributed_graph(args.edges, args.attrs, args.attr_kind)
+    metric = args.metric or {
+        "point": "euclidean", "set": "jaccard", "counter": "weighted_jaccard",
+    }[args.attr_kind]
+    if args.r is not None:
+        return graph, SimilarityPredicate(metric, args.r)
+    if args.permille is not None:
+        r = top_permille_threshold(graph, metric, args.permille)
+        return graph, SimilarityPredicate(metric, r)
+    if args.km is not None:
+        return graph, SimilarityPredicate(metric, args.km)
+    raise ReproError("pass a threshold: --r, --km or --permille")
+
+
+def _cmd_mine(args) -> int:
+    graph, pred = _load_graph(args)
+    cores, stats = enumerate_maximal_krcores(
+        graph, args.k, predicate=pred, algorithm=args.algorithm,
+        time_limit=args.time_limit, with_stats=True,
+    )
+    print(f"maximal ({args.k},{pred.r:g})-cores: {len(cores)} "
+          f"[{stats.elapsed:.2f}s, {stats.nodes} nodes]")
+    for core in cores[: args.max_print]:
+        names = sorted(graph.label(u) for u in core)
+        shown = ", ".join(names[:12]) + (", ..." if len(names) > 12 else "")
+        print(f"  size {core.size:4d}: {shown}")
+    if len(cores) > args.max_print:
+        print(f"  ... and {len(cores) - args.max_print} more")
+    return 0
+
+
+def _cmd_maximum(args) -> int:
+    graph, pred = _load_graph(args)
+    best, stats = find_maximum_krcore(
+        graph, args.k, predicate=pred, algorithm=args.algorithm,
+        time_limit=args.time_limit, with_stats=True,
+    )
+    if best is None:
+        print(f"no ({args.k},{pred.r:g})-core exists "
+              f"[{stats.elapsed:.2f}s, {stats.nodes} nodes]")
+        return 0
+    names = sorted(graph.label(u) for u in best)
+    shown = ", ".join(names[:15]) + (", ..." if len(names) > 15 else "")
+    print(f"maximum ({args.k},{pred.r:g})-core: {best.size} vertices "
+          f"[{stats.elapsed:.2f}s, {stats.nodes} nodes, "
+          f"{stats.bound_pruned} bound prunes]")
+    print(f"  {shown}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    graph, pred = _load_graph(args)
+    stats = krcore_statistics(
+        graph, args.k, predicate=pred, time_limit=args.time_limit,
+    )
+    print(f"count={stats['count']} max_size={stats['max_size']} "
+          f"avg_size={stats['avg_size']:.2f}")
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    header = (f"{'dataset':<11} {'nodes':>7} {'edges':>8} {'davg':>6} "
+              f"{'dmax':>5}   paper(nodes/edges/davg)")
+    print(header)
+    for name in sorted(DATASETS):
+        row = dataset_statistics(name)
+        print(f"{row['dataset']:<11} {row['nodes']:>7} {row['edges']:>8} "
+              f"{row['davg']:>6} {row['dmax']:>5}   "
+              f"{row['paper_nodes']}/{row['paper_edges']}/{row['paper_davg']}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="(k,r)-core mining on attributed social networks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_mine = sub.add_parser("mine", help="enumerate all maximal (k,r)-cores")
+    _add_graph_args(p_mine)
+    p_mine.set_defaults(fn=_cmd_mine)
+
+    p_max = sub.add_parser("maximum", help="find the maximum (k,r)-core")
+    _add_graph_args(p_max)
+    p_max.set_defaults(fn=_cmd_maximum)
+
+    p_stats = sub.add_parser("stats", help="count/max/avg of maximal cores")
+    _add_graph_args(p_stats)
+    p_stats.set_defaults(fn=_cmd_stats)
+
+    p_ds = sub.add_parser("datasets", help="list the named synthetic analogs")
+    p_ds.set_defaults(fn=_cmd_datasets)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

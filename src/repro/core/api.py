@@ -1,0 +1,165 @@
+"""Public API of the (k,r)-core library.
+
+Three entry points:
+
+* :func:`enumerate_maximal_krcores` — problem (i) of the paper;
+* :func:`find_maximum_krcore` — problem (ii);
+* :func:`krcore_statistics` — the count / max size / average size
+  summary reported in Figure 7.
+
+All accept either a prepared
+:class:`~repro.similarity.threshold.SimilarityPredicate` or a
+``(metric, r)`` pair, and either a named algorithm (Table 2 spelling) or
+an explicit :class:`~repro.core.config.SearchConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.core.config import (
+    SearchConfig,
+    adv_enum_config,
+    adv_max_config,
+    resolve_enum_config,
+    resolve_max_config,
+)
+from repro.core.results import KRCore, summarize_cores
+from repro.core.solver import run_enumeration, run_maximum
+from repro.core.stats import SearchStats
+from repro.exceptions import InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.similarity.threshold import SimilarityPredicate
+
+
+def _resolve_predicate(
+    r: Optional[float],
+    metric: Union[str, Callable],
+    predicate: Optional[SimilarityPredicate],
+) -> SimilarityPredicate:
+    if predicate is not None:
+        return predicate
+    if r is None:
+        raise InvalidParameterError("pass either r= (with metric=) or predicate=")
+    return SimilarityPredicate(metric, r)
+
+
+def enumerate_maximal_krcores(
+    graph: AttributedGraph,
+    k: int,
+    r: Optional[float] = None,
+    *,
+    metric: Union[str, Callable] = "jaccard",
+    predicate: Optional[SimilarityPredicate] = None,
+    algorithm: str = "advanced",
+    config: Optional[SearchConfig] = None,
+    time_limit: Optional[float] = None,
+    node_limit: Optional[int] = None,
+    with_stats: bool = False,
+):
+    """Enumerate all maximal (k,r)-cores of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The attributed graph.
+    k:
+        Structure constraint: minimum in-subgraph degree (positive).
+    r:
+        Similarity threshold; interpreted per the metric's kind
+        (``sim >= r`` for similarity metrics, ``dist <= r`` for distance
+        metrics).  May be replaced by an explicit ``predicate``.
+    metric:
+        Metric name or callable (default Jaccard); ignored when
+        ``predicate`` is given.
+    algorithm:
+        One of ``"naive"``, ``"clique"``, ``"basic"``, ``"be+cr"``,
+        ``"be+cr+et"``, ``"advanced"`` (default), ``"advanced-o"``,
+        ``"advanced-p"`` — the Table 2 line-up.  Ignored when an explicit
+        ``config`` is supplied (the configurable engine then runs).
+    time_limit / node_limit:
+        Optional budget; exceeded budgets raise
+        :class:`~repro.exceptions.SearchBudgetExceeded` carrying partial
+        results (or return them when the config says ``on_budget="partial"``).
+    with_stats:
+        When true, return ``(cores, stats)`` instead of just the list.
+
+    Returns
+    -------
+    ``list[KRCore]`` sorted by decreasing size, or ``(list, SearchStats)``.
+    """
+    predicate = _resolve_predicate(r, metric, predicate)
+    key = algorithm.lower()
+    engine = "engine"
+    if config is not None:
+        cfg = config
+    elif key == "naive":
+        engine = "naive"
+        cfg = adv_enum_config()  # engine ignores technique flags
+    elif key in ("clique", "clique+"):
+        engine = "clique"
+        cfg = adv_enum_config()
+    else:
+        cfg = resolve_enum_config(key)
+    if time_limit is not None:
+        cfg = cfg.evolve(time_limit=time_limit)
+    if node_limit is not None:
+        cfg = cfg.evolve(node_limit=node_limit)
+    cores, stats = run_enumeration(graph, k, predicate, cfg, engine)
+    cores.sort(key=lambda c: (-c.size, sorted(c.vertices)))
+    if with_stats:
+        return cores, stats
+    return cores
+
+
+def find_maximum_krcore(
+    graph: AttributedGraph,
+    k: int,
+    r: Optional[float] = None,
+    *,
+    metric: Union[str, Callable] = "jaccard",
+    predicate: Optional[SimilarityPredicate] = None,
+    algorithm: str = "advanced",
+    config: Optional[SearchConfig] = None,
+    time_limit: Optional[float] = None,
+    node_limit: Optional[int] = None,
+    with_stats: bool = False,
+):
+    """Find the maximum (k,r)-core of ``graph`` (``None`` when none exists).
+
+    ``algorithm`` is one of ``"basic"``, ``"advanced"`` (default),
+    ``"advanced-ub"``, ``"advanced-o"``, ``"color-kcore"`` — see Table 2
+    and Figure 12(b).  Other parameters as in
+    :func:`enumerate_maximal_krcores`.
+    """
+    predicate = _resolve_predicate(r, metric, predicate)
+    cfg = config if config is not None else resolve_max_config(algorithm)
+    if time_limit is not None:
+        cfg = cfg.evolve(time_limit=time_limit)
+    if node_limit is not None:
+        cfg = cfg.evolve(node_limit=node_limit)
+    core, stats = run_maximum(graph, k, predicate, cfg)
+    if with_stats:
+        return core, stats
+    return core
+
+
+def krcore_statistics(
+    graph: AttributedGraph,
+    k: int,
+    r: Optional[float] = None,
+    *,
+    metric: Union[str, Callable] = "jaccard",
+    predicate: Optional[SimilarityPredicate] = None,
+    config: Optional[SearchConfig] = None,
+    time_limit: Optional[float] = None,
+) -> dict:
+    """Count, maximum size and average size of all maximal (k,r)-cores.
+
+    The Figure 7 measurement.  Uses AdvEnum.
+    """
+    cores = enumerate_maximal_krcores(
+        graph, k, r, metric=metric, predicate=predicate,
+        config=config, time_limit=time_limit,
+    )
+    return summarize_cores(cores)

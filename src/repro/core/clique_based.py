@@ -1,0 +1,59 @@
+"""The clique-based baseline (Section 3, "Clique+").
+
+A (k,r)-core is a clique in the similarity graph, so a straightforward
+method enumerates maximal cliques there and post-processes with k-core
+computations.  This module implements the *improved* variant the paper
+benchmarks as Clique+, with all three of Section 3's optimisations:
+
+1. the k-core of ``G`` is computed first and the clique machinery runs
+   per connected k-core component (not on the whole similarity graph);
+2. dissimilar edges are deleted from the structural graph (shared
+   preprocessing);
+3. only *maximal* cliques are expanded — every maximal (k,r)-core is
+   contained in some maximal similarity clique, and the k-core of a
+   maximal clique's induced subgraph yields connected pieces that are
+   themselves (k,r)-cores, so collecting those pieces plus a containment
+   filter recovers exactly the maximal (k,r)-cores.
+
+Its weakness — and the reason the paper's own baseline beats it — is the
+explicit materialisation of similarity-graph cliques: the number of
+maximal cliques explodes as the similarity graph densifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from repro.core.context import ComponentContext
+from repro.core.results import filter_maximal
+from repro.graph.cliques import enumerate_maximal_cliques
+from repro.graph.components import connected_components
+from repro.graph.kcore import k_core_vertices
+
+
+def clique_based_component(ctx: ComponentContext) -> List[FrozenSet[int]]:
+    """All maximal (k,r)-cores of one component via maximal cliques.
+
+    Every (k,r)-core has at least ``k + 1`` vertices, so cliques smaller
+    than that are skipped outright.
+    """
+    index = ctx.index
+    vertices = set(ctx.vertices)
+
+    # Similarity graph of the component: similar pairs, adjacent or not.
+    sim_adj: Dict[int, Set[int]] = {}
+    for u in vertices:
+        nbrs = vertices - index.dissimilar_to(u)
+        nbrs.discard(u)
+        sim_adj[u] = nbrs
+
+    candidates: List[FrozenSet[int]] = []
+    for clique in enumerate_maximal_cliques(sim_adj, min_size=ctx.k + 1):
+        ctx.enter_node()  # budget accounting: one unit per clique
+        survivors = k_core_vertices(ctx.adj, ctx.k, clique)
+        if not survivors:
+            continue
+        for piece in connected_components(ctx.adj, survivors):
+            ctx.stats.cores_emitted += 1
+            candidates.append(frozenset(piece))
+    return filter_maximal(candidates)

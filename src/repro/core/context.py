@@ -1,0 +1,96 @@
+"""Per-component search context and budget enforcement.
+
+A :class:`ComponentContext` bundles everything the branch-and-bound
+engines need about one connected k-core component: the similar-edge
+adjacency, the dissimilarity index, ``k``, the configuration, the stats
+sink, and the time/node budget shared across components.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.core.config import SearchConfig
+from repro.core.stats import SearchStats
+from repro.exceptions import SearchBudgetExceeded
+from repro.similarity.index import DissimilarityIndex
+
+
+class Budget:
+    """Shared wall-clock / node budget for one solver invocation."""
+
+    __slots__ = ("deadline", "node_limit", "nodes")
+
+    def __init__(self, time_limit: Optional[float], node_limit: Optional[int]):
+        self.deadline = (
+            time.monotonic() + time_limit if time_limit is not None else None
+        )
+        self.node_limit = node_limit
+        self.nodes = 0
+
+    def tick(self) -> None:
+        """Account one search node; raise when a cap is crossed."""
+        self.nodes += 1
+        if self.node_limit is not None and self.nodes > self.node_limit:
+            raise SearchBudgetExceeded(
+                f"node limit of {self.node_limit} exceeded"
+            )
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise SearchBudgetExceeded("time limit exceeded")
+
+
+class ComponentContext:
+    """One connected k-core component, ready to be searched.
+
+    Attributes
+    ----------
+    vertices:
+        The component's vertex set.
+    adj:
+        ``u -> neighbours of u within the component`` over *similar* edges
+        only (dissimilar edges were deleted in preprocessing).
+    index:
+        Dissimilarity index restricted to the component.
+    """
+
+    __slots__ = (
+        "vertices", "adj", "index", "k", "config", "stats", "budget", "rng",
+    )
+
+    def __init__(
+        self,
+        vertices: FrozenSet[int],
+        adj: Dict[int, Set[int]],
+        index: DissimilarityIndex,
+        k: int,
+        config: SearchConfig,
+        stats: SearchStats,
+        budget: Budget,
+        rng,
+    ):
+        self.vertices = vertices
+        self.adj = adj
+        self.index = index
+        self.k = k
+        self.config = config
+        self.stats = stats
+        self.budget = budget
+        self.rng = rng
+
+    def enter_node(self) -> None:
+        """Account one search-tree node against stats and budget."""
+        self.stats.nodes += 1
+        self.budget.tick()
+
+    def enter_check_node(self) -> None:
+        """Account one maximal-check node (budgeted like search nodes)."""
+        self.stats.check_nodes += 1
+        self.budget.tick()
+
+    def edge_count(self, within: Set[int]) -> int:
+        """Edges of the subgraph induced by ``within``."""
+        total = 0
+        for u in within:
+            total += len(self.adj[u] & within)
+        return total // 2

@@ -1,0 +1,116 @@
+"""The maximal (k,r)-core enumeration engine (Algorithms 1 and 3).
+
+One iterative branch-and-bound engine drives BasicEnum, BE+CR, BE+CR+ET
+and AdvEnum; the :class:`~repro.core.config.SearchConfig` flags decide
+which techniques fire (see Table 2).  Frames on the explicit DFS stack
+carry private ``(M, C, E)`` copies plus the vertex just expanded (so
+pruning knows which similarity evictions to run).
+
+Leaf / emission semantics
+-------------------------
+* with candidate retention (Theorem 4): a node where ``C == SF(C)``
+  emits ``M ∪ C`` directly;
+* without it: a node where ``C`` is empty emits ``M``.
+
+When ``M`` is non-empty the emitted set is connected (the pruning keeps
+``M ∪ C`` inside ``M``'s component).  When ``M`` is empty (a pure-shrink
+path) the emitted set may span several components; each component is a
+(k,r)-core on its own and is emitted separately — such leaves are unique
+per vertex subset, so no duplicates arise.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.context import ComponentContext
+from repro.core.maximal_check import is_maximal
+from repro.core.orders import make_order
+from repro.core.pruning import (
+    apply_pruning,
+    move_similarity_free_into_m,
+    similarity_free_set,
+)
+from repro.core.results import filter_maximal
+from repro.core.termination import should_terminate_early
+from repro.graph.components import connected_components
+
+Frame = Tuple[Set[int], Set[int], Set[int], Optional[int]]
+
+
+def enumerate_component(ctx: ComponentContext) -> List[FrozenSet[int]]:
+    """All maximal (k,r)-cores inside one k-core component.
+
+    Returns frozensets of vertex ids.  May raise
+    :class:`~repro.exceptions.SearchBudgetExceeded`; the solver layer
+    handles the ``on_budget="partial"`` policy.
+    """
+    cfg = ctx.config
+    order = make_order(cfg.order, cfg.lam, ctx.rng)
+    track_e = cfg.needs_excluded_set
+    search_check = cfg.maximal_check == "search"
+
+    confirmed: List[FrozenSet[int]] = []   # passed the Theorem 6 check
+    candidates: List[FrozenSet[int]] = []  # awaiting the pairwise filter
+
+    stack: List[Frame] = [(set(), set(ctx.vertices), set(), None)]
+    while stack:
+        M, C, E, expanded = stack.pop()
+        ctx.enter_node()
+
+        if not apply_pruning(ctx, M, C, E, expanded, track_e):
+            continue
+        if cfg.early_termination and should_terminate_early(ctx, M, C, E):
+            continue
+
+        if cfg.retain_candidates:
+            sf = similarity_free_set(ctx, C)
+            if cfg.move_similarity_free and sf:
+                move_similarity_free_into_m(ctx, M, C, E, sf, track_e)
+            if sf:
+                ctx.stats.retained += len(sf)
+            if C == sf:
+                _emit(ctx, M | C, E, search_check, confirmed, candidates)
+                continue
+            pool = C - sf
+        else:
+            if not C:
+                if M:
+                    _emit(ctx, set(M), E, search_check, confirmed, candidates)
+                continue
+            pool = C
+
+        u, _branch = order.choose(ctx, M, C, pool)
+        # Both branches are always explored for enumeration (§7.3); the
+        # expand branch is popped first (LIFO).
+        stack.append((set(M), C - {u}, (E | {u}) if track_e else E, None))
+        stack.append((M | {u}, C - {u}, set(E), u))
+
+    if search_check:
+        return confirmed
+    return filter_maximal(candidates)
+
+
+def _emit(
+    ctx: ComponentContext,
+    core_set: Set[int],
+    E: Set[int],
+    search_check: bool,
+    confirmed: List[FrozenSet[int]],
+    candidates: List[FrozenSet[int]],
+) -> None:
+    """Record a leaf's (k,r)-core(s), maximal-checking per the config."""
+    if not core_set:
+        return
+    pieces = connected_components(ctx.adj, core_set)
+    for piece in pieces:
+        ctx.stats.cores_emitted += 1
+        if search_check:
+            # Extensions may come from the excluded set or, for
+            # multi-component leaves, from a sibling component (bridged
+            # through excluded vertices).
+            pool = E | (core_set - piece)
+            if is_maximal(ctx, piece, pool):
+                confirmed.append(frozenset(piece))
+        else:
+            candidates.append(frozenset(piece))

@@ -1,0 +1,146 @@
+"""Maximal checking by extension search (Section 5.3 / Algorithm 4).
+
+When the enumeration engine emits a candidate core ``R``, Theorem 6 says
+``R`` is maximal iff no non-empty subset ``U`` of the excluded set ``E``
+turns ``R ∪ U`` into a (k,r)-core — vertices outside ``R ∪ E`` either
+were dissimilar to some vertex of ``M`` (so can never join a superset
+core) or were consumed into ``R`` itself.
+
+The paper frames the check as "further exploring the search tree by
+treating E as the candidate set C", so this implementation reuses the
+same machinery as the main search — anchored structure peeling (``R`` is
+the anchor: its vertices keep their degree from ``R`` itself),
+connectivity restriction to ``R``'s component, and Theorem 4 candidate
+retention (never branch on candidates similar to the whole pool).  The
+retention step is what keeps the check polynomial on the common case of
+a large pool of mutually similar excluded vertices: such a pool needs no
+branching at all — after peeling it either *is* a valid extension or is
+empty.
+
+Existence semantics: the search stops at the first strictly larger
+(k,r)-core found (expand-first, highest-degree candidate — the
+short-sighted greedy of Section 7.4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.core.context import ComponentContext
+from repro.core.orders import choose_check_vertex
+from repro.graph.components import component_of, is_connected
+from repro.graph.kcore import anchored_k_core
+
+
+def is_maximal(
+    ctx: ComponentContext,
+    core: Set[int],
+    excluded: Set[int],
+) -> bool:
+    """Theorem 6: ``True`` iff no ``U ⊆ excluded`` extends ``core``.
+
+    Parameters
+    ----------
+    core:
+        The candidate (k,r)-core ``R`` (already satisfies both
+        constraints and is connected).
+    excluded:
+        The node's excluded set ``E`` (plus, for multi-component leaves,
+        the other components' vertices).  Filtered here down to vertices
+        similar to the whole of ``core``.
+    """
+    ctx.stats.maximal_checks += 1
+    index = ctx.index
+
+    # Only vertices similar to every member of R can join a superset core.
+    pool = {
+        v for v in excluded if not (index.dissimilar_to(v) & core)
+    }
+    if not pool:
+        return True
+
+    # Frames: (added, candidates).  `added` is U-so-far; the implicit M of
+    # Algorithm 4 is core | added.
+    stack: List[Tuple[Set[int], Set[int]]] = [(set(), pool)]
+    while stack:
+        added, cands = stack.pop()
+        ctx.enter_check_node()
+
+        state = _prune_check_node(ctx, core, added, cands)
+        if state is None:
+            continue  # dead branch
+        cands = state
+
+        # Retention (Theorem 4): candidates similar to the whole pool are
+        # never branched on.  When every candidate is, added ∪ cands is a
+        # valid extension outright (peeled degrees + pairwise similarity
+        # + connectivity all hold by construction).
+        sf = {u for u in cands if not (index.dissimilar_to(u) & cands)}
+        if cands == sf:
+            if added or cands:
+                return False  # strictly larger (k,r)-core exists
+            continue
+
+        # Opportunistic early exit: `added` alone may already be a valid
+        # extension even while dissimilar candidate pairs remain.
+        if added and _is_valid_extension(ctx, core, added):
+            return False
+
+        u = choose_check_vertex(ctx, core | added, cands - sf)
+        # Shrink branch (explored second — pushed first).
+        stack.append((set(added), cands - {u}))
+        # Expand branch (explored first): adding u evicts candidates
+        # dissimilar to it, keeping the growing set pairwise similar.
+        stack.append((added | {u}, (cands - {u}) - index.dissimilar_to(u)))
+    return True
+
+
+def _prune_check_node(
+    ctx: ComponentContext,
+    core: Set[int],
+    added: Set[int],
+    cands: Set[int],
+) -> Set[int] | None:
+    """Peel + connectivity-restrict a check node.
+
+    Returns the surviving candidate set, or ``None`` when an added vertex
+    lost its degree support or its connection to ``core`` (dead branch).
+    """
+    adj = ctx.adj
+    k = ctx.k
+    while True:
+        survivors = anchored_k_core(adj, k, cands | added, core)
+        if not (added <= survivors):
+            return None
+        cands = survivors - added
+        # Connectivity: an extension must attach to R.  Drop candidates
+        # outside R's component; dropping them lowers degrees, so loop.
+        full = core | added | cands
+        comp = component_of(adj, next(iter(core)), full)
+        if not (added <= comp):
+            return None
+        outside = cands - comp
+        if not outside:
+            return cands
+        cands &= comp
+
+
+def _is_valid_extension(
+    ctx: ComponentContext,
+    core: Set[int],
+    added: Set[int],
+) -> bool:
+    """Whether ``core ∪ added`` is a (k,r)-core.
+
+    Similarity holds by construction (candidates were filtered against
+    ``core`` and against each added vertex), so only the structure
+    constraint of the added vertices and connectivity need checking:
+    vertices of ``core`` keep their degree from ``R`` itself.
+    """
+    adj = ctx.adj
+    k = ctx.k
+    full = core | added
+    for u in added:
+        if len(adj[u] & full) < k:
+            return False
+    return is_connected({u: adj[u] & full for u in full})

@@ -1,0 +1,115 @@
+"""The maximum (k,r)-core engine (Algorithm 5, Section 6).
+
+Branch-and-bound with a size upper bound: a subtree whose bound does not
+exceed the best core seen so far is cut.  Three differences from the
+enumeration engine (Section 6.1): the bound prune, no maximal checking,
+and an *adaptive branch order* — the preferred branch of the chosen
+vertex (per the λΔ1−Δ2 score) is explored first so a large core is found
+early and the bound starts cutting.
+
+The engine processes components largest-max-degree first (the paper
+starts "from the subgraph which holds the vertex with the highest
+degree") and skips any component no larger than the best core found.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.bounds import compute_bound
+from repro.core.context import ComponentContext
+from repro.core.heuristics import greedy_core_in_component
+from repro.core.orders import EXPAND, make_order
+from repro.core.pruning import (
+    apply_pruning,
+    move_similarity_free_into_m,
+    similarity_free_set,
+)
+from repro.core.termination import should_terminate_early
+from repro.graph.components import connected_components
+
+Frame = Tuple[Set[int], Set[int], Set[int], Optional[int]]
+
+
+def find_maximum_in_component(
+    ctx: ComponentContext,
+    best_so_far: Optional[FrozenSet[int]] = None,
+) -> Optional[FrozenSet[int]]:
+    """Largest (k,r)-core in one component, seeded with a global best.
+
+    Returns the best core found (which may be the seed itself) or
+    ``None`` when the component holds no (k,r)-core and no seed was
+    given.
+    """
+    cfg = ctx.config
+    order = make_order(cfg.order, cfg.lam, ctx.rng)
+    track_e = cfg.needs_excluded_set
+    branch_mode = cfg.branch
+
+    best: Optional[FrozenSet[int]] = best_so_far
+    best_size = len(best) if best else 0
+
+    if cfg.warm_start and best_size < len(ctx.vertices):
+        # Greedy dissimilarity peeling yields a valid core cheaply; the
+        # bound pruning starts strong instead of from zero.
+        seed_core = greedy_core_in_component(ctx)
+        if seed_core is not None and len(seed_core) > best_size:
+            best = seed_core
+            best_size = len(seed_core)
+
+    stack: List[Frame] = [(set(), set(ctx.vertices), set(), None)]
+    while stack:
+        M, C, E, expanded = stack.pop()
+        ctx.enter_node()
+
+        # Cheap bound check before any work: the frame may have been
+        # pushed before a better core was found.
+        if len(M) + len(C) <= best_size:
+            ctx.stats.bound_pruned += 1
+            continue
+
+        if not apply_pruning(ctx, M, C, E, expanded, track_e):
+            continue
+        if cfg.early_termination and should_terminate_early(ctx, M, C, E):
+            continue
+
+        if len(M) + len(C) <= best_size:
+            ctx.stats.bound_pruned += 1
+            continue
+        if cfg.bound != "naive":
+            if compute_bound(ctx, M, C) <= best_size:
+                ctx.stats.bound_pruned += 1
+                continue
+
+        sf = similarity_free_set(ctx, C)
+        if cfg.move_similarity_free and sf:
+            move_similarity_free_into_m(ctx, M, C, E, sf, track_e)
+        if sf:
+            ctx.stats.retained += len(sf)
+        if C == sf:
+            # Leaf: M ∪ C is a (k,r)-core (per component when M = ∅).
+            for piece in connected_components(ctx.adj, M | C):
+                ctx.stats.cores_emitted += 1
+                if len(piece) > best_size:
+                    best = frozenset(piece)
+                    best_size = len(piece)
+            continue
+
+        u, preferred = order.choose(ctx, M, C, C - sf)
+        if branch_mode == "expand":
+            preferred = EXPAND
+        elif branch_mode == "shrink":
+            preferred = "shrink"
+
+        expand_frame: Frame = (M | {u}, C - {u}, set(E), u)
+        shrink_frame: Frame = (
+            set(M), C - {u}, (E | {u}) if track_e else E, None,
+        )
+        # LIFO: push the non-preferred branch first.
+        if preferred == EXPAND:
+            stack.append(shrink_frame)
+            stack.append(expand_frame)
+        else:
+            stack.append(expand_frame)
+            stack.append(shrink_frame)
+    return best

@@ -1,0 +1,268 @@
+"""Search orders (Section 7).
+
+Two decisions are made at every branching node: *which vertex* to branch
+on, and — for the maximum solver — *which branch first*.  The paper's
+measurements:
+
+* ``Δ1`` — the fraction of dissimilar pairs of ``C`` a decision removes
+  (progress towards the similarity constraint);
+* ``Δ2`` — the fraction of edges of ``M ∪ C`` it removes (damage to the
+  structure constraint / eventual core size);
+* degree — plain ``deg(u, M ∪ C)``.
+
+Strategies (one class per named order in Figure 11):
+
+* ``random`` / ``degree`` — baselines;
+* ``delta1`` / ``delta2`` — single-measure greedy;
+* ``delta1-then-delta2`` — lexicographic, the best order for enumeration
+  (Section 7.3): both branches are explored anyway, so vertex scores sum
+  the two branches;
+* ``weighted-delta`` — ``λΔ1 − Δ2`` per branch, the best order for the
+  maximum solver (Section 7.2): the vertex with the highest best-branch
+  score wins and its better branch is explored first.
+
+Δ values are approximated from the decision's immediate neighbourhood
+(the removed vertices and their incident edges/dissimilar pairs), the
+"within two hops" approximation of Section 7.2 — exact simulation of the
+recursive prune would cost a full child evaluation per candidate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.context import ComponentContext
+from repro.exceptions import InvalidParameterError
+
+EXPAND = "expand"
+SHRINK = "shrink"
+
+
+class NodeMeasures:
+    """Shared per-node quantities the Δ scores are computed from.
+
+    ``dp_of[v]`` (dissimilar candidates of ``v`` within ``C``) and
+    ``deg_of[v]`` (degree of ``v`` within ``M ∪ C``) are materialised
+    once per node; per-candidate scores are then sum-of-lookups over the
+    eviction set — the "within two hops" approximation of Section 7.2
+    (within-eviction-set pairs are counted from both endpoints, a
+    consistent overcount that does not change the ranking behaviour).
+    """
+
+    __slots__ = ("mc", "dp_of", "deg_of", "dp_c", "edges_mc")
+
+    def __init__(self, ctx: ComponentContext, M: Set[int], C: Set[int]):
+        self.mc = M | C
+        index = ctx.index
+        adj = ctx.adj
+        self.dp_of = {v: len(index.dissimilar_to(v) & C) for v in C}
+        self.deg_of = {v: len(adj[v] & self.mc) for v in self.mc}
+        self.dp_c = sum(self.dp_of.values()) // 2
+        self.edges_mc = sum(self.deg_of.values()) // 2
+
+
+def _deltas(
+    ctx: ComponentContext,
+    C: Set[int],
+    meas: NodeMeasures,
+    u: int,
+) -> Tuple[float, float, float, float]:
+    """(Δ1_expand, Δ2_expand, Δ1_shrink, Δ2_shrink) for vertex ``u``.
+
+    Expanding ``u`` evicts ``D = dissim(u) ∩ C``: the dissimilar pairs
+    and edges those evictions take with them are summed from the cached
+    per-vertex counts.  Shrinking evicts ``u`` alone.
+    """
+    dp = meas.dp_c
+    em = meas.edges_mc
+    D = ctx.index.dissimilar_to(u) & C
+    ep = 0
+    ee = 0
+    for v in D:
+        ep += meas.dp_of[v]
+        ee += meas.deg_of[v]
+    sp = meas.dp_of[u]
+    se = meas.deg_of[u]
+    d1e = ep / dp if dp else 0.0
+    d1s = sp / dp if dp else 0.0
+    d2e = ee / em if em else 0.0
+    d2s = se / em if em else 0.0
+    return d1e, d2e, d1s, d2s
+
+
+class VertexOrder:
+    """Strategy interface: pick the branching vertex (and branch order)."""
+
+    #: whether this strategy computes Δ measures (engines can skip the
+    #: per-node normalisation quantities otherwise).
+    uses_deltas = False
+
+    def choose(
+        self,
+        ctx: ComponentContext,
+        M: Set[int],
+        C: Set[int],
+        pool: Set[int],
+    ) -> Tuple[int, str]:
+        """Return ``(vertex, preferred_branch)`` for this node.
+
+        ``pool`` is the eligible candidate set (``C \\ SF(C)`` when
+        retention is on).  The preferred branch only matters for the
+        maximum solver with ``branch="adaptive"``.
+        """
+        raise NotImplementedError
+
+
+class RandomOrder(VertexOrder):
+    """Uniform random vertex; expand preferred (ablation baseline)."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+
+    def choose(self, ctx, M, C, pool):
+        u = self._rng.choice(sorted(pool))
+        return u, EXPAND
+
+
+class DegreeOrder(VertexOrder):
+    """Highest degree in ``M ∪ C`` first (Section 7.4's measure)."""
+
+    def choose(self, ctx, M, C, pool):
+        mc = M | C
+        u = max(pool, key=lambda v: (len(ctx.adj[v] & mc), -v))
+        return u, EXPAND
+
+
+class Delta1Order(VertexOrder):
+    """Largest summed Δ1 (both branches) first — similarity progress only."""
+
+    uses_deltas = True
+
+    def choose(self, ctx, M, C, pool):
+        meas = NodeMeasures(ctx, M, C)
+        best_u, best_key = None, None
+        for v in sorted(pool):
+            d1e, _, d1s, _ = _deltas(ctx, C, meas, v)
+            key = d1e + d1s
+            if best_key is None or key > best_key:
+                best_u, best_key = v, key
+        return best_u, EXPAND
+
+
+class Delta2Order(VertexOrder):
+    """Smallest summed Δ2 first — preserve edges at all costs."""
+
+    uses_deltas = True
+
+    def choose(self, ctx, M, C, pool):
+        meas = NodeMeasures(ctx, M, C)
+        best_u, best_key = None, None
+        for v in sorted(pool):
+            _, d2e, _, d2s = _deltas(ctx, C, meas, v)
+            key = -(d2e + d2s)
+            if best_key is None or key > best_key:
+                best_u, best_key = v, key
+        return best_u, EXPAND
+
+
+class Delta1ThenDelta2Order(VertexOrder):
+    """Lexicographic (max ΣΔ1, then min ΣΔ2) — best for enumeration (§7.3)."""
+
+    uses_deltas = True
+
+    def choose(self, ctx, M, C, pool):
+        meas = NodeMeasures(ctx, M, C)
+        best_u, best_key = None, None
+        for v in sorted(pool):
+            d1e, d2e, d1s, d2s = _deltas(ctx, C, meas, v)
+            key = (d1e + d1s, -(d2e + d2s))
+            if best_key is None or key > best_key:
+                best_u, best_key = v, key
+        return best_u, EXPAND
+
+
+class WeightedDeltaOrder(VertexOrder):
+    """λΔ1 − Δ2 per branch — best for the maximum solver (§7.2).
+
+    Every candidate gets two scores (one per branch); the candidate whose
+    better branch scores highest is chosen and that branch is explored
+    first.
+    """
+
+    uses_deltas = True
+
+    def __init__(self, lam: float):
+        if lam < 0:
+            raise InvalidParameterError(f"lambda must be >= 0, got {lam}")
+        self._lam = lam
+
+    def choose(self, ctx, M, C, pool):
+        meas = NodeMeasures(ctx, M, C)
+        lam = self._lam
+        best_u, best_key, best_branch = None, None, EXPAND
+        for v in sorted(pool):
+            d1e, d2e, d1s, d2s = _deltas(ctx, C, meas, v)
+            se = lam * d1e - d2e
+            ss = lam * d1s - d2s
+            key = max(se, ss)
+            if best_key is None or key > best_key:
+                best_u, best_key = v, key
+                best_branch = EXPAND if se >= ss else SHRINK
+        return best_u, best_branch
+
+
+def make_order(
+    name: str, lam: float, rng: random.Random
+) -> VertexOrder:
+    """Instantiate a named order strategy (Figure 11 spellings)."""
+    if name == "random":
+        return RandomOrder(rng)
+    if name == "degree":
+        return DegreeOrder()
+    if name == "delta1":
+        return Delta1Order()
+    if name == "delta2":
+        return Delta2Order()
+    if name == "delta1-then-delta2":
+        return Delta1ThenDelta2Order()
+    if name == "weighted-delta":
+        return WeightedDeltaOrder(lam)
+    raise InvalidParameterError(f"unknown order {name!r}")
+
+
+def choose_check_vertex(
+    ctx: ComponentContext, base: Set[int], cands: Set[int]
+) -> int:
+    """Vertex choice inside the maximal check (Algorithm 4, §7.4).
+
+    The configured ``check_order`` applies; the default — and per
+    Figure 11(f) the fastest — is plain highest degree w.r.t. the growing
+    core plus the remaining candidates.
+    """
+    name = ctx.config.check_order
+    full = base | cands
+    if name == "degree":
+        return max(cands, key=lambda v: (len(ctx.adj[v] & full), -v))
+    if name == "random":
+        return ctx.rng.choice(sorted(cands))
+    # Δ-based orders inside the check score against the candidate pool.
+    index = ctx.index
+    if name in ("delta1", "delta1-then-delta2"):
+        return max(
+            cands,
+            key=lambda v: (len(index.dissimilar_to(v) & cands), -v),
+        )
+    if name == "delta2":
+        return min(cands, key=lambda v: (len(ctx.adj[v] & full), v))
+    if name == "weighted-delta":
+        lam = ctx.config.lam
+        return max(
+            cands,
+            key=lambda v: (
+                lam * len(index.dissimilar_to(v) & cands)
+                - len(ctx.adj[v] & full),
+                -v,
+            ),
+        )
+    raise InvalidParameterError(f"unknown check order {name!r}")

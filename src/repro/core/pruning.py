@@ -1,0 +1,149 @@
+"""Candidate pruning (Section 5.1) and the search-state invariants.
+
+:func:`apply_pruning` restores, after a branch decision, the two
+invariants every search node maintains (Section 5.1.1):
+
+* **similarity invariant** (Eq. 1) — every vertex of ``M`` is similar to
+  all of ``M ∪ C``;
+* **degree invariant** (Eq. 2) — every vertex of ``M ∪ C`` has at least
+  ``k`` neighbours inside ``M ∪ C``.
+
+plus the connectivity restriction (the "M disconnected from C" trivial
+termination of Section 5.2, implemented as: keep only the connected
+component of ``M ∪ C`` containing ``M``; abandon the branch when ``M``
+itself spans two components, since a (k,r)-core is connected and must
+contain all of ``M``).
+
+:func:`similarity_free_set` is the ``SF(C)`` operator of Section 5.1.2
+(Theorem 4) and :func:`move_similarity_free_into_m` is Remark 1.
+
+All functions mutate the passed ``M``/``C``/``E`` sets in place: each
+branch owns fresh copies (the engines copy when pushing frames).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.context import ComponentContext
+from repro.graph.components import component_containing_all
+from repro.graph.kcore import k_core_vertices
+
+
+def apply_pruning(
+    ctx: ComponentContext,
+    M: Set[int],
+    C: Set[int],
+    E: Set[int],
+    expanded: Optional[int] = None,
+    track_excluded: bool = True,
+) -> bool:
+    """Restore the node invariants; return ``False`` when the branch dies.
+
+    Parameters
+    ----------
+    expanded:
+        The vertex that was just moved into ``M`` (expand branch), or
+        ``None`` for a shrink/root node.  The caller must already have
+        updated ``M``/``C`` for the decision itself (and, for a shrink,
+        moved the discarded vertex into ``E`` when tracking it).
+    track_excluded:
+        When ``False`` (plain BasicEnum), ``E`` is not maintained at all
+        — Theorems 5/6 are off, so nothing consumes it.
+
+    Dead-branch conditions (paper's trivial early terminations): a vertex
+    of ``M`` fails the degree invariant, or ``M`` spans two components of
+    ``M ∪ C``.
+    """
+    index = ctx.index
+    stats = ctx.stats
+
+    if expanded is not None:
+        # Similarity-based pruning (Theorem 3): discard candidates
+        # dissimilar to the newly chosen vertex.  They are dissimilar to
+        # the new M, so they do NOT enter E (E keeps only vertices similar
+        # to all of M); for the same reason E must be purged.
+        dissim_u = index.dissimilar_to(expanded)
+        drop = dissim_u & C
+        if drop:
+            C -= drop
+            stats.similarity_pruned += len(drop)
+        if track_excluded and E:
+            E -= dissim_u
+
+    # Structure-based pruning (Theorem 2): peel M ∪ C down to its k-core.
+    mc = M | C
+    survivors = k_core_vertices(ctx.adj, ctx.k, mc)
+    removed = mc - survivors
+    if removed:
+        stats.structure_pruned += len(removed)
+        if removed & M:
+            stats.dead_branches += 1
+            return False
+        C -= removed
+        if track_excluded:
+            # Every candidate is similar to all of M (similarity
+            # invariant), so structurally removed candidates join E.
+            E |= removed
+
+    # Connectivity restriction: a core derived from this subtree contains
+    # all of M and is connected, hence lives inside M's component.
+    if M:
+        comp = component_containing_all(ctx.adj, M, survivors)
+        if comp is None:
+            stats.dead_branches += 1
+            return False
+        out = survivors - comp
+        if out:
+            C -= out
+            if track_excluded:
+                E |= out
+            stats.connectivity_pruned += len(out)
+    return True
+
+
+def similarity_free_set(ctx: ComponentContext, C: Set[int]) -> Set[int]:
+    """``SF(C)``: candidates similar to every other candidate (Thm 4).
+
+    Vertices of ``SF(C)`` are never branched on — their shrink branch
+    can only produce a subset of what their expand branch produces.  When
+    ``SF(C) == C`` the whole ``M ∪ C`` is a (k,r)-core and the node is a
+    leaf.
+    """
+    index = ctx.index
+    return {u for u in C if not (index.dissimilar_to(u) & C)}
+
+
+def move_similarity_free_into_m(
+    ctx: ComponentContext,
+    M: Set[int],
+    C: Set[int],
+    E: Set[int],
+    sf: Set[int],
+    track_excluded: bool,
+) -> None:
+    """Remark 1: SF vertices with ``k`` neighbours in ``M`` join ``M``.
+
+    Such a vertex extends *every* core derivable from the subtree, so any
+    core avoiding it is non-maximal; committing it early shrinks the
+    branching pool.  Mutates all passed sets (``sf`` loses the movers).
+    Iterates to a fixpoint because each move raises ``deg(·, M)`` for the
+    remaining SF vertices.
+    """
+    if not M:
+        return
+    k = ctx.k
+    adj = ctx.adj
+    index = ctx.index
+    moved_any = True
+    while moved_any:
+        moved_any = False
+        for u in list(sf):
+            if len(adj[u] & M) >= k:
+                sf.discard(u)
+                C.discard(u)
+                M.add(u)
+                if track_excluded and E:
+                    E -= index.dissimilar_to(u)
+                ctx.stats.moved_similarity_free += 1
+                moved_any = True

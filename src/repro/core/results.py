@@ -1,0 +1,110 @@
+"""Result types: the (k,r)-core itself and collection helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.components import is_connected
+from repro.similarity.threshold import SimilarityPredicate
+
+
+@dataclass(frozen=True)
+class KRCore:
+    """A (k,r)-core: a connected subgraph satisfying both constraints.
+
+    Instances are produced by the solvers; :meth:`verify` recomputes the
+    definition from scratch against the original graph, which the test
+    suite uses to validate every algorithm's output.
+    """
+
+    vertices: FrozenSet[int]
+    k: int
+    r: float
+
+    @property
+    def size(self) -> int:
+        """Number of vertices (the quantity the maximum problem maximises)."""
+        return len(self.vertices)
+
+    def __contains__(self, u: int) -> bool:
+        return u in self.vertices
+
+    def __iter__(self):
+        return iter(self.vertices)
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def contains_core(self, other: "KRCore") -> bool:
+        """Whether ``other``'s vertex set is a subset of this core's."""
+        return other.vertices <= self.vertices
+
+    def verify(
+        self,
+        graph: AttributedGraph,
+        predicate: SimilarityPredicate,
+    ) -> bool:
+        """Recheck Definition 3 from scratch.
+
+        Returns ``True`` iff the vertex set is non-empty, connected in
+        ``graph``, every vertex has at least ``k`` neighbours inside the
+        set, and every pair of vertices is similar under ``predicate``.
+        """
+        vs = self.vertices
+        if not vs:
+            return False
+        adj = {u: graph.neighbors(u) & vs for u in vs}
+        if any(len(nbrs) < self.k for nbrs in adj.values()):
+            return False
+        if not is_connected(adj):
+            return False
+        ordered = sorted(vs)
+        for i, u in enumerate(ordered):
+            au = graph.attribute(u)
+            for v in ordered[i + 1:]:
+                if not predicate.similar(au, graph.attribute(v)):
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"KRCore(size={len(self.vertices)}, k={self.k}, r={self.r})"
+
+
+def filter_maximal(cores: Iterable[FrozenSet[int]]) -> List[FrozenSet[int]]:
+    """Drop vertex sets strictly contained in another (the naive maximal
+    check of Algorithm 1, lines 6–8).
+
+    Deduplicates first, then compares each set only against strictly
+    larger ones (grouped by size) — still quadratic in the worst case,
+    which is exactly why the paper replaces it with the search-based check
+    of Theorem 6.
+    """
+    unique = sorted(set(cores), key=len, reverse=True)
+    kept: List[FrozenSet[int]] = []
+    for cand in unique:
+        if any(cand < big for big in kept if len(big) > len(cand)):
+            continue
+        kept.append(cand)
+    return kept
+
+
+def summarize_cores(cores: Sequence[KRCore]) -> dict:
+    """Count / max size / average size, as reported in Figure 7."""
+    if not cores:
+        return {"count": 0, "max_size": 0, "avg_size": 0.0}
+    sizes = [c.size for c in cores]
+    return {
+        "count": len(sizes),
+        "max_size": max(sizes),
+        "avg_size": sum(sizes) / len(sizes),
+    }
+
+
+def largest_core(cores: Sequence[KRCore]) -> Optional[KRCore]:
+    """The largest core of a collection (ties broken deterministically)."""
+    if not cores:
+        return None
+    return max(cores, key=lambda c: (c.size, sorted(c.vertices)))

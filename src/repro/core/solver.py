@@ -1,0 +1,153 @@
+"""Solver orchestration: preprocessing and per-component dispatch.
+
+Algorithm 1's shared front end (lines 1–4): delete dissimilar edges,
+compute the k-core, split into connected components, build a
+dissimilarity index per component, then hand each component to the
+requested engine.  Budget policy (`on_budget`) is applied here so the
+engines stay exception-transparent.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, FrozenSet, List, Optional, Tuple
+
+from repro.core.clique_based import clique_based_component
+from repro.core.config import SearchConfig
+from repro.core.context import Budget, ComponentContext
+from repro.core.enumerate import enumerate_component
+from repro.core.maximum import find_maximum_in_component
+from repro.core.naive import naive_enumerate_component
+from repro.core.results import KRCore
+from repro.core.stats import SearchStats
+from repro.exceptions import InvalidParameterError, SearchBudgetExceeded
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.components import connected_components
+from repro.graph.kcore import k_core_vertices
+from repro.similarity.index import build_index, remove_dissimilar_edges
+from repro.similarity.threshold import SimilarityPredicate
+
+ComponentFn = Callable[[ComponentContext], List[FrozenSet[int]]]
+
+_ENUM_ENGINES = {
+    "engine": enumerate_component,
+    "naive": naive_enumerate_component,
+    "clique": clique_based_component,
+}
+
+
+def prepare_components(
+    graph: AttributedGraph,
+    k: int,
+    predicate: SimilarityPredicate,
+    config: SearchConfig,
+    stats: SearchStats,
+    budget: Budget,
+) -> List[ComponentContext]:
+    """Shared preprocessing; one context per connected k-core component.
+
+    Components are returned largest-max-degree first (the seeding rule of
+    Section 6.1; harmless for enumeration).
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be a positive integer, got {k}")
+    filtered = remove_dissimilar_edges(graph, predicate)
+    survivors = k_core_vertices(filtered, k)
+    contexts: List[ComponentContext] = []
+    for comp in connected_components(filtered, survivors):
+        adj = {u: filtered.neighbors(u) & comp for u in comp}
+        index = build_index(graph, predicate, comp)
+        contexts.append(
+            ComponentContext(
+                vertices=frozenset(comp),
+                adj=adj,
+                index=index,
+                k=k,
+                config=config,
+                stats=stats,
+                budget=budget,
+                rng=random.Random(config.seed),
+            )
+        )
+    contexts.sort(
+        key=lambda ctx: max(len(ctx.adj[u]) for u in ctx.vertices),
+        reverse=True,
+    )
+    stats.components = len(contexts)
+    return contexts
+
+
+def run_enumeration(
+    graph: AttributedGraph,
+    k: int,
+    predicate: SimilarityPredicate,
+    config: SearchConfig,
+    engine: str = "engine",
+) -> Tuple[List[KRCore], SearchStats]:
+    """Enumerate all maximal (k,r)-cores of ``graph``.
+
+    ``engine`` selects the implementation: ``"engine"`` (the configurable
+    branch-and-bound), ``"naive"`` (Algorithms 1+2), or ``"clique"``
+    (the Clique+ baseline).
+    """
+    try:
+        component_fn = _ENUM_ENGINES[engine]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown engine {engine!r}; choose from {sorted(_ENUM_ENGINES)}"
+        ) from None
+    stats = SearchStats()
+    budget = Budget(config.time_limit, config.node_limit)
+    start = time.monotonic()
+    cores: List[KRCore] = []
+    try:
+        contexts = prepare_components(graph, k, predicate, config, stats, budget)
+        for ctx in contexts:
+            for vs in component_fn(ctx):
+                cores.append(KRCore(vs, k, predicate.r))
+    except SearchBudgetExceeded:
+        stats.timed_out = True
+        if config.on_budget == "raise":
+            stats.elapsed = time.monotonic() - start
+            raise SearchBudgetExceeded(
+                "enumeration budget exceeded", partial=(cores, stats)
+            ) from None
+    stats.elapsed = time.monotonic() - start
+    return cores, stats
+
+
+def run_maximum(
+    graph: AttributedGraph,
+    k: int,
+    predicate: SimilarityPredicate,
+    config: SearchConfig,
+) -> Tuple[Optional[KRCore], SearchStats]:
+    """Find the maximum (k,r)-core of ``graph`` (``None`` when none exists).
+
+    Components are visited in decreasing max-degree order; any component
+    no larger than the best core found so far is skipped wholesale (its
+    ``|M|+|C|`` bound could never win).
+    """
+    stats = SearchStats()
+    budget = Budget(config.time_limit, config.node_limit)
+    start = time.monotonic()
+    best: Optional[FrozenSet[int]] = None
+    try:
+        contexts = prepare_components(graph, k, predicate, config, stats, budget)
+        for ctx in contexts:
+            if best is not None and len(ctx.vertices) <= len(best):
+                continue
+            best = find_maximum_in_component(ctx, best)
+    except SearchBudgetExceeded:
+        stats.timed_out = True
+        if config.on_budget == "raise":
+            stats.elapsed = time.monotonic() - start
+            partial = KRCore(best, k, predicate.r) if best else None
+            raise SearchBudgetExceeded(
+                "maximum search budget exceeded", partial=(partial, stats)
+            ) from None
+    stats.elapsed = time.monotonic() - start
+    if best is None:
+        return None, stats
+    return KRCore(best, k, predicate.r), stats

@@ -1,0 +1,68 @@
+"""Search statistics collected by every solver run.
+
+The ablation figures (9, 12, 13, 14) compare how much work each technique
+saves; wall-clock time is noisy in Python, so the harness also reports
+these deterministic counters (search-tree nodes, prunes by rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SearchStats:
+    """Counters for one solver invocation (all components together)."""
+
+    nodes: int = 0                 # search-tree nodes entered
+    check_nodes: int = 0           # nodes inside maximal-check sub-searches
+    similarity_pruned: int = 0     # vertices dropped by Theorem 3
+    structure_pruned: int = 0      # vertices dropped by Theorem 2 peeling
+    connectivity_pruned: int = 0   # vertices dropped by the M-component rule
+    retained: int = 0              # SF(C) vertices never branched on (Thm 4)
+    moved_similarity_free: int = 0 # Remark 1 direct moves C -> M
+    early_term_i: int = 0          # subtrees cut by Theorem 5 (i)
+    early_term_ii: int = 0         # subtrees cut by Theorem 5 (ii)
+    bound_pruned: int = 0          # subtrees cut by the size upper bound
+    bound_calls: int = 0           # tight-bound evaluations (Alg 6 / colour)
+    dead_branches: int = 0         # branches killed (M vertex lost / M split)
+    cores_emitted: int = 0         # candidate cores reaching the emit step
+    maximal_checks: int = 0        # Theorem 6 checks run
+    components: int = 0            # k-core components searched
+    elapsed: float = 0.0           # wall-clock seconds
+    timed_out: bool = False        # a budget cap was hit (results partial)
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another run's counters into this one."""
+        for name in (
+            "nodes", "check_nodes", "similarity_pruned", "structure_pruned",
+            "connectivity_pruned", "retained", "moved_similarity_free",
+            "early_term_i", "early_term_ii", "bound_pruned", "bound_calls",
+            "dead_branches", "cores_emitted", "maximal_checks", "components",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.elapsed += other.elapsed
+        self.timed_out = self.timed_out or other.timed_out
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict view for JSON reporting."""
+        return {
+            "nodes": self.nodes,
+            "check_nodes": self.check_nodes,
+            "similarity_pruned": self.similarity_pruned,
+            "structure_pruned": self.structure_pruned,
+            "connectivity_pruned": self.connectivity_pruned,
+            "retained": self.retained,
+            "moved_similarity_free": self.moved_similarity_free,
+            "early_term_i": self.early_term_i,
+            "early_term_ii": self.early_term_ii,
+            "bound_pruned": self.bound_pruned,
+            "bound_calls": self.bound_calls,
+            "dead_branches": self.dead_branches,
+            "cores_emitted": self.cores_emitted,
+            "maximal_checks": self.maximal_checks,
+            "components": self.components,
+            "elapsed": self.elapsed,
+            "timed_out": self.timed_out,
+        }

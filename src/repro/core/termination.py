@@ -1,0 +1,74 @@
+"""Early termination (Section 5.2, Theorem 5).
+
+A node can be abandoned when every (k,r)-core derivable from it is
+provably non-maximal — some excluded vertex (or excluded vertex set)
+could always be glued back on.  Two conditions:
+
+* **(i)** an excluded vertex ``u`` similar to all of ``C`` (it is similar
+  to all of ``M`` by membership in ``E``) with at least ``k`` neighbours
+  in ``M``: every derived core ``R ⊇ M`` absorbs ``u``.
+
+* **(ii)** a set ``U`` of excluded vertices, each similar to all of
+  ``C ∪ E`` and with at least ``k`` neighbours in ``M ∪ U``: every derived
+  core absorbs the whole of ``U``.  The maximal such ``U`` is found by
+  anchored k-core peeling with ``M`` as anchors.
+
+Implementation note — connectivity guard.  The paper's proof shows the
+extension satisfies both constraints; a (k,r)-core must additionally be
+*connected*.  For (i), ``deg(u, M) >= k >= 1`` already ties ``u`` to
+``R ⊇ M``.  For (ii) we additionally drop the parts of ``U`` whose
+component of ``M ∪ U`` contains no vertex of ``M`` (an island of excluded
+vertices would not make ``R ∪ U`` connected) and re-peel until stable.
+This keeps the termination sound on disconnected exclusion sets.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.core.context import ComponentContext
+from repro.graph.components import connected_components
+from repro.graph.kcore import anchored_k_core
+
+
+def should_terminate_early(
+    ctx: ComponentContext,
+    M: Set[int],
+    C: Set[int],
+    E: Set[int],
+) -> bool:
+    """Theorem 5: ``True`` when no maximal (k,r)-core lives in this subtree."""
+    if not M or not E:
+        # With M empty there is no anchor to glue extensions onto (and no
+        # derived core is forced to contain anything), so neither
+        # condition can certify non-maximality.
+        return False
+    index = ctx.index
+    adj = ctx.adj
+    k = ctx.k
+
+    # Condition (i): one scan of E.
+    for u in E:
+        if index.dissimilar_to(u) & C:
+            continue
+        if len(adj[u] & M) >= k:
+            ctx.stats.early_term_i += 1
+            return True
+
+    # Condition (ii): E vertices similar to everything in C ∪ E.
+    ce = C | E
+    sf_ce = {u for u in E if not (index.dissimilar_to(u) & ce)}
+    if not sf_ce:
+        return False
+    U = anchored_k_core(adj, k, sf_ce, M)
+    while U:
+        mu = M | U
+        islands: Set[int] = set()
+        for comp in connected_components(ctx.adj, mu):
+            if not (comp & M):
+                islands |= comp & U
+        if not islands:
+            ctx.stats.early_term_ii += 1
+            return True
+        U = anchored_k_core(adj, k, U - islands, M)
+    return False

@@ -1,0 +1,180 @@
+"""Geo-social network generator (Gowalla / Brightkite analog).
+
+Users cluster around a handful of city hubs (the paper's Gowalla case
+study finds the maximum (k,r)-core at Austin, Gowalla's home town —
+location-based social networks are extremely hub-concentrated).
+Friendship forms mostly within a hub by preferential attachment, with a
+thin layer of long-range cross-hub ties.  Vertex attributes are planar
+``(x, y)`` coordinates in kilometres, so the Euclidean-distance predicate
+applies directly ("r = 10 km" etc.).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Tuple
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.datasets.synthetic import partition_sizes, preferential_attachment_edges
+
+
+def geosocial_network(
+    n: int,
+    n_hubs: int = 6,
+    edges_per_user: int = 3,
+    hub_spread_km: float = 15.0,
+    region_km: float = 1000.0,
+    cross_hub_fraction: float = 0.05,
+    hub_size_skew: float = 1.3,
+    neighborhood_fraction: float = 0.5,
+    neighborhood_size: int = 16,
+    neighborhood_degree: int = 8,
+    neighborhood_spread_km: float = 3.0,
+    seed: int = 0,
+) -> AttributedGraph:
+    """Generate a hub-clustered geo-social network.
+
+    Two levels of structure, mirroring what makes real LBSN data
+    interesting for (k,r)-cores:
+
+    * **hubs** — cities; users scatter Gaussianly around a hub centre and
+      befriend within the hub by preferential attachment (heavy-tailed
+      degrees, weak structural cores);
+    * **neighborhoods** — tight local friend circles inside a hub:
+      geographically compact (``neighborhood_spread_km``) and densely
+      wired (min degree ``>= neighborhood_degree`` via a ring lattice
+      plus random chords).  These are the dense, co-located groups the
+      similarity constraint carves out of a city's k-core (the paper's
+      Austin clusters, Figure 6).
+
+    Parameters
+    ----------
+    n:
+        Number of users.
+    n_hubs:
+        Number of city hubs; hub populations follow a Zipf-ish skew
+        (``hub_size_skew``), so the first hub is the "Austin" of the
+        graph.
+    edges_per_user:
+        Preferential-attachment edges per arriving user in the hub
+        backbone; backbone average degree is roughly twice this.
+    hub_spread_km / region_km:
+        Gaussian scatter of users around their hub centre, and the side
+        of the square the hub centres are placed in.
+    cross_hub_fraction:
+        Extra random inter-hub edges, as a fraction of the intra-hub edge
+        count — the weak long-range ties that merge hubs into one k-core
+        at the structural level.
+    neighborhood_fraction:
+        Fraction of each hub's users organised into neighborhoods.
+    neighborhood_size / neighborhood_degree / neighborhood_spread_km:
+        Size, minimum internal degree and geographic tightness of each
+        neighborhood.
+    """
+    if n_hubs < 1:
+        raise InvalidParameterError(f"n_hubs must be >= 1, got {n_hubs}")
+    if n < n_hubs:
+        raise InvalidParameterError(
+            f"need at least one user per hub ({n} users, {n_hubs} hubs)"
+        )
+    if neighborhood_degree >= neighborhood_size:
+        raise InvalidParameterError(
+            "neighborhood_degree must be below neighborhood_size"
+        )
+    rng = random.Random(seed)
+    sizes = partition_sizes(n, n_hubs, rng, skew=hub_size_skew)
+
+    # Spread hub centres on a jittered grid so none collide.
+    grid = max(1, math.ceil(math.sqrt(n_hubs)))
+    cell = region_km / grid
+    centres: List[Tuple[float, float]] = []
+    cells = [(i, j) for i in range(grid) for j in range(grid)]
+    rng.shuffle(cells)
+    for i, j in cells[:n_hubs]:
+        centres.append((
+            (i + rng.uniform(0.3, 0.7)) * cell,
+            (j + rng.uniform(0.3, 0.7)) * cell,
+        ))
+
+    g = AttributedGraph(n)
+    offset = 0
+    hub_members: List[List[int]] = []
+    intra_edges = 0
+    for hub, size in enumerate(sizes):
+        cx, cy = centres[hub]
+        members = list(range(offset, offset + size))
+        hub_members.append(members)
+        for u in members:
+            g.set_attribute(
+                u,
+                (rng.gauss(cx, hub_spread_km), rng.gauss(cy, hub_spread_km)),
+            )
+        for u, v in preferential_attachment_edges(
+            size, edges_per_user, rng, offset
+        ):
+            if g.add_edge(u, v):
+                intra_edges += 1
+
+        # Carve neighborhoods out of this hub: relocate members near a
+        # shared point and densify their friendships.
+        in_groups = int(size * neighborhood_fraction)
+        pool = members[:]
+        rng.shuffle(pool)
+        cursor = 0
+        while cursor + neighborhood_degree + 1 <= in_groups:
+            gsize = min(
+                neighborhood_size + rng.randint(-3, 3),
+                in_groups - cursor,
+            )
+            gsize = max(gsize, neighborhood_degree + 1)
+            group = pool[cursor:cursor + gsize]
+            cursor += gsize
+            gx = rng.gauss(cx, hub_spread_km)
+            gy = rng.gauss(cy, hub_spread_km)
+            for u in group:
+                g.set_attribute(
+                    u,
+                    (rng.gauss(gx, neighborhood_spread_km),
+                     rng.gauss(gy, neighborhood_spread_km)),
+                )
+            intra_edges += _densify(g, group, neighborhood_degree, rng)
+        offset += size
+
+    # Long-range ties between hubs.
+    n_cross = int(intra_edges * cross_hub_fraction)
+    attempts = 0
+    added = 0
+    while added < n_cross and attempts < 20 * max(1, n_cross):
+        attempts += 1
+        h1, h2 = rng.sample(range(n_hubs), 2) if n_hubs > 1 else (0, 0)
+        if h1 == h2:
+            continue
+        u = rng.choice(hub_members[h1])
+        v = rng.choice(hub_members[h2])
+        if g.add_edge(u, v):
+            added += 1
+    return g
+
+
+def _densify(
+    g: AttributedGraph, group: List[int], min_degree: int, rng: random.Random
+) -> int:
+    """Wire ``group`` into a connected subgraph of min degree >= ``min_degree``.
+
+    Ring lattice (each member to ``ceil(min_degree / 2)`` neighbours per
+    side) plus a few random chords; returns the number of edges added.
+    """
+    s = len(group)
+    half = math.ceil(min_degree / 2)
+    added = 0
+    for i in range(s):
+        for d in range(1, half + 1):
+            if g.add_edge(group[i], group[(i + d) % s]):
+                added += 1
+    for _ in range(s):
+        u, v = rng.sample(group, 2)
+        if g.add_edge(u, v):
+            added += 1
+    return added

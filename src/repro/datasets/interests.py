@@ -1,0 +1,181 @@
+"""Interest-based friendship network generator (Pokec analog).
+
+Pokec profiles carry free-text interest lists; the paper scores them with
+weighted Jaccard.  The analog assigns users to interest groups; each
+group owns a pool of interests and members sample a weighted interest
+profile mostly from their group's pool plus a sprinkle of globally
+popular interests (music, movies, ...) that create background similarity
+between groups — exactly the noise that makes the similarity constraint
+non-trivial.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.datasets.synthetic import partition_sizes, preferential_attachment_edges
+
+
+def interest_network(
+    n: int,
+    n_groups: int = 10,
+    interests_per_group: int = 15,
+    n_global_interests: int = 10,
+    interests_per_user: int = 6,
+    global_mix: float = 0.25,
+    edges_per_user: int = 5,
+    cross_group_fraction: float = 0.08,
+    group_size_skew: float = 1.2,
+    circle_fraction: float = 0.45,
+    circle_size: int = 15,
+    circle_degree: int = 7,
+    seed: int = 0,
+) -> AttributedGraph:
+    """Generate an interest-clustered friendship network.
+
+    Parameters
+    ----------
+    n:
+        Number of users.
+    n_groups / interests_per_group:
+        Interest communities and their private interest vocabularies.
+    n_global_interests / global_mix:
+        A shared pool of universally popular interests; each user draws
+        roughly ``global_mix`` of their profile from it, blurring the
+        community boundaries.
+    interests_per_user:
+        Profile size; weights are geometric (a user's top interest
+        dominates their profile).
+    edges_per_user / cross_group_fraction:
+        Intra-group preferential attachment density and the inter-group
+        edge fraction, as in the other generators.
+    circle_fraction / circle_size / circle_degree:
+        Friend circles: tight cliques-of-interest inside a group whose
+        members share a near-identical profile and are densely wired
+        (min internal degree ``>= circle_degree``) — the dense similar
+        sub-communities the (k,r)-core model is designed to find.
+    """
+    if n_groups < 1:
+        raise InvalidParameterError(f"n_groups must be >= 1, got {n_groups}")
+    if n < n_groups:
+        raise InvalidParameterError(
+            f"need at least one user per group ({n} users, {n_groups} groups)"
+        )
+    if circle_degree >= circle_size:
+        raise InvalidParameterError("circle_degree must be below circle_size")
+    rng = random.Random(seed)
+    group_pools: List[List[str]] = [
+        [f"interest_g{t}_{i}" for i in range(interests_per_group)]
+        for t in range(n_groups)
+    ]
+    global_pool = [f"popular_{i}" for i in range(n_global_interests)]
+    sizes = partition_sizes(n, n_groups, rng, skew=group_size_skew)
+
+    g = AttributedGraph(n)
+    offset = 0
+    group_members: List[List[int]] = []
+    intra_edges = 0
+    for group, size in enumerate(sizes):
+        members = list(range(offset, offset + size))
+        group_members.append(members)
+        for u in members:
+            g.set_attribute(
+                u, _interest_profile(
+                    rng, group_pools[group], global_pool,
+                    interests_per_user, global_mix,
+                )
+            )
+        for u, v in preferential_attachment_edges(
+            size, edges_per_user, rng, offset
+        ):
+            if g.add_edge(u, v):
+                intra_edges += 1
+
+        # Friend circles: shared profile + dense internal wiring.
+        in_circles = int(size * circle_fraction)
+        pool = members[:]
+        rng.shuffle(pool)
+        cursor = 0
+        while cursor + circle_degree + 1 <= in_circles:
+            csize = min(circle_size + rng.randint(-3, 3), in_circles - cursor)
+            csize = max(csize, circle_degree + 1)
+            circle = pool[cursor:cursor + csize]
+            cursor += csize
+            base = _interest_profile(
+                rng, group_pools[group], global_pool,
+                interests_per_user, global_mix,
+            )
+            for u in circle:
+                g.set_attribute(u, _jitter_weights(rng, base))
+            intra_edges += _densify_circle(g, circle, circle_degree, rng)
+        offset += size
+
+    n_cross = int(intra_edges * cross_group_fraction)
+    attempts = 0
+    added = 0
+    while added < n_cross and attempts < 20 * max(1, n_cross):
+        attempts += 1
+        g1, g2 = (rng.sample(range(n_groups), 2)
+                  if n_groups > 1 else (0, 0))
+        if g1 == g2:
+            continue
+        u = rng.choice(group_members[g1])
+        v = rng.choice(group_members[g2])
+        if g.add_edge(u, v):
+            added += 1
+    return g
+
+
+def _jitter_weights(rng: random.Random, base: dict) -> dict:
+    """A circle member's profile: the circle's profile with weight jitter."""
+    out = {}
+    for interest, weight in base.items():
+        jittered = weight + rng.choice((-1.0, 0.0, 0.0, 1.0))
+        if jittered >= 1.0:
+            out[interest] = jittered
+    return out or dict(base)
+
+
+def _densify_circle(
+    g: AttributedGraph, circle: List[int], min_degree: int, rng: random.Random
+) -> int:
+    """Ring lattice + chords giving ``circle`` min degree >= ``min_degree``."""
+    s = len(circle)
+    half = (min_degree + 1) // 2
+    added = 0
+    for i in range(s):
+        for d in range(1, half + 1):
+            if g.add_edge(circle[i], circle[(i + d) % s]):
+                added += 1
+    for _ in range(s):
+        u, v = rng.sample(circle, 2)
+        if g.add_edge(u, v):
+            added += 1
+    return added
+
+
+def _interest_profile(
+    rng: random.Random,
+    group_pool: List[str],
+    global_pool: List[str],
+    interests_per_user: int,
+    global_mix: float,
+) -> Dict[str, float]:
+    """Weighted interest profile: group interests plus popular ones."""
+    n_global = min(
+        len(global_pool),
+        sum(1 for _ in range(interests_per_user) if rng.random() < global_mix),
+    )
+    n_local = min(len(group_pool), interests_per_user - n_global)
+    chosen = rng.sample(group_pool, n_local) + rng.sample(global_pool, n_global)
+    profile: Dict[str, float] = {}
+    weight = float(len(chosen))
+    rng.shuffle(chosen)
+    for interest in chosen:
+        # Linearly decaying weights: the first interest dominates.
+        profile[interest] = weight
+        weight = max(1.0, weight - 1.0)
+    return profile

@@ -1,0 +1,183 @@
+"""Basic random attributed graphs (test workloads and building blocks).
+
+These are the low-level generators: Erdős–Rényi G(n,p), a preferential
+attachment process with tunable edges-per-vertex (heavy-tailed degrees),
+and attribute decorators (random keyword sets, random geo points).  The
+domain generators (:mod:`~repro.datasets.geosocial`,
+:mod:`~repro.datasets.coauthor`, :mod:`~repro.datasets.interests`) build
+on them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+
+
+def gnp_graph(n: int, p: float, seed: int = 0) -> AttributedGraph:
+    """Erdős–Rényi G(n, p) with no attributes."""
+    if not (0.0 <= p <= 1.0):
+        raise InvalidParameterError(f"p must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    g = AttributedGraph(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j)
+    return g
+
+
+def preferential_attachment_edges(
+    n: int,
+    m: int,
+    rng: random.Random,
+    offset: int = 0,
+) -> List[Tuple[int, int]]:
+    """Barabási–Albert-style edge list over vertices ``offset..offset+n-1``.
+
+    Each arriving vertex attaches to ``m`` distinct earlier vertices
+    sampled proportionally to degree (implemented with the repeated-
+    endpoint trick).  Produces the heavy-tailed degree distributions of
+    the paper's social networks.
+    """
+    if n <= 0:
+        return []
+    m = max(1, min(m, max(1, n - 1)))
+    edges: List[Tuple[int, int]] = []
+    # Seed clique over the first m+1 vertices keeps early degrees sane.
+    seed_size = min(m + 1, n)
+    targets: List[int] = []
+    for i in range(seed_size):
+        for j in range(i + 1, seed_size):
+            edges.append((offset + i, offset + j))
+            targets.extend((offset + i, offset + j))
+    if not targets:
+        targets = [offset]
+    for v in range(seed_size, n):
+        chosen = set()
+        while len(chosen) < m:
+            chosen.add(rng.choice(targets))
+        for t in chosen:
+            edges.append((offset + v, t))
+            targets.extend((offset + v, t))
+    return edges
+
+
+def random_attributed_graph(
+    n: int,
+    p: float,
+    vocabulary: Sequence[str] = ("a", "b", "c", "d", "e", "f", "g", "h"),
+    attrs_per_vertex: int = 3,
+    seed: int = 0,
+) -> AttributedGraph:
+    """G(n,p) with uniform random keyword-set attributes.
+
+    The workhorse of the property-based tests: small, unstructured, and
+    adversarial for the solvers (no community structure to exploit).
+    """
+    if attrs_per_vertex > len(vocabulary):
+        raise InvalidParameterError(
+            "attrs_per_vertex cannot exceed the vocabulary size"
+        )
+    rng = random.Random(seed)
+    g = gnp_graph(n, p, seed=rng.randrange(1 << 30))
+    for u in range(n):
+        g.set_attribute(u, frozenset(rng.sample(list(vocabulary), attrs_per_vertex)))
+    return g
+
+
+def random_geo_graph(
+    n: int,
+    p: float,
+    region_km: float = 100.0,
+    seed: int = 0,
+) -> AttributedGraph:
+    """G(n,p) with uniform random planar coordinates in a square region."""
+    rng = random.Random(seed)
+    g = gnp_graph(n, p, seed=rng.randrange(1 << 30))
+    for u in range(n):
+        g.set_attribute(
+            u, (rng.uniform(0.0, region_km), rng.uniform(0.0, region_km))
+        )
+    return g
+
+
+def contested_network(
+    n: int = 160,
+    n_blocks: int = 4,
+    ring_width: int = 4,
+    extra_edges_per_block: int = 120,
+    cross_edges: int = 30,
+    vocabulary_size: int = 8,
+    keywords_per_vertex: int = 4,
+    seed: int = 0,
+) -> AttributedGraph:
+    """Dense blocks with *scattered* within-block dissimilarity.
+
+    Each structural block is densely wired (ring lattice + chords), but
+    members sample ``keywords_per_vertex`` of a small shared vocabulary,
+    so pairwise Jaccard lands all over {0, 1/7, 1/3, 3/5, 1} (for the
+    4-of-8 default).  At a mid threshold the similarity graph becomes
+    near-multipartite *inside* each dense block — the regime where the
+    number of maximal similarity cliques explodes (Moon–Moser style) and
+    the clique-based method of Section 3 collapses, exactly the effect
+    the paper's Figure 8 reports on real data.  The planted analogs
+    (geo hubs / venue profiles) have *blocky* dissimilarity instead and
+    do not exercise this regime; see EXPERIMENTS.md (fig8).
+    """
+    if n < n_blocks * (ring_width * 2 + 1):
+        raise InvalidParameterError(
+            "blocks too small for the requested ring width"
+        )
+    if keywords_per_vertex > vocabulary_size:
+        raise InvalidParameterError(
+            "keywords_per_vertex cannot exceed vocabulary_size"
+        )
+    rng = random.Random(seed)
+    g = AttributedGraph(n)
+    block_size = n // n_blocks
+    for b in range(n_blocks):
+        members = list(range(b * block_size, (b + 1) * block_size))
+        size = len(members)
+        for i in range(size):
+            for d in range(1, ring_width + 1):
+                g.add_edge(members[i], members[(i + d) % size])
+        for _ in range(extra_edges_per_block):
+            u, v = rng.sample(members, 2)
+            g.add_edge(u, v)
+    for _ in range(cross_edges):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v)
+    vocab = [f"w{i}" for i in range(vocabulary_size)]
+    for u in range(n):
+        g.set_attribute(u, frozenset(rng.sample(vocab, keywords_per_vertex)))
+    return g
+
+
+def partition_sizes(
+    total: int, parts: int, rng: random.Random, skew: float = 1.5
+) -> List[int]:
+    """Split ``total`` into ``parts`` positive sizes with Zipf-ish skew.
+
+    Community sizes in social networks are heavy tailed; ``skew``
+    controls how dominant the largest community is.
+    """
+    if parts <= 0 or total < parts:
+        raise InvalidParameterError(
+            f"cannot split {total} vertices into {parts} non-empty parts"
+        )
+    weights = [1.0 / (i + 1) ** skew for i in range(parts)]
+    noise = [w * rng.uniform(0.8, 1.2) for w in weights]
+    scale = total / sum(noise)
+    sizes = [max(1, int(w * scale)) for w in noise]
+    # Fix rounding drift onto the largest part.
+    drift = total - sum(sizes)
+    sizes[0] += drift
+    if sizes[0] < 1:
+        raise InvalidParameterError("skew left the largest part empty")
+    return sizes

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the (k,r)-core library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch one type.  Input validation problems raise :class:`InvalidParameterError`
+or :class:`GraphError`; solver resource caps raise :class:`SearchBudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class GraphError(ReproError):
+    """A graph operation received inconsistent input.
+
+    Examples: referencing a vertex that is not in the graph, adding a
+    self-loop, or building an induced subgraph from foreign vertices.
+    """
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter is outside its documented domain (e.g. ``k < 1``)."""
+
+
+class MissingAttributeError(GraphError):
+    """A similarity metric needed a vertex attribute that was never set."""
+
+
+class SearchBudgetExceeded(ReproError):
+    """A solver exceeded its configured time or node budget.
+
+    Carries the partial results discovered before the budget ran out so a
+    caller can still inspect them.
+    """
+
+    def __init__(self, message: str, partial=None):
+        super().__init__(message)
+        self.partial = partial

@@ -1,0 +1,109 @@
+"""Connected components over graphs or plain adjacency dicts.
+
+The solvers search each connected k-core component independently
+(Algorithm 1 line 4) and repeatedly restrict the candidate set to the
+component containing the chosen set ``M`` (the "M disconnected from C"
+trivial termination of Section 5.2), so these helpers accept both
+:class:`AttributedGraph` and ``dict[int, set[int]]`` inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Union
+
+from repro.graph.attributed_graph import AttributedGraph
+
+Adjacency = Mapping[int, Set[int]]
+GraphLike = Union[AttributedGraph, Adjacency]
+
+
+def _neighbor_fn(graph: GraphLike):
+    if isinstance(graph, AttributedGraph):
+        return graph.neighbors
+    return graph.__getitem__
+
+
+def _vertex_iter(graph: GraphLike, vertices: Optional[Iterable[int]]):
+    if vertices is not None:
+        return set(vertices)
+    if isinstance(graph, AttributedGraph):
+        return set(graph.vertices())
+    return set(graph)
+
+
+def connected_components(
+    graph: GraphLike,
+    vertices: Optional[Iterable[int]] = None,
+) -> List[Set[int]]:
+    """Connected components (as vertex sets) of the induced subgraph.
+
+    When ``vertices`` is ``None`` the whole graph is used.  Components are
+    returned largest-first so the "start from the subgraph holding the
+    highest-degree vertex" heuristic of Section 6.1 falls out naturally.
+    """
+    remaining = _vertex_iter(graph, vertices)
+    nbrs = _neighbor_fn(graph)
+    components: List[Set[int]] = []
+    while remaining:
+        seed = next(iter(remaining))
+        seen = {seed}
+        frontier = [seed]
+        while frontier:
+            u = frontier.pop()
+            for v in nbrs(u):
+                if v in remaining and v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        components.append(seen)
+        remaining -= seen
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def component_of(
+    graph: GraphLike,
+    seed: int,
+    vertices: Optional[Iterable[int]] = None,
+) -> Set[int]:
+    """The connected component containing ``seed`` within ``vertices``."""
+    allowed = _vertex_iter(graph, vertices)
+    nbrs = _neighbor_fn(graph)
+    seen = {seed}
+    frontier = [seed]
+    while frontier:
+        u = frontier.pop()
+        for v in nbrs(u):
+            if v in allowed and v not in seen:
+                seen.add(v)
+                frontier.append(v)
+    return seen
+
+
+def component_containing_all(
+    graph: GraphLike,
+    required: Set[int],
+    vertices: Optional[Iterable[int]] = None,
+) -> Optional[Set[int]]:
+    """Component (within ``vertices``) containing every vertex of ``required``.
+
+    Returns ``None`` when ``required`` spans two or more components — the
+    solver then abandons the branch, because a (k,r)-core is connected and
+    must contain all of ``M``.  ``required`` must be non-empty.
+    """
+    seed = next(iter(required))
+    comp = component_of(graph, seed, vertices)
+    if required <= comp:
+        return comp
+    return None
+
+
+def is_connected(
+    graph: GraphLike,
+    vertices: Optional[Iterable[int]] = None,
+) -> bool:
+    """Whether the induced subgraph is connected (empty graph counts as True)."""
+    allowed = _vertex_iter(graph, vertices)
+    if not allowed:
+        return True
+    seed = next(iter(allowed))
+    return len(component_of(graph, seed, allowed)) == len(allowed)

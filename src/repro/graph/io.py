@@ -1,0 +1,184 @@
+"""Plain-text graph IO.
+
+The paper's datasets ship as SNAP-style edge lists plus per-vertex
+attribute files (geo check-ins for Gowalla/Brightkite, keyword lists for
+DBLP, interest lists for Pokec).  These readers/writers let downstream
+users load the real files when they have them; the benchmark suite uses
+the synthetic analogs in :mod:`repro.datasets` instead.
+
+Formats
+-------
+Edge list: one ``u<sep>v`` pair per line; ``#`` comments ignored.
+Attributes, three flavours selected by ``kind``:
+
+* ``"point"``  — ``vertex x y`` (geo coordinate, floats)
+* ``"set"``    — ``vertex item1 item2 ...`` (interest/keyword set)
+* ``"counter"``— ``vertex item:count item:count ...`` (counted keywords,
+  the DBLP "attended conferences / published journals" multiset)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Hashable, Iterable, Iterator, Optional, TextIO, Tuple, Union
+
+from repro.exceptions import GraphError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.builder import GraphBuilder
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+
+def _open_for_read(source: PathOrFile):
+    if hasattr(source, "read"):
+        return source, False
+    return open(source, "r", encoding="utf-8"), True
+
+
+def _open_for_write(target: PathOrFile):
+    if hasattr(target, "write"):
+        return target, False
+    return open(target, "w", encoding="utf-8"), True
+
+
+def iter_edge_list(source: PathOrFile, sep: Optional[str] = None) -> Iterator[Tuple[str, str]]:
+    """Yield ``(u, v)`` label pairs from an edge-list file.
+
+    Lines starting with ``#`` and blank lines are skipped.  ``sep=None``
+    splits on any whitespace (the SNAP convention).
+    """
+    fh, should_close = _open_for_read(source)
+    try:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(sep)
+            if len(parts) < 2:
+                raise GraphError(
+                    f"edge list line {lineno}: expected two fields, got {line!r}"
+                )
+            yield parts[0], parts[1]
+    finally:
+        if should_close:
+            fh.close()
+
+
+def read_edge_list(source: PathOrFile, sep: Optional[str] = None) -> AttributedGraph:
+    """Load an edge-list file into an :class:`AttributedGraph`.
+
+    Vertex labels are kept (accessible through ``graph.label``); ids are
+    assigned in order of first appearance.  Duplicate edges collapse;
+    self loops are skipped (real SNAP dumps contain a few).
+    """
+    builder = GraphBuilder()
+    for a, b in iter_edge_list(source, sep):
+        if a == b:
+            continue
+        builder.add_edge(a, b)
+    return builder.build()
+
+
+def parse_attribute_line(line: str, kind: str) -> Tuple[str, Any]:
+    """Parse one attribute line into ``(vertex_label, value)``.
+
+    See the module docstring for the three ``kind`` formats.
+    """
+    parts = line.split()
+    if not parts:
+        raise GraphError("empty attribute line")
+    label = parts[0]
+    if kind == "point":
+        if len(parts) != 3:
+            raise GraphError(f"point attribute needs 'v x y', got {line!r}")
+        return label, (float(parts[1]), float(parts[2]))
+    if kind == "set":
+        return label, frozenset(parts[1:])
+    if kind == "counter":
+        counts: Dict[str, float] = {}
+        for token in parts[1:]:
+            key, _, num = token.rpartition(":")
+            if not key:
+                raise GraphError(
+                    f"counter attribute token {token!r} is not 'item:count'"
+                )
+            counts[key] = counts.get(key, 0.0) + float(num)
+        return label, counts
+    raise GraphError(f"unknown attribute kind {kind!r}")
+
+
+def read_attributes(source: PathOrFile, kind: str) -> Dict[str, Any]:
+    """Load a whole attribute file into ``label -> value``."""
+    fh, should_close = _open_for_read(source)
+    try:
+        out: Dict[str, Any] = {}
+        for raw in fh:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            label, value = parse_attribute_line(line, kind)
+            out[label] = value
+        return out
+    finally:
+        if should_close:
+            fh.close()
+
+
+def read_attributed_graph(
+    edge_source: PathOrFile,
+    attr_source: PathOrFile,
+    kind: str,
+    sep: Optional[str] = None,
+) -> AttributedGraph:
+    """Load edges + attributes in one call.
+
+    Vertices that appear only in the attribute file are added as isolated
+    vertices; vertices missing an attribute keep ``None`` (similarity
+    metrics raise :class:`MissingAttributeError` if they are reached,
+    which preprocessing normally prevents by k-core pruning).
+    """
+    builder = GraphBuilder()
+    for a, b in iter_edge_list(edge_source, sep):
+        if a != b:
+            builder.add_edge(a, b)
+    for label, value in read_attributes(attr_source, kind).items():
+        builder.set_attribute(label, value)
+    return builder.build()
+
+
+def write_edge_list(graph: AttributedGraph, target: PathOrFile) -> None:
+    """Write ``graph`` as a label edge list (one edge per line)."""
+    fh, should_close = _open_for_write(target)
+    try:
+        fh.write(f"# nodes {graph.vertex_count} edges {graph.edge_count}\n")
+        for u, v in graph.edges():
+            fh.write(f"{graph.label(u)}\t{graph.label(v)}\n")
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_attributes(graph: AttributedGraph, target: PathOrFile, kind: str) -> None:
+    """Write vertex attributes in the format accepted by the readers."""
+    fh, should_close = _open_for_write(target)
+    try:
+        for u in graph.vertices():
+            if not graph.has_attribute(u):
+                continue
+            value = graph.attribute(u)
+            if kind == "point":
+                x, y = value
+                fh.write(f"{graph.label(u)} {x} {y}\n")
+            elif kind == "set":
+                items = " ".join(sorted(value))
+                fh.write(f"{graph.label(u)} {items}\n")
+            elif kind == "counter":
+                items = " ".join(
+                    f"{key}:{num}" for key, num in sorted(value.items())
+                )
+                fh.write(f"{graph.label(u)} {items}\n")
+            else:
+                raise GraphError(f"unknown attribute kind {kind!r}")
+    finally:
+        if should_close:
+            fh.close()

@@ -1,0 +1,48 @@
+"""Similarity subsystem.
+
+The similarity constraint of the (k,r)-core model (Definition 2) is defined
+against an arbitrary pairwise metric plus a threshold ``r``:
+
+* similarity metrics (Jaccard, weighted Jaccard, cosine, overlap): a pair is
+  *similar* when ``sim(u,v) >= r``;
+* distance metrics (Euclidean geo distance): a pair is *similar* when
+  ``dist(u,v) <= r`` (footnote 1 of the paper).
+
+:class:`~repro.similarity.threshold.SimilarityPredicate` packages a metric
+with the right threshold direction; :mod:`~repro.similarity.index` builds
+the per-component dissimilarity index used by the solvers; and
+:func:`~repro.similarity.threshold.top_permille_threshold` implements the
+"top x‰ of the pairwise similarity distribution" threshold rule used for
+DBLP and Pokec in Section 8.1.
+"""
+
+from repro.similarity.metrics import (
+    jaccard,
+    weighted_jaccard,
+    euclidean_distance,
+    cosine,
+    overlap_coefficient,
+    MetricKind,
+    metric_kind,
+)
+from repro.similarity.threshold import (
+    SimilarityPredicate,
+    top_permille_threshold,
+    pairwise_similarity_sample,
+)
+from repro.similarity.index import DissimilarityIndex, build_index
+
+__all__ = [
+    "jaccard",
+    "weighted_jaccard",
+    "euclidean_distance",
+    "cosine",
+    "overlap_coefficient",
+    "MetricKind",
+    "metric_kind",
+    "SimilarityPredicate",
+    "top_permille_threshold",
+    "pairwise_similarity_sample",
+    "DissimilarityIndex",
+    "build_index",
+]

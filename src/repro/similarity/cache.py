@@ -1,0 +1,125 @@
+"""Pairwise similarity value cache for threshold sweeps.
+
+The Figure 7 / 13 / 14 experiments sweep the threshold ``r`` over the
+same graph; recomputing every pairwise metric value per sweep point is
+pure waste, since only the *comparison* changes.  The cache stores the
+raw metric values for all pairs within a vertex set once and can then
+materialise a :class:`~repro.similarity.index.DissimilarityIndex` (or a
+filtered predicate decision) for any threshold in O(pairs) comparisons.
+
+Used by :mod:`repro.core.decomposition` for multi-threshold profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.similarity.index import DissimilarityIndex
+from repro.similarity.metrics import (
+    MetricKind,
+    euclidean_distance,
+    require_attribute,
+)
+from repro.similarity.threshold import SimilarityPredicate
+
+
+class PairwiseSimilarityCache:
+    """All pairwise metric values within one vertex set.
+
+    Parameters
+    ----------
+    graph / metric_predicate:
+        The predicate supplies the metric and its threshold *direction*;
+        its ``r`` is ignored (that is the point of the cache).
+    vertices:
+        Vertex set to cover; ``O(|V|^2)`` values are stored.
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        predicate: SimilarityPredicate,
+        vertices: Iterable[int],
+    ):
+        self._kind = predicate.kind
+        self._metric = predicate.metric
+        self._vertices: List[int] = sorted(set(vertices))
+        n = len(self._vertices)
+        self._pos = {u: i for i, u in enumerate(self._vertices)}
+        self._values = np.zeros((n, n), dtype=np.float64)
+        if self._metric is euclidean_distance and n >= 2:
+            pts = np.array(
+                [require_attribute(graph.attribute(u), u) for u in self._vertices]
+            )
+            dx = pts[:, 0][:, None] - pts[:, 0][None, :]
+            dy = pts[:, 1][:, None] - pts[:, 1][None, :]
+            self._values = np.sqrt(dx * dx + dy * dy)
+        else:
+            attrs = [
+                require_attribute(graph.attribute(u), u)
+                for u in self._vertices
+            ]
+            for i in range(n):
+                for j in range(i + 1, n):
+                    v = self._metric(attrs[i], attrs[j])
+                    self._values[i, j] = v
+                    self._values[j, i] = v
+
+    @property
+    def vertices(self) -> Sequence[int]:
+        return tuple(self._vertices)
+
+    @property
+    def kind(self) -> MetricKind:
+        return self._kind
+
+    def value(self, u: int, v: int) -> float:
+        """Cached metric value between two covered vertices."""
+        try:
+            return float(self._values[self._pos[u], self._pos[v]])
+        except KeyError:
+            raise InvalidParameterError(
+                f"vertex pair ({u}, {v}) is not covered by this cache"
+            ) from None
+
+    def similar(self, u: int, v: int, r: float) -> bool:
+        """Threshold decision at an arbitrary ``r`` (no metric call)."""
+        value = self.value(u, v)
+        if self._kind is MetricKind.SIMILARITY:
+            return value >= r
+        return value <= r
+
+    def index_at(self, r: float, vertices: Iterable[int] | None = None) -> DissimilarityIndex:
+        """Dissimilarity index at threshold ``r`` from cached values."""
+        vs = self._vertices if vertices is None else sorted(set(vertices))
+        idx = [self._pos[u] for u in vs]
+        sub = self._values[np.ix_(idx, idx)]
+        if self._kind is MetricKind.SIMILARITY:
+            dissim_matrix = sub < r
+        else:
+            dissim_matrix = sub > r
+        np.fill_diagonal(dissim_matrix, False)
+        out: Dict[int, Set[int]] = {}
+        ids = np.asarray(vs)
+        for local, u in enumerate(vs):
+            out[u] = {int(w) for w in ids[dissim_matrix[local]]}
+        return DissimilarityIndex(out)
+
+    def threshold_sweep_counts(self, thresholds: Sequence[float]) -> List[int]:
+        """Number of similar pairs at each threshold (cheap profile)."""
+        n = len(self._vertices)
+        if n < 2:
+            return [0 for _ in thresholds]
+        iu = np.triu_indices(n, k=1)
+        flat = self._values[iu]
+        counts = []
+        for r in thresholds:
+            if self._kind is MetricKind.SIMILARITY:
+                counts.append(int(np.count_nonzero(flat >= r)))
+            else:
+                counts.append(int(np.count_nonzero(flat <= r)))
+        return counts

@@ -1,0 +1,83 @@
+"""Experiment registry and CLI: smoke tests in quick mode."""
+
+import pytest
+
+from repro.bench.cli import main as cli_main
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench import workloads as wl
+from repro.exceptions import InvalidParameterError
+
+
+class TestRegistry:
+    def test_all_figures_present(self):
+        expected = {
+            "table3", "fig5_6", "fig7a", "fig7b", "fig8a", "fig8b", "fig8c",
+            "fig9a", "fig9b", "fig10a", "fig10b",
+            "fig11a", "fig11b", "fig11c", "fig11d", "fig11e", "fig11f",
+            "fig12a", "fig12b", "fig13a", "fig13b", "fig14a", "fig14b",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_every_experiment_documented(self):
+        for name, fn in EXPERIMENTS.items():
+            assert fn.__doc__, name
+
+    def test_unknown_experiment(self):
+        with pytest.raises(InvalidParameterError):
+            run_experiment("fig99")
+
+    def test_case_insensitive(self):
+        rows = run_experiment("TABLE3")
+        assert len(rows) == 4
+
+
+class TestQuickRuns:
+    """Each quick experiment returns non-empty, well-formed rows."""
+
+    @pytest.mark.parametrize("name", ["table3", "fig5_6", "fig7b", "fig9b",
+                                      "fig10b", "fig11b", "fig13b", "fig14b"])
+    def test_rows_produced(self, name):
+        rows = run_experiment(name, quick=True, time_cap=15)
+        assert rows
+        for row in rows:
+            assert isinstance(row, dict) and row
+
+
+class TestWorkloads:
+    def test_graph_cache_returns_same_object(self):
+        a = wl.graph("dblp")
+        b = wl.graph("dblp")
+        assert a is b
+
+    def test_workload_defaults(self):
+        g, k, pred = wl.workload("gowalla")
+        assert k == wl.DEFAULT_K["gowalla"]
+        assert pred.r == wl.DEFAULT_KM["gowalla"]
+
+    def test_workload_overrides(self):
+        g, k, pred = wl.workload("gowalla", k=7, km=10.0)
+        assert k == 7
+        assert pred.r == 10.0
+
+    def test_permille_workload(self):
+        g, k, pred = wl.workload("dblp", permille=5.0)
+        assert 0.0 <= pred.r <= 1.0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9a" in out and "table3" in out
+
+    def test_single_experiment(self, capsys):
+        assert cli_main(["--experiment", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "brightkite" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        code = cli_main([
+            "-e", "table3", "--json", str(tmp_path), "--quick",
+        ])
+        assert code == 0
+        assert (tmp_path / "table3.json").exists()

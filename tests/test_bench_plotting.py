@@ -1,0 +1,66 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.bench.harness import INF
+from repro.bench.plotting import guess_x_key, render_time_chart
+
+
+@pytest.fixture
+def rows():
+    return [
+        {"r_km": 10, "algorithm": "AdvEnum", "seconds": 0.1},
+        {"r_km": 10, "algorithm": "BasicEnum", "seconds": 3.0},
+        {"r_km": 20, "algorithm": "AdvEnum", "seconds": 0.3},
+        {"r_km": 20, "algorithm": "BasicEnum", "seconds": INF},
+    ]
+
+
+class TestRenderTimeChart:
+    def test_contains_groups_and_series(self, rows):
+        chart = render_time_chart(rows, "r_km", title="demo")
+        assert "demo" in chart
+        assert "r_km = 10" in chart
+        assert "r_km = 20" in chart
+        assert "AdvEnum" in chart and "BasicEnum" in chart
+
+    def test_inf_marked(self, rows):
+        chart = render_time_chart(rows, "r_km")
+        assert "INF" in chart
+
+    def test_log_scaling_monotone(self, rows):
+        chart = render_time_chart(rows, "r_km")
+        lines = [l for l in chart.splitlines() if "█" in l]
+        # The slower finite run gets a longer bar than the faster one.
+        fast = next(l for l in lines if "AdvEnum" in l and "0.10s" in l)
+        slow = next(l for l in lines if "BasicEnum" in l and "3.00s" in l)
+        assert slow.count("█") > fast.count("█")
+
+    def test_all_inf_or_empty(self):
+        assert "no finite values" in render_time_chart([], "k")
+        rows = [{"k": 1, "algorithm": "x", "seconds": INF}]
+        assert "no finite values" in render_time_chart(rows, "k")
+
+    def test_single_value_span(self):
+        rows = [{"k": 1, "algorithm": "x", "seconds": 1.0}]
+        chart = render_time_chart(rows, "k")
+        assert "1.00s" in chart
+
+
+class TestGuessXKey:
+    def test_prefers_varying_axis(self, rows):
+        assert guess_x_key(rows) == "r_km"
+
+    def test_fallback_constant_axis(self):
+        rows = [{"k": 5, "algorithm": "a", "seconds": 1.0}]
+        assert guess_x_key(rows) == "k"
+
+    def test_empty(self):
+        assert guess_x_key([]) is None
+
+    def test_dataset_axis(self):
+        rows = [
+            {"dataset": "dblp", "algorithm": "a", "seconds": 1.0},
+            {"dataset": "pokec", "algorithm": "a", "seconds": 2.0},
+        ]
+        assert guess_x_key(rows) == "dataset"

@@ -1,0 +1,128 @@
+"""Library CLI (`python -m repro ...`)."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.io import write_attributes, write_edge_list
+
+
+@pytest.fixture
+def file_graph(tmp_path):
+    g = AttributedGraph(
+        6,
+        edges=[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        labels=[f"u{i}" for i in range(6)],
+    )
+    for u in (0, 1, 2):
+        g.set_attribute(u, frozenset({"x", "y"}))
+    for u in (3, 4, 5):
+        g.set_attribute(u, frozenset({"p", "q"}))
+    epath = tmp_path / "edges.txt"
+    apath = tmp_path / "attrs.txt"
+    write_edge_list(g, epath)
+    write_attributes(g, apath, "set")
+    return str(epath), str(apath)
+
+
+class TestDatasetsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("brightkite", "gowalla", "dblp", "pokec"):
+            assert name in out
+
+
+class TestMineCommand:
+    def test_file_graph(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "mine", "--edges", edges, "--attrs", attrs,
+            "--attr-kind", "set", "--k", "2", "--r", "0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "maximal (2,0.5)-cores: 2" in out
+
+    def test_named_dataset(self, capsys):
+        code = main([
+            "mine", "--dataset", "dblp", "--scale", "0.3",
+            "--k", "4", "--permille", "5", "--max-print", "2",
+        ])
+        assert code == 0
+        assert "maximal" in capsys.readouterr().out
+
+    def test_missing_threshold_errors(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "mine", "--edges", edges, "--attrs", attrs,
+            "--attr-kind", "set", "--k", "2",
+        ])
+        assert code == 2
+        assert "threshold" in capsys.readouterr().err
+
+    def test_missing_attr_kind_errors(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "mine", "--edges", edges, "--attrs", attrs,
+            "--k", "2", "--r", "0.5",
+        ])
+        assert code == 2
+
+    def test_both_sources_errors(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "mine", "--dataset", "dblp", "--edges", edges,
+            "--attrs", attrs, "--attr-kind", "set", "--k", "2", "--r", "0.5",
+        ])
+        assert code == 2
+
+
+class TestMaximumCommand:
+    def test_file_graph(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "maximum", "--edges", edges, "--attrs", attrs,
+            "--attr-kind", "set", "--k", "2", "--r", "0.5",
+        ])
+        assert code == 0
+        assert "maximum (2,0.5)-core: 3 vertices" in capsys.readouterr().out
+
+    def test_no_core(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "maximum", "--edges", edges, "--attrs", attrs,
+            "--attr-kind", "set", "--k", "4", "--r", "0.5",
+        ])
+        assert code == 0
+        assert "no (4,0.5)-core" in capsys.readouterr().out
+
+    def test_algorithm_choice(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "maximum", "--edges", edges, "--attrs", attrs,
+            "--attr-kind", "set", "--k", "2", "--r", "0.5",
+            "--algorithm", "color-kcore",
+        ])
+        assert code == 0
+
+
+class TestStatsCommand:
+    def test_file_graph(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "stats", "--edges", edges, "--attrs", attrs,
+            "--attr-kind", "set", "--k", "2", "--r", "0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "count=2" in out
+        assert "max_size=3" in out
+
+    def test_named_geo_dataset(self, capsys):
+        code = main([
+            "stats", "--dataset", "gowalla", "--scale", "0.3",
+            "--k", "4", "--km", "20",
+        ])
+        assert code == 0
+        assert "count=" in capsys.readouterr().out

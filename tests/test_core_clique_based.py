@@ -1,0 +1,56 @@
+"""The Clique+ baseline (Section 3) vs the oracle."""
+
+import pytest
+
+from conftest import (
+    make_geo_graph,
+    make_random_attr_graph,
+    oracle_maximal_cores,
+    single_component_context,
+)
+from repro.core.api import enumerate_maximal_krcores
+from repro.core.clique_based import clique_based_component
+from repro.similarity.threshold import SimilarityPredicate
+
+
+class TestCliqueBased:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_oracle_keyword_graphs(self, seed):
+        g = make_random_attr_graph(seed, n=11)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        k = 2
+        expected = oracle_maximal_cores(g, k, pred)
+        got = []
+        for ctx in single_component_context(g, k, pred):
+            got.extend(clique_based_component(ctx))
+        assert sorted(map(sorted, got)) == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_oracle_geo_graphs(self, seed):
+        g = make_geo_graph(seed, n=12, p=0.5)
+        pred = SimilarityPredicate("euclidean", 20.0)
+        k = 2
+        expected = oracle_maximal_cores(g, k, pred)
+        got = []
+        for ctx in single_component_context(g, k, pred):
+            got.extend(clique_based_component(ctx))
+        assert sorted(map(sorted, got)) == expected
+
+    def test_api_entry_point(self, two_triangles, jaccard_half):
+        cores = enumerate_maximal_krcores(
+            two_triangles, 2, predicate=jaccard_half, algorithm="clique",
+        )
+        assert sorted(sorted(c.vertices) for c in cores) == [
+            [0, 1, 2], [3, 4, 5],
+        ]
+
+    def test_min_clique_size_skips_small(self):
+        # k=3 needs cliques of >= 4 vertices in the similarity graph;
+        # a graph whose similarity cliques are all triangles yields none.
+        g = make_random_attr_graph(0, n=8, p=1.0, attrs=2)
+        pred = SimilarityPredicate("jaccard", 0.99)  # only identical sets
+        got = []
+        for ctx in single_component_context(g, 3, pred):
+            got.extend(clique_based_component(ctx))
+        expected = oracle_maximal_cores(g, 3, pred)
+        assert sorted(map(sorted, got)) == expected

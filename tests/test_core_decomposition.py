@@ -1,0 +1,113 @@
+"""Threshold/degree profiles and vertex memberships."""
+
+import pytest
+
+from conftest import make_geo_graph, make_random_attr_graph
+from repro.core.api import krcore_statistics
+from repro.core.decomposition import (
+    degree_profile,
+    krcore_vertex_memberships,
+    threshold_profile,
+)
+from repro.datasets.planted import planted_bridge_case_study
+from repro.exceptions import InvalidParameterError
+from repro.similarity.threshold import SimilarityPredicate
+
+
+class TestThresholdProfile:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_independent_runs(self, seed):
+        g = make_random_attr_graph(seed, n=13)
+        pred = SimilarityPredicate("jaccard", 0.0)
+        thresholds = [0.25, 0.4, 0.6]
+        rows = threshold_profile(g, 2, thresholds, pred)
+        assert [row["r"] for row in rows] == thresholds
+        for row in rows:
+            direct = krcore_statistics(
+                g, 2, predicate=pred.with_threshold(row["r"]),
+            )
+            assert {k: row[k] for k in direct} == direct
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_geo_metric(self, seed):
+        g = make_geo_graph(seed, n=14, p=0.5)
+        pred = SimilarityPredicate("euclidean", 0.0)
+        rows = threshold_profile(g, 2, [10.0, 25.0, 60.0], pred)
+        for row in rows:
+            direct = krcore_statistics(
+                g, 2, predicate=pred.with_threshold(row["r"]),
+            )
+            assert {k: row[k] for k in direct} == direct
+
+    def test_count_monotone_for_distance_thresholds(self):
+        # For distance metrics, larger r = looser constraint: the max
+        # core size can only grow.
+        g = make_geo_graph(9, n=14, p=0.6)
+        pred = SimilarityPredicate("euclidean", 0.0)
+        rows = threshold_profile(g, 2, [5.0, 20.0, 80.0], pred)
+        sizes = [row["max_size"] for row in rows]
+        assert sizes == sorted(sizes)
+
+    def test_empty_thresholds(self):
+        g = make_random_attr_graph(0, n=8)
+        pred = SimilarityPredicate("jaccard", 0.0)
+        assert threshold_profile(g, 2, [], pred) == []
+
+    def test_invalid_k(self):
+        g = make_random_attr_graph(0, n=8)
+        pred = SimilarityPredicate("jaccard", 0.0)
+        with pytest.raises(InvalidParameterError):
+            threshold_profile(g, 0, [0.5], pred)
+
+
+class TestDegreeProfile:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_independent_runs(self, seed):
+        g = make_random_attr_graph(seed, n=13)
+        pred = SimilarityPredicate("jaccard", 0.3)
+        rows = degree_profile(g, [1, 2, 3], pred)
+        assert [row["k"] for row in rows] == [1, 2, 3]
+        for row in rows:
+            direct = krcore_statistics(g, row["k"], predicate=pred)
+            assert {k: row[k] for k in direct} == direct
+
+    def test_unsorted_ks_preserve_request_order(self):
+        g = make_random_attr_graph(2, n=12)
+        pred = SimilarityPredicate("jaccard", 0.3)
+        rows = degree_profile(g, [3, 1, 2], pred)
+        assert [row["k"] for row in rows] == [3, 1, 2]
+
+    def test_invalid_k(self):
+        g = make_random_attr_graph(0, n=8)
+        pred = SimilarityPredicate("jaccard", 0.3)
+        with pytest.raises(InvalidParameterError):
+            degree_profile(g, [1, 0], pred)
+
+    def test_max_size_monotone(self):
+        g = make_random_attr_graph(8, n=13)
+        pred = SimilarityPredicate("jaccard", 0.3)
+        rows = degree_profile(g, [1, 2, 3], pred)
+        sizes = [row["max_size"] for row in rows]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestMemberships:
+    def test_bridge_counted_twice(self):
+        study = planted_bridge_case_study(block_size=10, k=3, seed=4)
+        counts = krcore_vertex_memberships(
+            study.graph, study.k, study.predicate,
+        )
+        bridge = study.graph.vertex_count - 1
+        assert counts[bridge] == 2
+        others = [c for u, c in counts.items() if u != bridge]
+        assert all(c == 1 for c in others)
+
+    def test_vertices_outside_cores_absent(self):
+        g = make_random_attr_graph(5, n=12)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        counts = krcore_vertex_memberships(g, 2, pred)
+        from repro.core.api import enumerate_maximal_krcores
+        in_cores = set()
+        for core in enumerate_maximal_krcores(g, 2, predicate=pred):
+            in_cores |= set(core.vertices)
+        assert set(counts) == in_cores

@@ -1,0 +1,136 @@
+"""Incremental maintenance: equivalence with from-scratch, cache reuse."""
+
+import random
+
+import pytest
+
+from conftest import as_sorted_sets, make_random_attr_graph
+from repro.core.api import enumerate_maximal_krcores, find_maximum_krcore
+from repro.core.dynamic import DynamicKRCoreMiner
+from repro.datasets.planted import planted_communities
+from repro.exceptions import InvalidParameterError
+from repro.similarity.threshold import SimilarityPredicate
+
+
+def assert_matches_scratch(miner, pred):
+    got = as_sorted_sets(miner.cores())
+    want = as_sorted_sets(
+        enumerate_maximal_krcores(miner.graph, 2, predicate=pred)
+    )
+    assert got == want
+
+
+class TestBasics:
+    def test_initial_mine(self, two_triangles, jaccard_half):
+        miner = DynamicKRCoreMiner(two_triangles, 2, jaccard_half)
+        assert as_sorted_sets(miner.cores()) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_invalid_k(self, two_triangles, jaccard_half):
+        with pytest.raises(InvalidParameterError):
+            DynamicKRCoreMiner(two_triangles, 0, jaccard_half)
+
+    def test_private_copy(self, two_triangles, jaccard_half):
+        miner = DynamicKRCoreMiner(two_triangles, 2, jaccard_half)
+        two_triangles.remove_edge(0, 1)  # mutate the original
+        assert as_sorted_sets(miner.cores()) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_maximum(self, two_triangles, jaccard_half):
+        miner = DynamicKRCoreMiner(two_triangles, 2, jaccard_half)
+        assert miner.maximum().size == 3
+
+
+class TestEdits:
+    def test_edge_removal_breaks_core(self, two_triangles, jaccard_half):
+        miner = DynamicKRCoreMiner(two_triangles, 2, jaccard_half)
+        miner.cores()
+        assert miner.remove_edge(0, 1)
+        assert as_sorted_sets(miner.cores()) == [[3, 4, 5]]
+
+    def test_edge_insert_grows_core(self, jaccard_half):
+        from repro.graph.attributed_graph import AttributedGraph
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (0, 2), (2, 3), (1, 3)])
+        for u in g.vertices():
+            g.set_attribute(u, frozenset({"x", "y"}))
+        miner = DynamicKRCoreMiner(g, 2, jaccard_half)
+        assert miner.maximum().size == 4
+        miner.remove_edge(1, 3)
+        assert miner.maximum().size == 3
+        miner.add_edge(1, 3)
+        assert miner.maximum().size == 4
+
+    def test_attribute_change_splits_core(self, jaccard_half):
+        from repro.graph.attributed_graph import AttributedGraph
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (0, 2), (2, 3),
+                                      (1, 3), (0, 3)])
+        for u in g.vertices():
+            g.set_attribute(u, frozenset({"x", "y"}))
+        miner = DynamicKRCoreMiner(g, 2, jaccard_half)
+        assert miner.maximum().size == 4
+        miner.set_attribute(3, frozenset({"p", "q"}))
+        assert miner.maximum().size == 3
+
+    def test_noop_edits_keep_cache(self, two_triangles, jaccard_half):
+        miner = DynamicKRCoreMiner(two_triangles, 2, jaccard_half)
+        miner.cores()
+        assert not miner.add_edge(0, 1)       # already present
+        assert not miner.remove_edge(0, 4)    # never existed
+        miner.cores()
+        # Nothing was dirty, so no refresh ran at all; the counters still
+        # show the initial full solve.
+        assert miner.last_solved_components == 2
+
+
+class TestCacheReuse:
+    def test_untouched_components_cached(self):
+        pc = planted_communities(n_blocks=4, block_size=10, k=3, seed=8)
+        miner = DynamicKRCoreMiner(pc.graph, pc.k, pc.predicate)
+        miner.cores()
+        assert miner.last_solved_components >= 1
+        # Edit inside one block: the others must come from cache.
+        block0 = sorted(pc.communities[0])
+        miner.remove_edge(block0[0], block0[1])
+        miner.cores()
+        assert miner.last_cached_components >= 1
+        assert miner.last_solved_components <= 2
+
+    def test_invalidate_forces_resolve(self, two_triangles, jaccard_half):
+        miner = DynamicKRCoreMiner(two_triangles, 2, jaccard_half)
+        miner.cores()
+        miner.invalidate()
+        miner.cores()
+        assert miner.last_solved_components == 2
+        assert miner.last_cached_components == 0
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_edit_sequences_match_scratch(self, seed):
+        rng = random.Random(seed)
+        g = make_random_attr_graph(seed, n=12, p=0.4)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        miner = DynamicKRCoreMiner(g, 2, pred)
+        assert_matches_scratch(miner, pred)
+        vocab = ["a", "b", "c", "d", "e", "f"]
+        for _ in range(12):
+            action = rng.random()
+            u = rng.randrange(12)
+            v = rng.randrange(12)
+            if action < 0.4 and u != v:
+                miner.add_edge(u, v)
+            elif action < 0.7 and u != v:
+                miner.remove_edge(u, v)
+            else:
+                miner.set_attribute(
+                    u, frozenset(rng.sample(vocab, rng.randint(2, 4))),
+                )
+            assert_matches_scratch(miner, pred)
+
+    def test_maximum_matches_scratch_after_edits(self):
+        g = make_random_attr_graph(55, n=12, p=0.5)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        miner = DynamicKRCoreMiner(g, 2, pred)
+        miner.add_edge(0, 5)
+        miner.add_edge(1, 5)
+        best = miner.maximum()
+        scratch = find_maximum_krcore(miner.graph, 2, predicate=pred)
+        assert (best.size if best else 0) == (scratch.size if scratch else 0)

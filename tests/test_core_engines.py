@@ -1,0 +1,131 @@
+"""Engine-level white-box tests: emission, retention, stats plumbing."""
+
+import pytest
+
+from conftest import (
+    as_sorted_sets,
+    make_random_attr_graph,
+    oracle_maximal_cores,
+    single_component_context,
+)
+from repro.core.config import (
+    adv_enum_config,
+    adv_max_config,
+    basic_enum_config,
+    be_cr_config,
+)
+from repro.core.enumerate import enumerate_component
+from repro.core.maximum import find_maximum_in_component
+from repro.core.api import enumerate_maximal_krcores, find_maximum_krcore
+from repro.graph.attributed_graph import AttributedGraph
+from repro.similarity.threshold import SimilarityPredicate
+
+
+def uniform(edges, n=None):
+    n = n if n is not None else max(max(e) for e in edges) + 1
+    g = AttributedGraph(n, edges=edges)
+    for u in g.vertices():
+        g.set_attribute(u, frozenset({"s"}))
+    return g
+
+
+class TestEnumerateComponent:
+    def test_all_similar_component_collapses_to_one_node(self):
+        # With retention, a fully similar component is one leaf: the
+        # whole component is SF(C) at the root.
+        g = uniform([(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3)])
+        pred = SimilarityPredicate("jaccard", 0.1)
+        ctx = single_component_context(g, 2, pred, adv_enum_config())[0]
+        cores = enumerate_component(ctx)
+        assert as_sorted_sets(cores) == [[0, 1, 2, 3]]
+        assert ctx.stats.nodes == 1
+        assert ctx.stats.retained >= 4
+
+    def test_basic_enum_visits_exponentially_more(self):
+        g = uniform([(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3)])
+        pred = SimilarityPredicate("jaccard", 0.1)
+        ctx_basic = single_component_context(
+            g, 2, pred, basic_enum_config(),
+        )[0]
+        cores = enumerate_component(ctx_basic)
+        assert as_sorted_sets(cores) == [[0, 1, 2, 3]]
+        assert ctx_basic.stats.nodes > 1
+
+    def test_retention_never_changes_results(self):
+        for seed in range(10):
+            g = make_random_attr_graph(seed, n=10)
+            pred = SimilarityPredicate("jaccard", 0.35)
+            with_cr = enumerate_maximal_krcores(
+                g, 2, predicate=pred, config=be_cr_config(),
+            )
+            without = enumerate_maximal_krcores(
+                g, 2, predicate=pred, config=basic_enum_config(),
+            )
+            assert as_sorted_sets(with_cr) == as_sorted_sets(without)
+
+    def test_emitted_counter(self):
+        g = uniform([(0, 1), (1, 2), (0, 2)])
+        pred = SimilarityPredicate("jaccard", 0.1)
+        ctx = single_component_context(g, 2, pred, adv_enum_config())[0]
+        enumerate_component(ctx)
+        assert ctx.stats.cores_emitted >= 1
+
+
+class TestFindMaximumInComponent:
+    def test_seeded_best_prunes_whole_component(self):
+        g = uniform([(0, 1), (1, 2), (0, 2)])
+        pred = SimilarityPredicate("jaccard", 0.1)
+        ctx = single_component_context(g, 2, pred, adv_max_config())[0]
+        seed = frozenset({10, 11, 12, 13})  # pretend a bigger core exists
+        best = find_maximum_in_component(ctx, seed)
+        assert best == seed
+        assert ctx.stats.bound_pruned >= 1
+
+    def test_finds_core_without_seed(self):
+        g = uniform([(0, 1), (1, 2), (0, 2)])
+        pred = SimilarityPredicate("jaccard", 0.1)
+        ctx = single_component_context(g, 2, pred, adv_max_config())[0]
+        best = find_maximum_in_component(ctx, None)
+        assert best == frozenset({0, 1, 2})
+
+    def test_none_when_component_has_no_core(self):
+        # Component survives preprocessing but the dissimilar pair
+        # structure forbids any (k,r)-core... build: square where one
+        # diagonal pair is dissimilar.  4-cycle, k=2: the only candidate
+        # core is the whole square, which contains the dissimilar pair.
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        base = frozenset({"a", "b", "c"})
+        g.set_attribute(0, base)
+        g.set_attribute(2, base)
+        g.set_attribute(1, frozenset({"a", "b", "x"}))
+        g.set_attribute(3, frozenset({"a", "c", "y"}))
+        pred = SimilarityPredicate("jaccard", 0.4)
+        ctxs = single_component_context(g, 2, pred, adv_max_config())
+        assert len(ctxs) == 1
+        best = find_maximum_in_component(ctxs[0], None)
+        assert best is None
+
+
+class TestStats:
+    def test_merge(self):
+        from repro.core.stats import SearchStats
+        a = SearchStats(nodes=5, elapsed=1.0, cores_emitted=2)
+        b = SearchStats(nodes=3, elapsed=0.5, timed_out=True)
+        a.merge(b)
+        assert a.nodes == 8
+        assert a.elapsed == 1.5
+        assert a.timed_out
+
+    def test_to_dict_keys(self):
+        from repro.core.stats import SearchStats
+        d = SearchStats().to_dict()
+        assert "nodes" in d and "elapsed" in d and "timed_out" in d
+
+    def test_stats_populated_via_api(self):
+        g = make_random_attr_graph(3, n=10)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        __, stats = enumerate_maximal_krcores(
+            g, 2, predicate=pred, with_stats=True,
+        )
+        assert stats.nodes >= stats.components >= 0
+        assert stats.elapsed >= 0

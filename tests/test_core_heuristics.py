@@ -1,0 +1,106 @@
+"""Greedy heuristics and the warm-start ablation."""
+
+import pytest
+
+from conftest import (
+    make_random_attr_graph,
+    oracle_maximal_cores,
+    single_component_context,
+)
+from repro.core.api import find_maximum_krcore
+from repro.core.config import adv_max_config
+from repro.core.heuristics import (
+    greedy_core_in_component,
+    greedy_maximum_krcore,
+)
+from repro.datasets.planted import planted_communities
+from repro.graph.attributed_graph import AttributedGraph
+from repro.similarity.threshold import SimilarityPredicate
+
+
+class TestGreedyCoreInComponent:
+    def test_clean_component_returned_whole(self):
+        g = AttributedGraph(4, edges=[(0, 1), (0, 2), (0, 3), (1, 2),
+                                      (1, 3), (2, 3)])
+        for u in g.vertices():
+            g.set_attribute(u, frozenset({"s"}))
+        pred = SimilarityPredicate("jaccard", 0.1)
+        ctx = single_component_context(g, 2, pred)[0]
+        assert greedy_core_in_component(ctx) == frozenset({0, 1, 2, 3})
+
+    def test_result_is_valid_core(self):
+        for seed in range(20):
+            g = make_random_attr_graph(seed, n=12)
+            pred = SimilarityPredicate("jaccard", 0.35)
+            for ctx in single_component_context(g, 2, pred):
+                found = greedy_core_in_component(ctx)
+                if found is None:
+                    continue
+                # Definition 3, re-checked by hand.
+                for u in found:
+                    assert len(ctx.adj[u] & found) >= ctx.k
+                assert not ctx.index.has_dissimilar_pair(set(found))
+
+    def test_none_when_no_core_exists(self):
+        # 4-cycle with one diagonal dissimilar pair: no (2,r)-core.
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        base = frozenset({"a", "b", "c"})
+        g.set_attribute(0, base)
+        g.set_attribute(2, base)
+        g.set_attribute(1, frozenset({"a", "b", "x"}))
+        g.set_attribute(3, frozenset({"a", "c", "y"}))
+        pred = SimilarityPredicate("jaccard", 0.4)
+        ctx = single_component_context(g, 2, pred)[0]
+        assert greedy_core_in_component(ctx) is None
+
+
+class TestGreedyMaximum:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_lower_bounds_exact_maximum(self, seed):
+        g = make_random_attr_graph(seed, n=11)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        greedy = greedy_maximum_krcore(g, 2, pred)
+        exact = find_maximum_krcore(g, 2, predicate=pred)
+        gs = greedy.size if greedy else 0
+        es = exact.size if exact else 0
+        assert gs <= es
+        if greedy is not None:
+            assert greedy.verify(g, pred)
+
+    def test_exact_on_planted_blocks(self):
+        # Greedy peeling separates cleanly planted communities: the
+        # dissimilar bridge endpoints are the highest-DP vertices.
+        pc = planted_communities(n_blocks=3, block_size=10, k=3, seed=2)
+        greedy = greedy_maximum_krcore(pc.graph, pc.k, pc.predicate)
+        exact = find_maximum_krcore(pc.graph, pc.k, predicate=pc.predicate)
+        assert greedy is not None
+        assert greedy.size == exact.size
+
+    def test_none_when_nothing_exists(self):
+        g = make_random_attr_graph(1, n=8)
+        pred = SimilarityPredicate("jaccard", 1.01)
+        assert greedy_maximum_krcore(g, 2, pred) is None
+
+
+class TestWarmStart:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_same_answer_with_and_without(self, seed):
+        g = make_random_attr_graph(seed, n=11)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        plain = find_maximum_krcore(g, 2, predicate=pred)
+        warm = find_maximum_krcore(
+            g, 2, predicate=pred, config=adv_max_config(warm_start=True),
+        )
+        assert (plain.size if plain else 0) == (warm.size if warm else 0)
+
+    def test_warm_start_never_explores_more(self):
+        pc = planted_communities(n_blocks=4, block_size=12, k=3, seed=5)
+        plain, plain_stats = find_maximum_krcore(
+            pc.graph, pc.k, predicate=pc.predicate, with_stats=True,
+        )
+        warm, warm_stats = find_maximum_krcore(
+            pc.graph, pc.k, predicate=pc.predicate,
+            config=adv_max_config(warm_start=True), with_stats=True,
+        )
+        assert warm.size == plain.size
+        assert warm_stats.nodes <= plain_stats.nodes

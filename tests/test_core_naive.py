@@ -1,0 +1,85 @@
+"""Naive enumeration (Algorithms 1–2) and the brute-force oracle."""
+
+import pytest
+
+from conftest import single_component_context
+from repro.core.naive import (
+    brute_force_maximal_krcores,
+    naive_enumerate_component,
+)
+from repro.graph.attributed_graph import AttributedGraph
+from repro.similarity.threshold import SimilarityPredicate
+
+
+def uniform(edges, n=None, attr=frozenset({"s"})):
+    n = n if n is not None else max(max(e) for e in edges) + 1
+    g = AttributedGraph(n, edges=edges)
+    for u in g.vertices():
+        g.set_attribute(u, attr)
+    return g
+
+
+class TestNaiveEnumerate:
+    def test_triangle(self):
+        g = uniform([(0, 1), (1, 2), (0, 2)])
+        pred = SimilarityPredicate("jaccard", 0.1)
+        ctx = single_component_context(g, 2, pred)[0]
+        cores = naive_enumerate_component(ctx)
+        assert sorted(map(sorted, cores)) == [[0, 1, 2]]
+
+    def test_k4_has_single_maximal_core(self):
+        g = uniform([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        pred = SimilarityPredicate("jaccard", 0.1)
+        ctx = single_component_context(g, 2, pred)[0]
+        cores = naive_enumerate_component(ctx)
+        # Every triangle is a (2,r)-core but only K4 is maximal.
+        assert sorted(map(sorted, cores)) == [[0, 1, 2, 3]]
+
+    def test_dissimilar_split(self, two_triangles, jaccard_half):
+        ctxs = single_component_context(two_triangles, 2, jaccard_half)
+        cores = []
+        for ctx in ctxs:
+            cores.extend(naive_enumerate_component(ctx))
+        assert sorted(map(sorted, cores)) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_counts_nodes(self):
+        g = uniform([(0, 1), (1, 2), (0, 2)])
+        pred = SimilarityPredicate("jaccard", 0.1)
+        ctx = single_component_context(g, 2, pred)[0]
+        naive_enumerate_component(ctx)
+        # Full binary tree over 3 vertices: 2^4 - 1 = 15 nodes.
+        assert ctx.stats.nodes == 15
+
+
+class TestBruteForce:
+    def test_matches_naive_on_overlapping_cores(self):
+        # Two K4s sharing an edge — overlapping maximal cores at k=3?
+        g = uniform([
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+            (2, 4), (2, 5), (3, 4), (3, 5), (4, 5),
+        ])
+        pred = SimilarityPredicate("jaccard", 0.1)
+        for k in (2, 3):
+            ctx1 = single_component_context(g, k, pred)[0]
+            ctx2 = single_component_context(g, k, pred)[0]
+            a = sorted(map(sorted, naive_enumerate_component(ctx1)))
+            b = sorted(map(sorted, brute_force_maximal_krcores(ctx2)))
+            assert a == b
+
+    def test_no_core_below_k_plus_one_vertices(self):
+        g = uniform([(0, 1), (1, 2), (0, 2)])
+        pred = SimilarityPredicate("jaccard", 0.1)
+        ctx = single_component_context(g, 3, pred)
+        assert ctx == []  # 3-core of a triangle is empty
+
+    def test_results_are_maximal(self):
+        g = uniform([
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (2, 4),
+        ])
+        pred = SimilarityPredicate("jaccard", 0.1)
+        ctx = single_component_context(g, 2, pred)[0]
+        cores = brute_force_maximal_krcores(ctx)
+        for i, a in enumerate(cores):
+            for j, b in enumerate(cores):
+                if i != j:
+                    assert not a < b

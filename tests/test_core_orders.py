@@ -1,0 +1,168 @@
+"""Search orders (Section 7): strategy behaviour and result invariance."""
+
+import random
+
+import pytest
+
+from conftest import (
+    as_sorted_sets,
+    make_random_attr_graph,
+    oracle_maximal_cores,
+    single_component_context,
+)
+from repro.core.api import enumerate_maximal_krcores, find_maximum_krcore
+from repro.core.config import adv_enum_config, adv_max_config
+from repro.core.orders import (
+    EXPAND,
+    SHRINK,
+    DegreeOrder,
+    Delta1Order,
+    Delta1ThenDelta2Order,
+    Delta2Order,
+    NodeMeasures,
+    RandomOrder,
+    WeightedDeltaOrder,
+    make_order,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.similarity.threshold import SimilarityPredicate
+
+
+def dissim_pair_graph():
+    """Dense similar blob with one dissimilar pair (1, 9)."""
+    g = AttributedGraph(10)
+    rng = random.Random(5)
+    for i in range(10):
+        for j in range(i + 1, 10):
+            if rng.random() < 0.6:
+                g.add_edge(i, j)
+    base = frozenset({"a", "b", "c"})
+    for u in g.vertices():
+        g.set_attribute(u, base)
+    g.set_attribute(1, frozenset({"a", "b", "x"}))
+    g.set_attribute(9, frozenset({"a", "c", "y"}))
+    return g
+
+
+def get_ctx(g, k=2, r=0.4):
+    pred = SimilarityPredicate("jaccard", r)
+    return single_component_context(g, k, pred)[0]
+
+
+class TestMakeOrder:
+    @pytest.mark.parametrize("name,cls", [
+        ("random", RandomOrder),
+        ("degree", DegreeOrder),
+        ("delta1", Delta1Order),
+        ("delta2", Delta2Order),
+        ("delta1-then-delta2", Delta1ThenDelta2Order),
+        ("weighted-delta", WeightedDeltaOrder),
+    ])
+    def test_factory(self, name, cls):
+        order = make_order(name, 5.0, random.Random(0))
+        assert isinstance(order, cls)
+
+    def test_unknown(self):
+        with pytest.raises(InvalidParameterError):
+            make_order("wat", 5.0, random.Random(0))
+
+    def test_negative_lambda(self):
+        with pytest.raises(InvalidParameterError):
+            WeightedDeltaOrder(-2.0)
+
+
+class TestNodeMeasures:
+    def test_counts(self):
+        ctx = get_ctx(dissim_pair_graph())
+        M, C = set(), set(ctx.vertices)
+        meas = NodeMeasures(ctx, M, C)
+        assert meas.dp_c == ctx.index.dissimilar_pair_count(C)
+        assert meas.edges_mc == ctx.edge_count(C)
+        for v in C:
+            assert meas.dp_of[v] == len(ctx.index.dissimilar_to(v) & C)
+
+
+class TestChoices:
+    def test_degree_picks_max_degree(self):
+        ctx = get_ctx(dissim_pair_graph())
+        M, C = set(), set(ctx.vertices)
+        u, branch = DegreeOrder().choose(ctx, M, C, C)
+        degrees = {v: len(ctx.adj[v] & C) for v in C}
+        assert degrees[u] == max(degrees.values())
+        assert branch == EXPAND
+
+    def test_delta1_prefers_dissimilar_vertex(self):
+        # Only 1 and 9 remove dissimilar pairs when branched on.
+        ctx = get_ctx(dissim_pair_graph())
+        M, C = set(), set(ctx.vertices)
+        u, _ = Delta1Order().choose(ctx, M, C, C)
+        assert u in {1, 9}
+
+    def test_delta1_then_delta2_prefers_dissimilar_vertex(self):
+        ctx = get_ctx(dissim_pair_graph())
+        M, C = set(), set(ctx.vertices)
+        u, _ = Delta1ThenDelta2Order().choose(ctx, M, C, C)
+        assert u in {1, 9}
+
+    def test_delta2_prefers_low_impact_vertex(self):
+        ctx = get_ctx(dissim_pair_graph())
+        M, C = set(), set(ctx.vertices)
+        u, _ = Delta2Order().choose(ctx, M, C, C)
+        # The chosen vertex minimises summed edge damage; at minimum it
+        # should not be the globally max-degree, max-dissimilarity one.
+        assert u in C
+
+    def test_weighted_delta_branch_preference(self):
+        ctx = get_ctx(dissim_pair_graph())
+        M, C = set(), set(ctx.vertices)
+        u, branch = WeightedDeltaOrder(5.0).choose(ctx, M, C, C)
+        assert u in {1, 9}
+        assert branch in (EXPAND, SHRINK)
+
+    def test_random_order_deterministic_per_seed(self):
+        ctx = get_ctx(dissim_pair_graph())
+        M, C = set(), set(ctx.vertices)
+        a = RandomOrder(random.Random(3)).choose(ctx, M, C, C)
+        b = RandomOrder(random.Random(3)).choose(ctx, M, C, C)
+        assert a == b
+
+
+class TestOrderResultInvariance:
+    """Orders change the traversal, never the answer (Section 7)."""
+
+    ORDERS = (
+        "random", "degree", "delta1", "delta2",
+        "delta1-then-delta2", "weighted-delta",
+    )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_enumeration_same_results(self, seed):
+        g = make_random_attr_graph(seed, n=10)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        expected = oracle_maximal_cores(g, 2, pred)
+        for order in self.ORDERS:
+            cfg = adv_enum_config(order=order)
+            cores = enumerate_maximal_krcores(g, 2, predicate=pred, config=cfg)
+            assert as_sorted_sets(cores) == expected, order
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("branch", ["expand", "shrink", "adaptive"])
+    def test_maximum_same_size_any_branch_order(self, seed, branch):
+        g = make_random_attr_graph(seed, n=10)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        expected = oracle_maximal_cores(g, 2, pred)
+        want = max((len(c) for c in expected), default=0)
+        cfg = adv_max_config(branch=branch)
+        best = find_maximum_krcore(g, 2, predicate=pred, config=cfg)
+        assert (best.size if best else 0) == want
+
+    @pytest.mark.parametrize("lam", [0.0, 1.0, 5.0, 20.0])
+    def test_maximum_same_size_any_lambda(self, lam):
+        g = make_random_attr_graph(99, n=11)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        expected = oracle_maximal_cores(g, 2, pred)
+        want = max((len(c) for c in expected), default=0)
+        cfg = adv_max_config(lam=lam)
+        best = find_maximum_krcore(g, 2, predicate=pred, config=cfg)
+        assert (best.size if best else 0) == want

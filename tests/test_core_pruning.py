@@ -1,0 +1,217 @@
+"""White-box tests of candidate pruning and the node invariants.
+
+These drive :func:`apply_pruning` directly on prepared component
+contexts and assert the two invariants of Section 5.1 (Equations 1–2)
+plus the E-set maintenance rules.
+"""
+
+import pytest
+
+from conftest import single_component_context
+from repro.core.pruning import (
+    apply_pruning,
+    move_similarity_free_into_m,
+    similarity_free_set,
+)
+from repro.graph.attributed_graph import AttributedGraph
+from repro.similarity.threshold import SimilarityPredicate
+
+
+def paper_example_graph():
+    """Figure 3's shape: a dense blob where u1/u9 are the dissimilar pair.
+
+    We build 10 vertices, all pairwise similar except vertices 1 and 9.
+    """
+    g = AttributedGraph(10)
+    edges = [
+        (0, 1), (0, 2), (0, 3), (0, 7), (0, 5),
+        (1, 2), (1, 3), (2, 3), (2, 4), (3, 4),
+        (4, 5), (4, 6), (5, 6), (5, 7), (6, 7),
+        (7, 8), (8, 9), (6, 8), (0, 9), (2, 9), (4, 9), (2, 5), (1, 6),
+        (3, 8), (1, 8),
+    ]
+    for u, v in edges:
+        g.add_edge(u, v)
+    base = frozenset({"a", "b", "c"})
+    for u in range(10):
+        g.set_attribute(u, base)
+    # Make 1 and 9 dissimilar to each other but similar to all others:
+    # 1 -> {a,b,x}, 9 -> {a,c,y}: J(1,9)=1/5 < 0.4; J(1,base)=2/4=0.5.
+    g.set_attribute(1, frozenset({"a", "b", "x"}))
+    g.set_attribute(9, frozenset({"a", "c", "y"}))
+    return g
+
+
+def get_context(g, k=3, r=0.4):
+    pred = SimilarityPredicate("jaccard", r)
+    contexts = single_component_context(g, k, pred)
+    assert len(contexts) == 1
+    return contexts[0]
+
+
+class TestApplyPruning:
+    def test_root_node_noop(self):
+        ctx = get_context(paper_example_graph())
+        M, C, E = set(), set(ctx.vertices), set()
+        alive = apply_pruning(ctx, M, C, E, expanded=None)
+        assert alive
+        assert C == set(ctx.vertices)
+        assert not E
+
+    def test_expand_evicts_dissimilar(self):
+        ctx = get_context(paper_example_graph())
+        C = set(ctx.vertices) - {1}
+        M, E = {1}, set()
+        alive = apply_pruning(ctx, M, C, E, expanded=1)
+        assert alive
+        assert 9 not in C          # dissimilar to the new M
+        assert 9 not in E          # dissimilar vertices never enter E
+        assert 1 in M
+
+    def test_expand_purges_excluded(self):
+        ctx = get_context(paper_example_graph())
+        # 9 sits in E; expanding 1 must purge it.
+        C = set(ctx.vertices) - {1, 9}
+        M, E = {1}, {9}
+        apply_pruning(ctx, M, C, E, expanded=1)
+        assert 9 not in E
+
+    def test_structure_cascade_moves_to_excluded(self):
+        # Path-ish appendage below the k-core threshold collapses.
+        g = AttributedGraph(6, edges=[
+            (0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (3, 5), (4, 5), (2, 4),
+        ])
+        for u in g.vertices():
+            g.set_attribute(u, frozenset({"s"}))
+        ctx = get_context(g, k=2, r=0.1)
+        # Discard 3 (shrink): 4/5 lose support only partially... compute:
+        M = set()
+        C = set(ctx.vertices) - {3}
+        E = {3}
+        alive = apply_pruning(ctx, M, C, E, expanded=None)
+        assert alive
+        # After removing 3: deg(5) = 1 -> peeled; then deg(4)=2 (2,5->2?):
+        # edges 4-5 gone, 4-2 remains, 2-4 => deg(4)=1 -> peeled.
+        assert C == {0, 1, 2}
+        assert E == {3, 4, 5}
+
+    def test_dead_when_m_vertex_peeled(self):
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (0, 2), (2, 3), (1, 3)])
+        for u in g.vertices():
+            g.set_attribute(u, frozenset({"s"}))
+        ctx = get_context(g, k=2, r=0.1)
+        # Put 3 in M, then discard 2: deg(3) drops below 2 -> dead.
+        M, E = {3}, {2}
+        C = set(ctx.vertices) - {3, 2}
+        alive = apply_pruning(ctx, M, C, E, expanded=None)
+        assert not alive
+
+    def test_component_restriction(self):
+        # Two triangles bridged by vertex 6 of low degree.
+        g = AttributedGraph(7, edges=[
+            (0, 1), (1, 2), (0, 2),
+            (3, 4), (4, 5), (3, 5),
+            (2, 6), (3, 6),
+        ])
+        for u in g.vertices():
+            g.set_attribute(u, frozenset({"s"}))
+        pred = SimilarityPredicate("jaccard", 0.1)
+        contexts = single_component_context(g, 2, pred)
+        ctx = contexts[0]
+        # 6 is peeled in preprocessing (degree 2 but...), actually deg(6)=2
+        # so 6 survives; discard 6 -> graph splits; M={0} keeps only its
+        # own triangle.
+        M = {0}
+        C = set(ctx.vertices) - {0, 6}
+        E = {6}
+        alive = apply_pruning(ctx, M, C, E, expanded=None)
+        assert alive
+        assert C == {1, 2}
+        assert E == {3, 4, 5, 6}
+
+    def test_dead_when_m_spans_components(self):
+        g = AttributedGraph(7, edges=[
+            (0, 1), (1, 2), (0, 2),
+            (3, 4), (4, 5), (3, 5),
+            (2, 6), (3, 6),
+        ])
+        for u in g.vertices():
+            g.set_attribute(u, frozenset({"s"}))
+        pred = SimilarityPredicate("jaccard", 0.1)
+        ctx = single_component_context(g, 2, pred)[0]
+        M = {0, 3}
+        C = set(ctx.vertices) - {0, 3, 6}
+        E = {6}
+        alive = apply_pruning(ctx, M, C, E, expanded=None)
+        assert not alive
+
+    def test_invariants_after_pruning(self):
+        ctx = get_context(paper_example_graph())
+        M = {1}
+        C = set(ctx.vertices) - {1}
+        E = set()
+        apply_pruning(ctx, M, C, E, expanded=1)
+        mc = M | C
+        # Degree invariant (Eq 2).
+        for u in mc:
+            assert len(ctx.adj[u] & mc) >= ctx.k
+        # Similarity invariant (Eq 1).
+        for u in M:
+            assert not (ctx.index.dissimilar_to(u) & mc)
+
+    def test_track_excluded_false_leaves_e_alone(self):
+        ctx = get_context(paper_example_graph())
+        M, E = {1}, set()
+        C = set(ctx.vertices) - {1}
+        apply_pruning(ctx, M, C, E, expanded=1, track_excluded=False)
+        assert E == set()
+
+
+class TestSimilarityFreeSet:
+    def test_sf_excludes_dissimilar_pair(self):
+        ctx = get_context(paper_example_graph())
+        C = set(ctx.vertices)
+        sf = similarity_free_set(ctx, C)
+        assert sf == C - {1, 9}
+
+    def test_sf_of_similar_set_is_everything(self):
+        ctx = get_context(paper_example_graph())
+        C = set(ctx.vertices) - {9}
+        assert similarity_free_set(ctx, C) == C
+
+    def test_sf_empty_candidates(self):
+        ctx = get_context(paper_example_graph())
+        assert similarity_free_set(ctx, set()) == set()
+
+
+class TestMoveSimilarityFree:
+    def test_moves_vertices_with_k_neighbors_in_m(self):
+        ctx = get_context(paper_example_graph())
+        # M = {0,2,4}: vertex 9 is adjacent to all three (edges 0-9, 2-9,
+        # 4-9) and similarity-free once 1 is gone.
+        M = {0, 2, 4}
+        C = set(ctx.vertices) - M - {1}
+        E = set()
+        sf = similarity_free_set(ctx, C)
+        assert 9 in sf
+        move_similarity_free_into_m(ctx, M, C, E, sf, track_excluded=True)
+        assert 9 in M
+        assert 9 not in C
+
+    def test_no_moves_when_m_empty(self):
+        ctx = get_context(paper_example_graph())
+        M, E = set(), set()
+        C = set(ctx.vertices)
+        sf = similarity_free_set(ctx, C)
+        move_similarity_free_into_m(ctx, M, C, E, sf, track_excluded=True)
+        assert M == set()
+
+    def test_move_purges_excluded(self):
+        ctx = get_context(paper_example_graph())
+        M = {0, 2, 4}
+        C = set(ctx.vertices) - M - {1}
+        E = {1}  # 1 is dissimilar to 9
+        sf = similarity_free_set(ctx, C)
+        move_similarity_free_into_m(ctx, M, C, E, sf, track_excluded=True)
+        if 9 in M:
+            assert 1 not in E

@@ -1,0 +1,120 @@
+"""KRCore result type: verification and maximal filtering."""
+
+import pytest
+
+from repro.core.results import (
+    KRCore,
+    filter_maximal,
+    largest_core,
+    summarize_cores,
+)
+from repro.graph.attributed_graph import AttributedGraph
+from repro.similarity.threshold import SimilarityPredicate
+
+
+def make_triangle_graph():
+    g = AttributedGraph(4, edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+    for u in range(3):
+        g.set_attribute(u, frozenset({"x"}))
+    g.set_attribute(3, frozenset({"y"}))
+    return g
+
+
+class TestKRCore:
+    def test_size_len_iter_contains(self):
+        core = KRCore(frozenset({1, 2, 3}), k=2, r=0.5)
+        assert core.size == 3
+        assert len(core) == 3
+        assert 2 in core
+        assert 9 not in core
+        assert sorted(core) == [1, 2, 3]
+
+    def test_contains_core(self):
+        big = KRCore(frozenset({1, 2, 3}), 2, 0.5)
+        small = KRCore(frozenset({1, 2}), 2, 0.5)
+        assert big.contains_core(small)
+        assert not small.contains_core(big)
+
+    def test_verify_valid_core(self):
+        g = make_triangle_graph()
+        pred = SimilarityPredicate("jaccard", 0.5)
+        assert KRCore(frozenset({0, 1, 2}), 2, 0.5).verify(g, pred)
+
+    def test_verify_rejects_low_degree(self):
+        g = make_triangle_graph()
+        pred = SimilarityPredicate("jaccard", 0.5)
+        assert not KRCore(frozenset({0, 1}), 2, 0.5).verify(g, pred)
+
+    def test_verify_rejects_dissimilar_pair(self):
+        g = make_triangle_graph()
+        g.add_edge(0, 3)
+        g.add_edge(1, 3)
+        pred = SimilarityPredicate("jaccard", 0.5)
+        # {0,1,2,3} has degree >= 2 everywhere but 3 is dissimilar.
+        assert not KRCore(frozenset({0, 1, 2, 3}), 2, 0.5).verify(g, pred)
+
+    def test_verify_rejects_disconnected(self):
+        g = AttributedGraph(6, edges=[(0, 1), (1, 2), (0, 2),
+                                      (3, 4), (4, 5), (3, 5)])
+        for u in g.vertices():
+            g.set_attribute(u, frozenset({"x"}))
+        pred = SimilarityPredicate("jaccard", 0.5)
+        assert not KRCore(frozenset(range(6)), 2, 0.5).verify(g, pred)
+        assert KRCore(frozenset({0, 1, 2}), 2, 0.5).verify(g, pred)
+
+    def test_verify_rejects_empty(self):
+        g = make_triangle_graph()
+        pred = SimilarityPredicate("jaccard", 0.5)
+        assert not KRCore(frozenset(), 2, 0.5).verify(g, pred)
+
+    def test_repr(self):
+        core = KRCore(frozenset({0}), 1, 0.3)
+        assert "size=1" in repr(core)
+
+
+class TestFilterMaximal:
+    def test_removes_subsets(self):
+        sets = [frozenset({1, 2}), frozenset({1, 2, 3}), frozenset({4})]
+        kept = filter_maximal(sets)
+        assert sorted(map(sorted, kept)) == [[1, 2, 3], [4]]
+
+    def test_deduplicates(self):
+        sets = [frozenset({1, 2}), frozenset({1, 2})]
+        assert len(filter_maximal(sets)) == 1
+
+    def test_keeps_incomparable(self):
+        sets = [frozenset({1, 2}), frozenset({2, 3})]
+        assert len(filter_maximal(sets)) == 2
+
+    def test_empty(self):
+        assert filter_maximal([]) == []
+
+    def test_equal_size_sets_never_compared(self):
+        sets = [frozenset({1, 2, 3}), frozenset({4, 5, 6})]
+        assert len(filter_maximal(sets)) == 2
+
+
+class TestSummaries:
+    def test_summarize_empty(self):
+        assert summarize_cores([]) == {
+            "count": 0, "max_size": 0, "avg_size": 0.0,
+        }
+
+    def test_summarize(self):
+        cores = [
+            KRCore(frozenset({1, 2}), 1, 0.1),
+            KRCore(frozenset({3, 4, 5, 6}), 1, 0.1),
+        ]
+        stats = summarize_cores(cores)
+        assert stats == {"count": 2, "max_size": 4, "avg_size": 3.0}
+
+    def test_largest_core(self):
+        small = KRCore(frozenset({1}), 1, 0.1)
+        big = KRCore(frozenset({2, 3}), 1, 0.1)
+        assert largest_core([small, big]) is big
+        assert largest_core([]) is None
+
+    def test_largest_core_tie_deterministic(self):
+        a = KRCore(frozenset({1, 2}), 1, 0.1)
+        b = KRCore(frozenset({3, 4}), 1, 0.1)
+        assert largest_core([a, b]) == largest_core([b, a])

@@ -1,0 +1,143 @@
+"""Early termination (Theorem 5): white-box condition tests."""
+
+import pytest
+
+from conftest import single_component_context
+from repro.graph.attributed_graph import AttributedGraph
+from repro.core.termination import should_terminate_early
+from repro.similarity.threshold import SimilarityPredicate
+
+
+def dense_similar_graph(n=8, k=2, dissimilar_pairs=()):
+    """Near-clique where all vertices are similar except listed pairs.
+
+    Members of a listed pair get attributes {a,b,x} / {a,c,y}: Jaccard
+    1/5 with each other (dissimilar at r=0.4) but 2/4 = 0.5 with the
+    {a,b,c} baseline (similar).
+    """
+    g = AttributedGraph(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j)
+    for u in range(n):
+        g.set_attribute(u, frozenset({"a", "b", "c"}))
+    for idx, (u, v) in enumerate(dissimilar_pairs):
+        g.set_attribute(u, frozenset({"a", "b", f"x{idx}"}))
+        g.set_attribute(v, frozenset({"a", "c", f"y{idx}"}))
+    return g
+
+
+def get_ctx(g, k=2, r=0.4):
+    pred = SimilarityPredicate("jaccard", r)
+    ctxs = single_component_context(g, k, pred)
+    assert len(ctxs) == 1
+    return ctxs[0]
+
+
+class TestConditionI:
+    def test_fires_when_excluded_vertex_extends_m(self):
+        g = dense_similar_graph(n=6)
+        ctx = get_ctx(g)
+        # Vertex 5 was excluded but has >= k neighbours in M and is
+        # similar to everything: every core from this node absorbs it.
+        M = {0, 1, 2}
+        C = {3, 4}
+        E = {5}
+        assert should_terminate_early(ctx, M, C, E)
+        assert ctx.stats.early_term_i == 1
+
+    def test_no_fire_when_degree_too_low(self):
+        # Excluded vertex with no edge into M (its edges go to C only).
+        g = AttributedGraph(5, edges=[
+            (0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 4), (3, 4),
+        ])
+        for u in g.vertices():
+            g.set_attribute(u, frozenset({"s"}))
+        ctx = get_ctx(g, k=2, r=0.1)
+        M = {0, 1}
+        C = {2, 3}
+        E = {4}  # deg(4, M) = 0 < 2 and no mutually-supporting set
+        assert not should_terminate_early(ctx, M, C, E)
+
+    def test_no_fire_when_dissimilar_to_candidate(self):
+        g = dense_similar_graph(n=6, dissimilar_pairs=[(4, 5)])
+        ctx = get_ctx(g)
+        # 5 has enough degree into M but is dissimilar to candidate 4,
+        # so cores keeping 4 cannot absorb it; (i) must not fire off 5.
+        M = {0, 1, 2}
+        C = {4}
+        E = {5}
+        # 5 dissimilar to 4 -> not SF_C(E); no other excluded vertex.
+        assert not should_terminate_early(ctx, M, C, E)
+
+    def test_never_fires_with_empty_m_or_e(self):
+        g = dense_similar_graph(n=5)
+        ctx = get_ctx(g)
+        assert not should_terminate_early(ctx, set(), {0, 1, 2}, {3})
+        assert not should_terminate_early(ctx, {0, 1}, {2, 3}, set())
+
+
+class TestConditionII:
+    def test_fires_for_mutually_supporting_set(self):
+        # Excluded pair {4,5}: each has 1 edge into M and 1 to the other,
+        # so deg(u, M ∪ U) >= 2 only jointly — (i) misses, (ii) fires.
+        g = AttributedGraph(6, edges=[
+            (0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3),
+            (4, 0), (4, 5), (5, 1),
+        ])
+        for u in g.vertices():
+            g.set_attribute(u, frozenset({"s"}))
+        ctx = get_ctx(g, k=2, r=0.1)
+        M = {0, 1, 2}
+        C = {3}
+        E = {4, 5}
+        assert should_terminate_early(ctx, M, C, E)
+        assert ctx.stats.early_term_ii == 1
+        assert ctx.stats.early_term_i == 0
+
+    def test_does_not_fire_for_disconnected_island(self):
+        # Excluded triangle disconnected from M: structurally a k-core
+        # among themselves, but R ∪ U would be disconnected — the
+        # connectivity guard must hold (i)/(ii) back.
+        g = AttributedGraph(7, edges=[
+            (0, 1), (1, 2), (0, 2),       # M-side triangle
+            (3, 0), (3, 1), (3, 2),       # candidate
+            (4, 5), (5, 6), (4, 6),       # excluded island
+            (6, 3),                        # island touched C only via 3
+        ])
+        for u in g.vertices():
+            g.set_attribute(u, frozenset({"s"}))
+        ctx = get_ctx(g, k=2, r=0.1)
+        M = {0, 1, 2}
+        C = {3}
+        E = {4, 5, 6}
+        # Island members have deg >= 2 among themselves but no path to M
+        # within M ∪ U; termination would be unsound.
+        assert not should_terminate_early(ctx, M, C, E)
+
+    def test_fires_when_island_connects_through_m(self):
+        g = AttributedGraph(7, edges=[
+            (0, 1), (1, 2), (0, 2),
+            (3, 0), (3, 1),
+            (4, 5), (5, 6), (4, 6), (4, 0), (5, 1),
+        ])
+        for u in g.vertices():
+            g.set_attribute(u, frozenset({"s"}))
+        ctx = get_ctx(g, k=2, r=0.1)
+        M = {0, 1, 2}
+        C = {3}
+        E = {4, 5, 6}
+        assert should_terminate_early(ctx, M, C, E)
+
+    def test_requires_similarity_to_c_and_e(self):
+        # The supporting set must be similar w.r.t. C ∪ E: break it.
+        g = dense_similar_graph(n=7, dissimilar_pairs=[(5, 6)])
+        ctx = get_ctx(g)
+        M = {0, 1, 2}
+        C = {3, 4}
+        E = {5, 6}
+        # 5 and 6 are dissimilar to each other AND to candidates? No —
+        # only to each other; but each alone has k neighbours in M, so
+        # condition (i) fires via either. Verify it still terminates
+        # (this guards the (i)-before-(ii) path).
+        assert should_terminate_early(ctx, M, C, E)

@@ -1,0 +1,213 @@
+"""Dataset generators: determinism, structure, attribute types."""
+
+import pytest
+
+from repro.datasets.coauthor import coauthor_network
+from repro.datasets.geosocial import geosocial_network
+from repro.datasets.interests import interest_network
+from repro.datasets.synthetic import (
+    contested_network,
+    gnp_graph,
+    partition_sizes,
+    preferential_attachment_edges,
+    random_attributed_graph,
+    random_geo_graph,
+)
+from repro.exceptions import InvalidParameterError
+
+import random
+
+
+class TestGnp:
+    def test_determinism(self):
+        a = gnp_graph(20, 0.3, seed=5)
+        b = gnp_graph(20, 0.3, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_p_zero_and_one(self):
+        assert gnp_graph(10, 0.0, seed=1).edge_count == 0
+        assert gnp_graph(10, 1.0, seed=1).edge_count == 45
+
+    def test_invalid_p(self):
+        with pytest.raises(InvalidParameterError):
+            gnp_graph(5, 1.5)
+
+
+class TestPreferentialAttachment:
+    def test_every_vertex_connected(self):
+        rng = random.Random(3)
+        edges = preferential_attachment_edges(30, 2, rng)
+        touched = {u for e in edges for u in e}
+        assert touched == set(range(30))
+
+    def test_offset_applied(self):
+        rng = random.Random(3)
+        edges = preferential_attachment_edges(10, 2, rng, offset=100)
+        assert all(100 <= u < 110 and 100 <= v < 110 for u, v in edges)
+
+    def test_empty(self):
+        assert preferential_attachment_edges(0, 2, random.Random(0)) == []
+
+    def test_heavy_tail_exists(self):
+        rng = random.Random(7)
+        edges = preferential_attachment_edges(300, 2, rng)
+        degree = {}
+        for u, v in edges:
+            degree[u] = degree.get(u, 0) + 1
+            degree[v] = degree.get(v, 0) + 1
+        assert max(degree.values()) > 4 * (sum(degree.values()) / len(degree))
+
+
+class TestPartitionSizes:
+    def test_sums_to_total(self):
+        rng = random.Random(0)
+        sizes = partition_sizes(100, 7, rng)
+        assert sum(sizes) == 100
+        assert all(s >= 1 for s in sizes)
+
+    def test_skew_orders_first_largest(self):
+        rng = random.Random(0)
+        sizes = partition_sizes(1000, 5, rng, skew=2.0)
+        assert sizes[0] == max(sizes)
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            partition_sizes(3, 5, random.Random(0))
+
+
+class TestRandomAttributed:
+    def test_attribute_shape(self):
+        g = random_attributed_graph(15, 0.3, attrs_per_vertex=3, seed=2)
+        for u in g.vertices():
+            attr = g.attribute(u)
+            assert isinstance(attr, frozenset)
+            assert len(attr) == 3
+
+    def test_vocabulary_bound(self):
+        with pytest.raises(InvalidParameterError):
+            random_attributed_graph(5, 0.3, vocabulary=("a",), attrs_per_vertex=2)
+
+    def test_geo_in_region(self):
+        g = random_geo_graph(15, 0.3, region_km=50.0, seed=2)
+        for u in g.vertices():
+            x, y = g.attribute(u)
+            assert 0 <= x <= 50 and 0 <= y <= 50
+
+
+class TestGeosocial:
+    def test_determinism(self):
+        a = geosocial_network(120, seed=9)
+        b = geosocial_network(120, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert all(a.attribute(u) == b.attribute(u) for u in a.vertices())
+
+    def test_every_vertex_has_geo_attribute(self):
+        g = geosocial_network(100, seed=1)
+        for u in g.vertices():
+            attr = g.attribute(u)
+            assert isinstance(attr, tuple) and len(attr) == 2
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            geosocial_network(10, n_hubs=0)
+        with pytest.raises(InvalidParameterError):
+            geosocial_network(3, n_hubs=5)
+        with pytest.raises(InvalidParameterError):
+            geosocial_network(100, neighborhood_degree=20, neighborhood_size=10)
+
+    def test_neighborhoods_create_dense_cores(self):
+        from repro.graph.kcore import max_core_number
+        g = geosocial_network(
+            200, n_hubs=3, neighborhood_degree=6, seed=4,
+        )
+        assert max_core_number(g) >= 6
+
+
+class TestCoauthor:
+    def test_determinism(self):
+        a = coauthor_network(120, seed=9)
+        b = coauthor_network(120, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_attributes_are_counted_profiles(self):
+        g = coauthor_network(80, seed=2)
+        for u in g.vertices():
+            profile = g.attribute(u)
+            assert isinstance(profile, dict) and profile
+            assert all(c >= 1.0 for c in profile.values())
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            coauthor_network(10, n_topics=0)
+        with pytest.raises(InvalidParameterError):
+            coauthor_network(100, project_degree=20, project_size=10)
+
+    def test_projects_create_dense_cores(self):
+        from repro.graph.kcore import max_core_number
+        g = coauthor_network(200, n_topics=4, project_degree=7, seed=4)
+        assert max_core_number(g) >= 7
+
+
+class TestContestedNetwork:
+    def test_determinism(self):
+        a = contested_network(n=120, seed=3)
+        b = contested_network(n=120, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert all(a.attribute(u) == b.attribute(u) for u in a.vertices())
+
+    def test_attribute_shape(self):
+        g = contested_network(n=120, vocabulary_size=8,
+                              keywords_per_vertex=4, seed=1)
+        for u in g.vertices():
+            assert len(g.attribute(u)) == 4
+
+    def test_blocks_are_dense(self):
+        from repro.graph.kcore import max_core_number
+        g = contested_network(n=160, ring_width=4, seed=2)
+        assert max_core_number(g) >= 8  # ring width 4 -> degree >= 8
+
+    def test_similarity_graph_has_many_cliques(self):
+        """The design goal: scattered dissimilarity -> clique explosion.
+
+        Count maximal similarity cliques inside one block and check they
+        vastly outnumber the blocks (the blocky planted analogs have
+        about one clique per community)."""
+        from repro.graph.cliques import enumerate_maximal_cliques
+        from repro.similarity.index import build_index
+        from repro.similarity.threshold import SimilarityPredicate
+
+        g = contested_network(n=120, n_blocks=4, seed=5)
+        pred = SimilarityPredicate("jaccard", 0.3)
+        block = set(range(30))
+        idx = build_index(g, pred, block)
+        sim_adj = {
+            u: (block - idx.dissimilar_to(u)) - {u} for u in block
+        }
+        count = sum(1 for __ in enumerate_maximal_cliques(sim_adj))
+        assert count > 50
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            contested_network(n=10, n_blocks=4, ring_width=4)
+        with pytest.raises(InvalidParameterError):
+            contested_network(keywords_per_vertex=10, vocabulary_size=8)
+
+
+class TestInterests:
+    def test_determinism(self):
+        a = interest_network(120, seed=9)
+        b = interest_network(120, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_attributes_are_weighted_profiles(self):
+        g = interest_network(80, seed=2)
+        for u in g.vertices():
+            profile = g.attribute(u)
+            assert isinstance(profile, dict) and profile
+            assert all(w >= 1.0 for w in profile.values())
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            interest_network(10, n_groups=0)
+        with pytest.raises(InvalidParameterError):
+            interest_network(100, circle_degree=20, circle_size=10)

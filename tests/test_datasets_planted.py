@@ -1,0 +1,88 @@
+"""Planted-core generators: the ground truth must actually hold."""
+
+import pytest
+
+from conftest import as_sorted_sets
+from repro.core.api import enumerate_maximal_krcores
+from repro.datasets.planted import (
+    planted_bridge_case_study,
+    planted_communities,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graph.components import is_connected
+from repro.graph.kcore import k_core_vertices
+
+
+class TestPlantedCommunities:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("kind", ["keywords", "geo"])
+    def test_ground_truth_recovered(self, seed, kind):
+        pc = planted_communities(
+            n_blocks=3, block_size=10, k=3, attribute_kind=kind, seed=seed,
+        )
+        cores = enumerate_maximal_krcores(
+            pc.graph, pc.k, predicate=pc.predicate,
+        )
+        assert as_sorted_sets(cores) == sorted(
+            sorted(c) for c in pc.communities
+        )
+
+    def test_whole_graph_is_one_kcore(self):
+        pc = planted_communities(n_blocks=3, block_size=10, k=3, seed=0)
+        survivors = k_core_vertices(pc.graph, pc.k)
+        assert survivors == set(pc.graph.vertices())
+        assert is_connected(pc.graph)
+
+    def test_blocks_satisfy_definition(self):
+        pc = planted_communities(n_blocks=2, block_size=12, k=4, seed=1)
+        for block in pc.communities:
+            for u in block:
+                assert len(pc.graph.neighbors(u) & block) >= pc.k
+
+    def test_single_block(self):
+        pc = planted_communities(n_blocks=1, block_size=8, k=2, seed=3)
+        cores = enumerate_maximal_krcores(
+            pc.graph, pc.k, predicate=pc.predicate,
+        )
+        assert len(cores) == 1
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            planted_communities(block_size=3, k=3)
+        with pytest.raises(InvalidParameterError):
+            planted_communities(n_blocks=0)
+        with pytest.raises(InvalidParameterError):
+            planted_communities(attribute_kind="wat")
+
+    def test_r_property(self):
+        pc = planted_communities(seed=2)
+        assert pc.r == pc.predicate.r
+
+
+class TestBridgeCaseStudy:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_two_overlapping_cores(self, seed):
+        study = planted_bridge_case_study(block_size=12, k=4, seed=seed)
+        cores = enumerate_maximal_krcores(
+            study.graph, study.k, predicate=study.predicate,
+        )
+        assert as_sorted_sets(cores) == sorted(
+            sorted(c) for c in study.communities
+        )
+        overlap = set(cores[0].vertices) & set(cores[1].vertices)
+        assert len(overlap) == 1  # exactly the bridge author
+
+    def test_bridge_is_last_vertex(self):
+        study = planted_bridge_case_study(block_size=10, k=3, seed=0)
+        bridge = study.graph.vertex_count - 1
+        for community in study.communities:
+            assert bridge in community
+
+    def test_structure_alone_cannot_split(self):
+        study = planted_bridge_case_study(block_size=10, k=3, seed=0)
+        survivors = k_core_vertices(study.graph, study.k)
+        assert survivors == set(study.graph.vertices())
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            planted_bridge_case_study(block_size=4, k=4)

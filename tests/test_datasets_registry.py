@@ -1,0 +1,87 @@
+"""Dataset registry: named analogs, scaling, predicate conventions."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASETS,
+    dataset_statistics,
+    default_predicate,
+    load_dataset,
+)
+from repro.exceptions import InvalidParameterError
+from repro.similarity.metrics import MetricKind
+
+
+class TestLoadDataset:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_loads_with_attributes(self, name):
+        g = load_dataset(name, scale=0.2)
+        assert g.vertex_count >= 30
+        assert g.edge_count > 0
+        for u in list(g.vertices())[:10]:
+            assert g.attribute(u) is not None
+
+    def test_scale_changes_size(self):
+        small = load_dataset("gowalla", scale=0.1)
+        big = load_dataset("gowalla", scale=0.5)
+        assert small.vertex_count < big.vertex_count
+
+    def test_determinism(self):
+        a = load_dataset("dblp", scale=0.2, seed=3)
+        b = load_dataset("dblp", scale=0.2, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            load_dataset("friendster")
+
+    def test_case_insensitive(self):
+        g = load_dataset("GoWaLLa", scale=0.1)
+        assert g.vertex_count >= 30
+
+
+class TestDefaultPredicate:
+    def test_geo_takes_km(self):
+        g = load_dataset("gowalla", scale=0.1)
+        pred = default_predicate("gowalla", g, km=25.0)
+        assert pred.kind is MetricKind.DISTANCE
+        assert pred.r == 25.0
+
+    def test_geo_requires_km(self):
+        g = load_dataset("gowalla", scale=0.1)
+        with pytest.raises(InvalidParameterError):
+            default_predicate("gowalla", g, permille=3)
+
+    def test_keyword_takes_permille(self):
+        g = load_dataset("dblp", scale=0.2)
+        pred = default_predicate("dblp", g, permille=5)
+        assert pred.kind is MetricKind.SIMILARITY
+        assert 0.0 <= pred.r <= 1.0
+
+    def test_keyword_requires_permille(self):
+        g = load_dataset("dblp", scale=0.2)
+        with pytest.raises(InvalidParameterError):
+            default_predicate("dblp", g, km=5.0)
+
+    def test_growing_permille_lowers_threshold(self):
+        g = load_dataset("dblp", scale=0.3)
+        tight = default_predicate("dblp", g, permille=1).r
+        loose = default_predicate("dblp", g, permille=15).r
+        assert loose <= tight
+
+
+class TestDatasetStatistics:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_row_shape(self, name):
+        row = dataset_statistics(name, scale=0.2)
+        assert row["dataset"] == name
+        assert row["nodes"] > 0
+        assert row["edges"] > 0
+        assert row["dmax"] >= row["davg"]
+        assert row["paper_nodes"] == DATASETS[name].paper_nodes
+
+    def test_degree_ordering_matches_paper(self):
+        """The analogs preserve Table 3's density ordering."""
+        rows = {n: dataset_statistics(n) for n in DATASETS}
+        assert rows["gowalla"]["davg"] < rows["brightkite"]["davg"]
+        assert rows["dblp"]["davg"] < rows["pokec"]["davg"]

@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts run and print what they promise.
+
+Only the fast examples run here (the full case studies sweep several
+solver settings and belong to the benchmark tier).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "maximal (2,0.4)-cores: 2" in out
+    assert "maximum (2,0.4)-core" in out
+
+
+def test_custom_metric():
+    out = run_example("custom_metric.py")
+    assert "custom-metric cores" in out
+    assert "re-verified against Definition 3" in out
+
+
+def test_dynamic_mining():
+    out = run_example("dynamic_mining.py")
+    assert "initial mine" in out
+    assert "cached 3 components" in out
+    assert "repeat query" in out
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart.py", "coauthor_communities.py", "geosocial_groups.py",
+    "parameter_sweep.py", "custom_metric.py", "dynamic_mining.py",
+])
+def test_example_files_have_docstrings(name):
+    text = (EXAMPLES / name).read_text(encoding="utf-8")
+    assert text.startswith('"""'), f"{name} lacks a module docstring"
+    assert "Run:" in text, f"{name} lacks a Run: line"

@@ -1,0 +1,178 @@
+"""Unit tests for the attributed graph store."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.attributed_graph import AttributedGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = AttributedGraph(0)
+        assert g.vertex_count == 0
+        assert g.edge_count == 0
+        assert list(g.edges()) == []
+
+    def test_vertices_range(self):
+        g = AttributedGraph(5)
+        assert list(g.vertices()) == [0, 1, 2, 3, 4]
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            AttributedGraph(-1)
+
+    def test_edges_in_constructor(self):
+        g = AttributedGraph(3, edges=[(0, 1), (1, 2)])
+        assert g.edge_count == 2
+        assert g.has_edge(0, 1) and g.has_edge(2, 1)
+
+    def test_duplicate_edges_collapse(self):
+        g = AttributedGraph(3, edges=[(0, 1), (1, 0), (0, 1)])
+        assert g.edge_count == 1
+
+    def test_attribute_sequence(self):
+        g = AttributedGraph(2, attributes=["a", "b"])
+        assert g.attribute(0) == "a"
+        assert g.attribute(1) == "b"
+
+    def test_attribute_dict(self):
+        g = AttributedGraph(3, attributes={1: "mid"})
+        assert g.attribute(0) is None
+        assert g.attribute(1) == "mid"
+
+    def test_attribute_length_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            AttributedGraph(3, attributes=["a"])
+
+    def test_labels(self):
+        g = AttributedGraph(2, labels=["alice", "bob"])
+        assert g.label(0) == "alice"
+        assert g.label(1) == "bob"
+
+    def test_label_fallback_is_id(self):
+        g = AttributedGraph(2)
+        assert g.label(1) == "1"
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            AttributedGraph(3, labels=["only-one"])
+
+
+class TestEdges:
+    def test_add_edge_returns_true_when_new(self):
+        g = AttributedGraph(3)
+        assert g.add_edge(0, 1) is True
+        assert g.add_edge(0, 1) is False
+
+    def test_add_edge_symmetric(self):
+        g = AttributedGraph(3)
+        g.add_edge(0, 2)
+        assert 2 in g.neighbors(0)
+        assert 0 in g.neighbors(2)
+
+    def test_self_loop_rejected(self):
+        g = AttributedGraph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_unknown_vertex_rejected(self):
+        g = AttributedGraph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 5)
+        with pytest.raises(GraphError):
+            g.has_edge(-1, 0)
+
+    def test_remove_edge(self):
+        g = AttributedGraph(3, edges=[(0, 1)])
+        assert g.remove_edge(0, 1) is True
+        assert g.edge_count == 0
+        assert not g.has_edge(0, 1)
+        assert g.remove_edge(0, 1) is False
+
+    def test_edges_iteration_each_once(self):
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 3), (0, 3)])
+        edges = list(g.edges())
+        assert len(edges) == 4
+        assert all(u < v for u, v in edges)
+
+    def test_degree(self):
+        g = AttributedGraph(4, edges=[(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = AttributedGraph(3, edges=[(0, 1)], attributes=["a", "b", "c"])
+        h = g.copy()
+        h.add_edge(1, 2)
+        h.set_attribute(0, "changed")
+        assert g.edge_count == 1
+        assert g.attribute(0) == "a"
+        assert h.edge_count == 2
+
+    def test_induced_subgraph_reindexes(self):
+        g = AttributedGraph(
+            5, edges=[(0, 1), (1, 2), (2, 3), (3, 4)],
+            attributes=list("abcde"),
+        )
+        sub = g.induced_subgraph([1, 2, 3])
+        assert sub.vertex_count == 3
+        assert sub.edge_count == 2
+        assert sub.attribute(0) == "b"
+
+    def test_induced_subgraph_keeps_labels(self):
+        g = AttributedGraph(3, edges=[(0, 1)], labels=["x", "y", "z"])
+        sub = g.induced_subgraph([1, 2])
+        assert sub.label(0) == "y"
+        assert sub.label(1) == "z"
+
+    def test_induced_adjacency_preserves_ids(self):
+        g = AttributedGraph(5, edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+        adj = g.induced_adjacency([1, 2, 4])
+        assert adj[1] == {2}
+        assert adj[2] == {1}
+        assert adj[4] == set()
+
+    def test_induced_foreign_vertex_rejected(self):
+        g = AttributedGraph(3)
+        with pytest.raises(GraphError):
+            g.induced_subgraph([0, 9])
+
+    def test_subgraph_edge_count(self):
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        assert g.subgraph_edge_count([0, 1, 2]) == 3
+        assert g.subgraph_edge_count([0, 3]) == 0
+
+
+class TestStatistics:
+    def test_average_degree(self):
+        g = AttributedGraph(4, edges=[(0, 1), (2, 3)])
+        assert g.average_degree() == pytest.approx(1.0)
+
+    def test_average_degree_empty(self):
+        assert AttributedGraph(0).average_degree() == 0.0
+
+    def test_max_degree(self):
+        g = AttributedGraph(4, edges=[(0, 1), (0, 2), (0, 3)])
+        assert g.max_degree() == 3
+
+    def test_degree_sequence(self):
+        g = AttributedGraph(3, edges=[(0, 1)])
+        assert g.degree_sequence() == [1, 1, 0]
+
+
+class TestDunders:
+    def test_len(self):
+        assert len(AttributedGraph(7)) == 7
+
+    def test_contains(self):
+        g = AttributedGraph(3)
+        assert 2 in g
+        assert 3 not in g
+        assert "x" not in g
+
+    def test_repr_mentions_sizes(self):
+        g = AttributedGraph(3, edges=[(0, 1)])
+        assert "n=3" in repr(g)
+        assert "m=1" in repr(g)

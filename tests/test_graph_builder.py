@@ -1,0 +1,88 @@
+"""Unit tests for GraphBuilder and from_edge_list."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder, from_edge_list
+
+
+class TestGraphBuilder:
+    def test_add_vertex_idempotent(self):
+        b = GraphBuilder()
+        first = b.add_vertex("alice")
+        second = b.add_vertex("alice")
+        assert first == second == 0
+        assert b.vertex_count == 1
+
+    def test_ids_assigned_in_order(self):
+        b = GraphBuilder()
+        assert b.add_vertex("x") == 0
+        assert b.add_vertex("y") == 1
+        assert b.add_vertex("z") == 2
+
+    def test_add_edge_registers_vertices(self):
+        b = GraphBuilder()
+        b.add_edge("a", "b")
+        assert b.vertex_count == 2
+        g = b.build()
+        assert g.has_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError):
+            b.add_edge("a", "a")
+
+    def test_id_of_unknown_label(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError):
+            b.id_of("ghost")
+
+    def test_attributes_carried_to_graph(self):
+        b = GraphBuilder()
+        b.add_edge("a", "b")
+        b.set_attribute("a", {"k1"})
+        g = b.build()
+        assert g.attribute(b.id_of("a")) == {"k1"}
+        assert g.attribute(b.id_of("b")) is None
+
+    def test_labels_carried_to_graph(self):
+        b = GraphBuilder()
+        b.add_edge("alice", "bob")
+        g = b.build()
+        assert g.label(0) == "alice"
+        assert g.label(1) == "bob"
+
+    def test_non_string_labels(self):
+        b = GraphBuilder()
+        b.add_edge(10, 20)
+        g = b.build()
+        assert g.label(b.id_of(10)) == "10"
+
+    def test_set_attribute_creates_isolated_vertex(self):
+        b = GraphBuilder()
+        b.set_attribute("loner", (1.0, 2.0))
+        g = b.build()
+        assert g.vertex_count == 1
+        assert g.degree(0) == 0
+
+
+class TestFromEdgeList:
+    def test_basic(self):
+        g = from_edge_list([("a", "b"), ("b", "c")])
+        assert g.vertex_count == 3
+        assert g.edge_count == 2
+
+    def test_with_attributes(self):
+        g = from_edge_list(
+            [("a", "b")], attributes={"a": {"x"}, "b": {"y"}},
+        )
+        assert g.attribute(0) == {"x"}
+        assert g.attribute(1) == {"y"}
+
+    def test_duplicate_edges_collapse(self):
+        g = from_edge_list([("a", "b"), ("b", "a")])
+        assert g.edge_count == 1
+
+    def test_attribute_only_vertices_included(self):
+        g = from_edge_list([("a", "b")], attributes={"c": {"z"}})
+        assert g.vertex_count == 3

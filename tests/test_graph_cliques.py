@@ -1,0 +1,95 @@
+"""Maximal clique enumeration vs the networkx oracle."""
+
+import networkx as nx
+import pytest
+
+from conftest import make_random_attr_graph
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.cliques import (
+    enumerate_maximal_cliques,
+    is_clique,
+    maximum_clique_size,
+)
+
+
+def to_networkx(g):
+    nxg = nx.Graph()
+    nxg.add_nodes_from(g.vertices())
+    nxg.add_edges_from(g.edges())
+    return nxg
+
+
+class TestEnumerateMaximalCliques:
+    def test_triangle(self):
+        g = AttributedGraph(3, edges=[(0, 1), (1, 2), (0, 2)])
+        cliques = sorted(map(sorted, enumerate_maximal_cliques(g)))
+        assert cliques == [[0, 1, 2]]
+
+    def test_path_maximal_cliques_are_edges(self):
+        g = AttributedGraph(3, edges=[(0, 1), (1, 2)])
+        cliques = sorted(map(sorted, enumerate_maximal_cliques(g)))
+        assert cliques == [[0, 1], [1, 2]]
+
+    def test_isolated_vertices_are_singleton_cliques(self):
+        g = AttributedGraph(2)
+        cliques = sorted(map(sorted, enumerate_maximal_cliques(g)))
+        assert cliques == [[0], [1]]
+
+    def test_min_size_filter(self):
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+        cliques = sorted(map(sorted, enumerate_maximal_cliques(g, min_size=3)))
+        assert cliques == [[0, 1, 2]]
+
+    def test_adjacency_dict_input(self):
+        adj = {0: {1, 2}, 1: {0, 2}, 2: {0, 1}}
+        cliques = list(enumerate_maximal_cliques(adj))
+        assert cliques == [{0, 1, 2}]
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_networkx(self, seed):
+        g = make_random_attr_graph(seed, n=16, p=0.45)
+        ours = sorted(map(sorted, enumerate_maximal_cliques(g)))
+        theirs = sorted(map(sorted, nx.find_cliques(to_networkx(g))))
+        assert ours == theirs
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_result_is_a_maximal_clique(self, seed):
+        g = make_random_attr_graph(seed, n=14, p=0.5)
+        for clique in enumerate_maximal_cliques(g):
+            assert is_clique(g, clique)
+            # Maximality: no outside vertex is adjacent to every member.
+            for v in set(g.vertices()) - clique:
+                assert not clique <= g.neighbors(v)
+
+
+class TestMaximumCliqueSize:
+    def test_empty(self):
+        assert maximum_clique_size(AttributedGraph(0)) == 0
+
+    def test_clique(self):
+        g = AttributedGraph(4)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                g.add_edge(i, j)
+        assert maximum_clique_size(g) == 4
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx(self, seed):
+        g = make_random_attr_graph(seed, n=15, p=0.5)
+        expected = max(len(c) for c in nx.find_cliques(to_networkx(g)))
+        assert maximum_clique_size(g) == expected
+
+
+class TestIsClique:
+    def test_positive(self):
+        g = AttributedGraph(3, edges=[(0, 1), (1, 2), (0, 2)])
+        assert is_clique(g, {0, 1, 2})
+
+    def test_negative(self):
+        g = AttributedGraph(3, edges=[(0, 1), (1, 2)])
+        assert not is_clique(g, {0, 1, 2})
+
+    def test_singleton_and_empty(self):
+        g = AttributedGraph(2)
+        assert is_clique(g, {0})
+        assert is_clique(g, set())

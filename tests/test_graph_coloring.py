@@ -1,0 +1,59 @@
+"""Greedy colouring: propriety and upper-bound validity."""
+
+import pytest
+
+from conftest import make_random_attr_graph
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.coloring import (
+    color_count,
+    greedy_coloring,
+    is_proper_coloring,
+)
+from repro.graph.cliques import maximum_clique_size
+
+
+class TestGreedyColoring:
+    def test_empty(self):
+        assert greedy_coloring(AttributedGraph(0)) == {}
+        assert color_count(AttributedGraph(0)) == 0
+
+    def test_isolated_vertices_one_color(self):
+        g = AttributedGraph(4)
+        assert color_count(g) == 1
+
+    def test_bipartite_two_colors(self):
+        g = AttributedGraph(4, edges=[(0, 2), (0, 3), (1, 2), (1, 3)])
+        colors = greedy_coloring(g)
+        assert is_proper_coloring(g, colors)
+        assert color_count(g) == 2
+
+    def test_clique_needs_n_colors(self):
+        g = AttributedGraph(5)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                g.add_edge(i, j)
+        assert color_count(g) == 5
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_always_proper(self, seed):
+        g = make_random_attr_graph(seed, n=20, p=0.4)
+        assert is_proper_coloring(g, greedy_coloring(g))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_upper_bounds_clique_number(self, seed):
+        # The whole point of the colour bound (Section 6.2): any proper
+        # colouring has at least as many colours as the max clique.
+        g = make_random_attr_graph(seed, n=15, p=0.5)
+        assert color_count(g) >= maximum_clique_size(g)
+
+    def test_adjacency_dict_input(self):
+        adj = {0: {1}, 1: {0}, 2: set()}
+        colors = greedy_coloring(adj)
+        assert colors[0] != colors[1]
+
+
+class TestIsProperColoring:
+    def test_detects_conflict(self):
+        g = AttributedGraph(2, edges=[(0, 1)])
+        assert not is_proper_coloring(g, {0: 0, 1: 0})
+        assert is_proper_coloring(g, {0: 0, 1: 1})

@@ -1,0 +1,95 @@
+"""Connected components vs hand-built cases and the networkx oracle."""
+
+import networkx as nx
+import pytest
+
+from conftest import make_random_attr_graph
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.components import (
+    component_containing_all,
+    component_of,
+    connected_components,
+    is_connected,
+)
+
+
+class TestConnectedComponents:
+    def test_empty(self):
+        assert connected_components(AttributedGraph(0)) == []
+
+    def test_isolated_vertices(self):
+        comps = connected_components(AttributedGraph(3))
+        assert sorted(map(sorted, comps)) == [[0], [1], [2]]
+
+    def test_two_components_largest_first(self):
+        g = AttributedGraph(5, edges=[(0, 1), (1, 2), (3, 4)])
+        comps = connected_components(g)
+        assert len(comps[0]) >= len(comps[1])
+        assert comps[0] == {0, 1, 2}
+
+    def test_restricted_to_vertex_subset(self):
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        comps = connected_components(g, vertices=[0, 1, 3])
+        assert sorted(map(sorted, comps)) == [[0, 1], [3]]
+
+    def test_adjacency_dict_input(self):
+        adj = {0: {1}, 1: {0}, 2: set()}
+        comps = connected_components(adj)
+        assert sorted(map(sorted, comps)) == [[0, 1], [2]]
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_networkx(self, seed):
+        g = make_random_attr_graph(seed, n=20, p=0.12)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(g.vertices())
+        nxg.add_edges_from(g.edges())
+        ours = sorted(map(sorted, connected_components(g)))
+        theirs = sorted(map(sorted, nx.connected_components(nxg)))
+        assert ours == theirs
+
+
+class TestComponentOf:
+    def test_basic(self):
+        g = AttributedGraph(5, edges=[(0, 1), (1, 2), (3, 4)])
+        assert component_of(g, 0) == {0, 1, 2}
+        assert component_of(g, 4) == {3, 4}
+
+    def test_restricted(self):
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        assert component_of(g, 0, vertices=[0, 1, 3]) == {0, 1}
+
+
+class TestComponentContainingAll:
+    def test_all_in_one_component(self):
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        assert component_containing_all(g, {0, 3}) == {0, 1, 2, 3}
+
+    def test_split_required_returns_none(self):
+        g = AttributedGraph(4, edges=[(0, 1), (2, 3)])
+        assert component_containing_all(g, {0, 3}) is None
+
+    def test_restricted_split(self):
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        # Removing 1 from scope disconnects 0 from 3.
+        assert component_containing_all(g, {0, 3}, vertices=[0, 2, 3]) is None
+
+
+class TestIsConnected:
+    def test_empty_is_connected(self):
+        assert is_connected(AttributedGraph(0)) is True
+
+    def test_single_vertex(self):
+        assert is_connected(AttributedGraph(1)) is True
+
+    def test_disconnected(self):
+        g = AttributedGraph(4, edges=[(0, 1), (2, 3)])
+        assert is_connected(g) is False
+
+    def test_connected(self):
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        assert is_connected(g) is True
+
+    def test_restricted(self):
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        assert is_connected(g, vertices=[0, 1]) is True
+        assert is_connected(g, vertices=[0, 3]) is False

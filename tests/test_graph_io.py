@@ -1,0 +1,127 @@
+"""Graph text IO: round-trips and format validation."""
+
+import io
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.io import (
+    parse_attribute_line,
+    read_attributed_graph,
+    read_attributes,
+    read_edge_list,
+    write_attributes,
+    write_edge_list,
+)
+
+
+class TestReadEdgeList:
+    def test_basic(self):
+        src = io.StringIO("# comment\na b\nb c\n\n")
+        g = read_edge_list(src)
+        assert g.vertex_count == 3
+        assert g.edge_count == 2
+
+    def test_self_loops_skipped(self):
+        g = read_edge_list(io.StringIO("a a\na b\n"))
+        assert g.edge_count == 1
+
+    def test_custom_separator(self):
+        g = read_edge_list(io.StringIO("a,b\nb,c\n"), sep=",")
+        assert g.edge_count == 2
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(GraphError):
+            read_edge_list(io.StringIO("only-one-field\n"))
+
+    def test_labels_preserved(self):
+        g = read_edge_list(io.StringIO("alice bob\n"))
+        labels = {g.label(u) for u in g.vertices()}
+        assert labels == {"alice", "bob"}
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("x y\ny z\n")
+        g = read_edge_list(path)
+        assert g.edge_count == 2
+
+
+class TestParseAttributeLine:
+    def test_point(self):
+        label, value = parse_attribute_line("u1 3.5 -2.0", "point")
+        assert label == "u1"
+        assert value == (3.5, -2.0)
+
+    def test_point_wrong_arity(self):
+        with pytest.raises(GraphError):
+            parse_attribute_line("u1 3.5", "point")
+
+    def test_set(self):
+        label, value = parse_attribute_line("u2 rock jazz", "set")
+        assert label == "u2"
+        assert value == frozenset({"rock", "jazz"})
+
+    def test_set_empty(self):
+        __, value = parse_attribute_line("loner", "set")
+        assert value == frozenset()
+
+    def test_counter(self):
+        label, value = parse_attribute_line("a vldb:3 sigmod:1.5", "counter")
+        assert label == "a"
+        assert value == {"vldb": 3.0, "sigmod": 1.5}
+
+    def test_counter_merges_repeats(self):
+        __, value = parse_attribute_line("a vldb:1 vldb:2", "counter")
+        assert value == {"vldb": 3.0}
+
+    def test_counter_bad_token(self):
+        with pytest.raises(GraphError):
+            parse_attribute_line("a noseparator", "counter")
+
+    def test_unknown_kind(self):
+        with pytest.raises(GraphError):
+            parse_attribute_line("a b", "wat")
+
+
+class TestRoundTrips:
+    def _graph(self, kind):
+        g = AttributedGraph(3, edges=[(0, 1), (1, 2)],
+                            labels=["u0", "u1", "u2"])
+        if kind == "point":
+            values = [(0.0, 1.0), (2.5, 3.5), (4.0, 5.0)]
+        elif kind == "set":
+            values = [frozenset({"a"}), frozenset({"b", "c"}), frozenset({"d"})]
+        else:
+            values = [{"x": 1.0}, {"y": 2.0, "z": 1.0}, {"w": 3.0}]
+        for u, v in enumerate(values):
+            g.set_attribute(u, v)
+        return g
+
+    @pytest.mark.parametrize("kind", ["point", "set", "counter"])
+    def test_write_read_attributes(self, kind, tmp_path):
+        g = self._graph(kind)
+        path = tmp_path / "attrs.txt"
+        write_attributes(g, path, kind)
+        attrs = read_attributes(path, kind)
+        for u in g.vertices():
+            assert attrs[g.label(u)] == g.attribute(u)
+
+    def test_write_read_edges(self, tmp_path):
+        g = self._graph("set")
+        path = tmp_path / "edges.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path)
+        assert g2.edge_count == g.edge_count
+        assert {g2.label(u) for u in g2.vertices()} == {"u0", "u1", "u2"}
+
+    def test_read_attributed_graph(self, tmp_path):
+        g = self._graph("point")
+        epath, apath = tmp_path / "e.txt", tmp_path / "a.txt"
+        write_edge_list(g, epath)
+        write_attributes(g, apath, "point")
+        g2 = read_attributed_graph(epath, apath, "point")
+        assert g2.vertex_count == 3
+        assert g2.edge_count == 2
+        for u in g2.vertices():
+            assert g2.attribute(u) is not None

@@ -1,0 +1,196 @@
+"""k-core computation vs hand-built cases and the networkx oracle."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from conftest import make_random_attr_graph
+from repro.exceptions import InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.kcore import (
+    anchored_k_core,
+    core_decomposition,
+    degeneracy_order,
+    k_core_subgraph,
+    k_core_vertices,
+    max_core_number,
+)
+
+
+def to_networkx(g: AttributedGraph) -> nx.Graph:
+    nxg = nx.Graph()
+    nxg.add_nodes_from(g.vertices())
+    nxg.add_edges_from(g.edges())
+    return nxg
+
+
+class TestKCoreVertices:
+    def test_triangle_is_2core(self):
+        g = AttributedGraph(3, edges=[(0, 1), (1, 2), (0, 2)])
+        assert k_core_vertices(g, 2) == {0, 1, 2}
+        assert k_core_vertices(g, 3) == set()
+
+    def test_pendant_removed(self):
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert k_core_vertices(g, 2) == {0, 1, 2}
+
+    def test_cascading_removal(self):
+        # A path: removing the endpoint cascades through the whole path.
+        g = AttributedGraph(5, edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert k_core_vertices(g, 2) == set()
+
+    def test_k_zero_keeps_all(self):
+        g = AttributedGraph(3, edges=[(0, 1)])
+        assert k_core_vertices(g, 0) == {0, 1, 2}
+
+    def test_negative_k_rejected(self):
+        g = AttributedGraph(2)
+        with pytest.raises(InvalidParameterError):
+            k_core_vertices(g, -1)
+
+    def test_induced_restriction(self):
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (0, 2), (2, 3), (1, 3), (0, 3)])
+        # Full graph is a 3-core; restricted to 3 vertices only a 2-core.
+        assert k_core_vertices(g, 3, vertices=[0, 1, 2]) == set()
+        assert k_core_vertices(g, 2, vertices=[0, 1, 2]) == {0, 1, 2}
+
+    def test_adjacency_dict_input(self):
+        adj = {0: {1, 2}, 1: {0, 2}, 2: {0, 1}, 3: set()}
+        assert k_core_vertices(adj, 2) == {0, 1, 2}
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_networkx(self, seed):
+        g = make_random_attr_graph(seed, n=20, p=0.25)
+        nxg = to_networkx(g)
+        for k in (1, 2, 3, 4):
+            expected = set(nx.k_core(nxg, k).nodes())
+            assert k_core_vertices(g, k) == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_result_is_maximal_with_min_degree(self, seed):
+        g = make_random_attr_graph(seed, n=25, p=0.3)
+        k = 3
+        core = k_core_vertices(g, k)
+        # Every survivor has >= k neighbours among survivors.
+        for u in core:
+            assert len(g.neighbors(u) & core) >= k
+        # Maximality: adding any removed vertex breaks the property
+        # within the would-be subgraph (checked via networkx equality).
+        assert core == set(nx.k_core(to_networkx(g), k).nodes())
+
+
+class TestKCoreSubgraph:
+    def test_subgraph_shape(self):
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+        sub = k_core_subgraph(g, 2)
+        assert sub.vertex_count == 3
+        assert sub.edge_count == 3
+
+
+class TestCoreDecomposition:
+    def test_simple(self):
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+        core = core_decomposition(g)
+        assert core == {0: 2, 1: 2, 2: 2, 3: 1}
+
+    def test_empty(self):
+        assert core_decomposition(AttributedGraph(0)) == {}
+
+    def test_isolated_vertices_have_core_zero(self):
+        g = AttributedGraph(3, edges=[(0, 1)])
+        assert core_decomposition(g)[2] == 0
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_networkx(self, seed):
+        g = make_random_attr_graph(seed, n=22, p=0.3)
+        expected = nx.core_number(to_networkx(g))
+        assert core_decomposition(g) == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_consistent_with_k_core(self, seed):
+        g = make_random_attr_graph(seed, n=18, p=0.35)
+        core = core_decomposition(g)
+        for k in (1, 2, 3):
+            assert k_core_vertices(g, k) == {
+                u for u, c in core.items() if c >= k
+            }
+
+
+class TestMaxCoreNumber:
+    def test_clique(self):
+        g = AttributedGraph(5)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                g.add_edge(i, j)
+        assert max_core_number(g) == 4
+
+    def test_empty_graph(self):
+        assert max_core_number(AttributedGraph(0)) == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx(self, seed):
+        g = make_random_attr_graph(seed, n=20, p=0.3)
+        expected = max(nx.core_number(to_networkx(g)).values())
+        assert max_core_number(g) == expected
+
+
+class TestAnchoredKCore:
+    def test_anchors_never_peeled(self):
+        # Star: centre anchored, leaves need k=2 -> all leaves peel.
+        adj = {0: {1, 2, 3}, 1: {0}, 2: {0}, 3: {0}}
+        assert anchored_k_core(adj, 2, candidates={1, 2, 3}, anchors={0}) == set()
+
+    def test_candidates_supported_by_anchor(self):
+        # Triangle of candidates hanging off two anchors.
+        adj = {
+            0: {2, 3}, 1: {2, 3},
+            2: {0, 1, 3}, 3: {0, 1, 2},
+        }
+        survivors = anchored_k_core(adj, 3, candidates={2, 3}, anchors={0, 1})
+        assert survivors == {2, 3}
+
+    def test_cascade_among_candidates(self):
+        # A chain of candidates each depending on the next.
+        adj = {0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2}}
+        survivors = anchored_k_core(adj, 2, candidates={1, 2, 3}, anchors={0})
+        assert survivors == set()
+
+    def test_overlap_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            anchored_k_core({0: set()}, 1, candidates={0}, anchors={0})
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_result_satisfies_definition(self, seed):
+        rng = random.Random(seed)
+        g = make_random_attr_graph(seed, n=16, p=0.4)
+        adj = {u: set(g.neighbors(u)) for u in g.vertices()}
+        vertices = list(g.vertices())
+        anchors = set(rng.sample(vertices, 4))
+        candidates = set(vertices) - anchors
+        k = rng.randint(1, 3)
+        survivors = anchored_k_core(adj, k, candidates, anchors)
+        keep = survivors | anchors
+        for u in survivors:
+            assert len(adj[u] & keep) >= k
+        # Maximality: every peeled candidate would violate the degree
+        # requirement if added back alone.
+        for u in candidates - survivors:
+            assert len(adj[u] & (keep | {u})) - (1 if u in adj[u] else 0) < k
+
+
+class TestDegeneracyOrder:
+    def test_order_covers_all_vertices(self):
+        g = make_random_attr_graph(3, n=15, p=0.3)
+        order = degeneracy_order(g)
+        assert sorted(order) == list(g.vertices())
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_later_neighbour_bound(self, seed):
+        g = make_random_attr_graph(seed, n=18, p=0.35)
+        order = degeneracy_order(g)
+        rank = {v: i for i, v in enumerate(order)}
+        degeneracy = max_core_number(g)
+        for v in order:
+            later = sum(1 for w in g.neighbors(v) if rank[w] > rank[v])
+            assert later <= degeneracy

@@ -1,0 +1,137 @@
+"""Hypothesis property tests for the graph substrate."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.cliques import enumerate_maximal_cliques, is_clique
+from repro.graph.coloring import greedy_coloring, is_proper_coloring
+from repro.graph.components import connected_components, is_connected
+from repro.graph.kcore import (
+    anchored_k_core,
+    core_decomposition,
+    degeneracy_order,
+    k_core_vertices,
+)
+
+SETTINGS = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_n=12):
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))
+    ) if possible else []
+    return AttributedGraph(n, edges=edges)
+
+
+@SETTINGS
+@given(graphs(), st.integers(min_value=0, max_value=5))
+def test_kcore_members_have_min_degree(g, k):
+    core = k_core_vertices(g, k)
+    for u in core:
+        assert len(g.neighbors(u) & core) >= k
+
+
+@SETTINGS
+@given(graphs(), st.integers(min_value=0, max_value=5))
+def test_kcore_is_fixpoint(g, k):
+    core = k_core_vertices(g, k)
+    again = k_core_vertices(g, k, vertices=core)
+    assert again == core
+
+
+@SETTINGS
+@given(graphs())
+def test_kcores_are_nested(g):
+    cores = [k_core_vertices(g, k) for k in range(5)]
+    for small, big in zip(cores[1:], cores[:-1]):
+        assert small <= big
+
+
+@SETTINGS
+@given(graphs())
+def test_core_numbers_consistent_with_kcore(g):
+    numbers = core_decomposition(g)
+    for k in range(4):
+        assert k_core_vertices(g, k) == {
+            u for u, c in numbers.items() if c >= k
+        }
+
+
+@SETTINGS
+@given(graphs())
+def test_degeneracy_order_is_permutation(g):
+    order = degeneracy_order(g)
+    assert sorted(order) == list(g.vertices())
+
+
+@SETTINGS
+@given(graphs())
+def test_components_partition_vertices(g):
+    comps = connected_components(g)
+    seen = set()
+    for comp in comps:
+        assert not (comp & seen)
+        seen |= comp
+        assert is_connected(g, comp)
+    assert seen == set(g.vertices())
+
+
+@SETTINGS
+@given(graphs())
+def test_components_have_no_cross_edges(g):
+    comps = connected_components(g)
+    label = {}
+    for i, comp in enumerate(comps):
+        for u in comp:
+            label[u] = i
+    for u, v in g.edges():
+        assert label[u] == label[v]
+
+
+@SETTINGS
+@given(graphs())
+def test_maximal_cliques_are_cliques_and_cover_edges(g):
+    cliques = list(enumerate_maximal_cliques(g))
+    for clique in cliques:
+        assert is_clique(g, clique)
+        for v in set(g.vertices()) - clique:
+            assert not clique <= g.neighbors(v)
+    covered = set()
+    for clique in cliques:
+        members = sorted(clique)
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                covered.add((u, v))
+    assert covered >= {tuple(sorted(e)) for e in g.edges()}
+
+
+@SETTINGS
+@given(graphs())
+def test_greedy_coloring_is_proper(g):
+    assert is_proper_coloring(g, greedy_coloring(g))
+
+
+@SETTINGS
+@given(graphs(), st.data())
+def test_anchored_kcore_definition(g, data):
+    n = g.vertex_count
+    if n == 0:
+        return
+    anchors = data.draw(
+        st.frozensets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+    )
+    candidates = set(g.vertices()) - set(anchors)
+    k = data.draw(st.integers(min_value=0, max_value=4))
+    adj = {u: set(g.neighbors(u)) for u in g.vertices()}
+    survivors = anchored_k_core(adj, k, candidates, anchors)
+    keep = survivors | set(anchors)
+    for u in survivors:
+        assert len(adj[u] & keep) >= k

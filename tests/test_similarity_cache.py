@@ -1,0 +1,112 @@
+"""PairwiseSimilarityCache: values, thresholds, index materialisation."""
+
+import pytest
+
+from conftest import make_geo_graph, make_random_attr_graph
+from repro.exceptions import InvalidParameterError
+from repro.similarity.cache import PairwiseSimilarityCache
+from repro.similarity.index import build_index
+from repro.similarity.metrics import jaccard
+from repro.similarity.threshold import SimilarityPredicate
+
+
+class TestValues:
+    def test_keyword_values_match_metric(self):
+        g = make_random_attr_graph(3, n=10)
+        pred = SimilarityPredicate("jaccard", 0.5)
+        cache = PairwiseSimilarityCache(g, pred, g.vertices())
+        for u in g.vertices():
+            for v in g.vertices():
+                if u == v:
+                    continue
+                expected = jaccard(g.attribute(u), g.attribute(v))
+                assert cache.value(u, v) == pytest.approx(expected)
+
+    def test_geo_values_match_metric(self):
+        from repro.similarity.metrics import euclidean_distance
+        g = make_geo_graph(4, n=12)
+        pred = SimilarityPredicate("euclidean", 10.0)
+        cache = PairwiseSimilarityCache(g, pred, g.vertices())
+        for u in range(5):
+            for v in range(5, 10):
+                expected = euclidean_distance(g.attribute(u), g.attribute(v))
+                assert cache.value(u, v) == pytest.approx(expected)
+
+    def test_uncovered_pair_rejected(self):
+        g = make_random_attr_graph(3, n=10)
+        pred = SimilarityPredicate("jaccard", 0.5)
+        cache = PairwiseSimilarityCache(g, pred, [0, 1, 2])
+        with pytest.raises(InvalidParameterError):
+            cache.value(0, 9)
+
+
+class TestThresholdDecisions:
+    def test_similarity_direction(self):
+        g = make_random_attr_graph(7, n=8)
+        pred = SimilarityPredicate("jaccard", 0.99)
+        cache = PairwiseSimilarityCache(g, pred, g.vertices())
+        for r in (0.2, 0.5, 0.8):
+            live = pred.with_threshold(r)
+            for u in g.vertices():
+                for v in g.vertices():
+                    if u != v:
+                        assert cache.similar(u, v, r) == live.similar(
+                            g.attribute(u), g.attribute(v),
+                        )
+
+    def test_distance_direction(self):
+        g = make_geo_graph(7, n=10)
+        pred = SimilarityPredicate("euclidean", 1.0)
+        cache = PairwiseSimilarityCache(g, pred, g.vertices())
+        live = pred.with_threshold(15.0)
+        for u in g.vertices():
+            for v in g.vertices():
+                if u != v:
+                    assert cache.similar(u, v, 15.0) == live.similar(
+                        g.attribute(u), g.attribute(v),
+                    )
+
+
+class TestIndexAt:
+    @pytest.mark.parametrize("r", [0.2, 0.4, 0.7])
+    def test_matches_fresh_index(self, r):
+        g = make_random_attr_graph(11, n=12)
+        pred = SimilarityPredicate("jaccard", 0.5)
+        cache = PairwiseSimilarityCache(g, pred, g.vertices())
+        cached = cache.index_at(r)
+        fresh = build_index(g, pred.with_threshold(r), g.vertices())
+        for u in g.vertices():
+            assert cached.dissimilar_to(u) == fresh.dissimilar_to(u)
+
+    def test_subset_restriction(self):
+        g = make_random_attr_graph(11, n=12)
+        pred = SimilarityPredicate("jaccard", 0.5)
+        cache = PairwiseSimilarityCache(g, pred, g.vertices())
+        sub = cache.index_at(0.4, vertices=[0, 2, 4, 6])
+        assert sub.vertices == frozenset({0, 2, 4, 6})
+        fresh = build_index(g, pred.with_threshold(0.4), [0, 2, 4, 6])
+        for u in (0, 2, 4, 6):
+            assert sub.dissimilar_to(u) == fresh.dissimilar_to(u)
+
+
+class TestSweepCounts:
+    def test_counts_monotone_similarity(self):
+        g = make_random_attr_graph(13, n=14)
+        pred = SimilarityPredicate("jaccard", 0.5)
+        cache = PairwiseSimilarityCache(g, pred, g.vertices())
+        counts = cache.threshold_sweep_counts([0.8, 0.5, 0.2])
+        # Lower similarity threshold -> more similar pairs.
+        assert counts == sorted(counts)
+
+    def test_counts_monotone_distance(self):
+        g = make_geo_graph(13, n=14)
+        pred = SimilarityPredicate("euclidean", 1.0)
+        cache = PairwiseSimilarityCache(g, pred, g.vertices())
+        counts = cache.threshold_sweep_counts([5.0, 20.0, 60.0])
+        assert counts == sorted(counts)
+
+    def test_single_vertex(self):
+        g = make_random_attr_graph(1, n=5)
+        pred = SimilarityPredicate("jaccard", 0.5)
+        cache = PairwiseSimilarityCache(g, pred, [0])
+        assert cache.threshold_sweep_counts([0.5, 0.9]) == [0, 0]

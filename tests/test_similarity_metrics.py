@@ -1,0 +1,151 @@
+"""Similarity metric math: hand-checked values, symmetry, ranges."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError, MissingAttributeError
+from repro.similarity.metrics import (
+    MetricKind,
+    cosine,
+    euclidean_distance,
+    jaccard,
+    metric_kind,
+    overlap_coefficient,
+    require_attribute,
+    resolve_metric,
+    weighted_jaccard,
+)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_partial(self):
+        assert jaccard({"a", "b", "c"}, {"b", "c", "d"}) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_one_empty(self):
+        assert jaccard({"a"}, set()) == 0.0
+
+    def test_accepts_sequences(self):
+        assert jaccard(["a", "b"], ("b", "a")) == 1.0
+
+    def test_symmetry(self):
+        a, b = {"x", "y", "z"}, {"y", "q"}
+        assert jaccard(a, b) == jaccard(b, a)
+
+
+class TestWeightedJaccard:
+    def test_identical(self):
+        assert weighted_jaccard({"a": 2.0}, {"a": 2.0}) == 1.0
+
+    def test_hand_computed(self):
+        a = {"x": 3.0, "y": 1.0}
+        b = {"x": 1.0, "z": 2.0}
+        # min: x=1; max: x=3, y=1, z=2 -> 1/6
+        assert weighted_jaccard(a, b) == pytest.approx(1 / 6)
+
+    def test_disjoint(self):
+        assert weighted_jaccard({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_both_empty(self):
+        assert weighted_jaccard({}, {}) == 0.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            weighted_jaccard({"a": -1.0}, {"a": 1.0})
+        with pytest.raises(InvalidParameterError):
+            weighted_jaccard({"a": 1.0}, {"b": -2.0})
+
+    def test_symmetry(self):
+        a = {"x": 3.0, "y": 1.0}
+        b = {"x": 1.0, "z": 5.0}
+        assert weighted_jaccard(a, b) == weighted_jaccard(b, a)
+
+    def test_reduces_to_jaccard_on_unit_counts(self):
+        a = {"p": 1.0, "q": 1.0}
+        b = {"q": 1.0, "r": 1.0}
+        assert weighted_jaccard(a, b) == pytest.approx(
+            jaccard({"p", "q"}, {"q", "r"})
+        )
+
+
+class TestEuclidean:
+    def test_same_point(self):
+        assert euclidean_distance((1.0, 2.0), (1.0, 2.0)) == 0.0
+
+    def test_pythagoras(self):
+        assert euclidean_distance((0.0, 0.0), (3.0, 4.0)) == 5.0
+
+    def test_symmetry(self):
+        a, b = (1.5, -2.0), (4.0, 7.0)
+        assert euclidean_distance(a, b) == euclidean_distance(b, a)
+
+    def test_triangle_inequality(self):
+        a, b, c = (0.0, 0.0), (5.0, 1.0), (2.0, 8.0)
+        assert euclidean_distance(a, c) <= (
+            euclidean_distance(a, b) + euclidean_distance(b, c) + 1e-12
+        )
+
+
+class TestCosine:
+    def test_identical_direction(self):
+        assert cosine({"a": 2.0}, {"a": 5.0}) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_empty(self):
+        assert cosine({}, {"a": 1.0}) == 0.0
+
+    def test_hand_computed(self):
+        a = {"x": 1.0, "y": 1.0}
+        b = {"x": 1.0}
+        assert cosine(a, b) == pytest.approx(1.0 / math.sqrt(2))
+
+
+class TestOverlap:
+    def test_subset_scores_one(self):
+        assert overlap_coefficient({"a"}, {"a", "b", "c"}) == 1.0
+
+    def test_empty(self):
+        assert overlap_coefficient(set(), {"a"}) == 0.0
+
+    def test_partial(self):
+        assert overlap_coefficient({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+
+class TestMetricRegistry:
+    def test_kinds(self):
+        assert metric_kind(jaccard) is MetricKind.SIMILARITY
+        assert metric_kind(weighted_jaccard) is MetricKind.SIMILARITY
+        assert metric_kind(cosine) is MetricKind.SIMILARITY
+        assert metric_kind(euclidean_distance) is MetricKind.DISTANCE
+
+    def test_unknown_metric_kind(self):
+        with pytest.raises(InvalidParameterError):
+            metric_kind(lambda a, b: 0.0)
+
+    def test_resolve_by_name(self):
+        assert resolve_metric("jaccard") is jaccard
+        assert resolve_metric("euclidean") is euclidean_distance
+
+    def test_resolve_callable_passthrough(self):
+        fn = lambda a, b: 1.0
+        assert resolve_metric(fn) is fn
+
+    def test_resolve_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_metric("nope")
+
+    def test_require_attribute(self):
+        assert require_attribute({"a"}, 0) == {"a"}
+        with pytest.raises(MissingAttributeError):
+            require_attribute(None, 7)
