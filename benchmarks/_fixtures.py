@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark suite.
+
+These used to live in ``benchmarks/conftest.py``, but a module named
+``conftest`` importable from two directories (here and ``tests/``)
+shadows the test suite's fixtures whenever both directories are on
+``sys.path`` — the tier-1 run then fails to collect.  Keeping only
+pytest fixtures in the conftest and importing helpers from this module
+removes the name collision.
+"""
+
+from __future__ import annotations
+
+TIME_CAP = 20.0
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -9,7 +9,7 @@ reproduction adds on top of the paper's algorithms:
   generic double loop (geo and weighted-Jaccard data).
 """
 
-from conftest import run_once
+from _fixtures import run_once
 
 from repro.bench import workloads as wl
 from repro.bench.harness import run_max_timed

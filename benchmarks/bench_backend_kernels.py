@@ -1,0 +1,139 @@
+"""Microbenchmark: python (set-based) vs csr (array-native) kernels.
+
+Times the three hot preprocessing primitives on a synthetic random
+graph — k-core peeling, connected components, and full preprocessing
+(`prepare_components`, i.e. dissimilar-edge deletion + peel + components
++ index) — once per backend, and reports the speedup.  This is the
+measurement behind the backend choice: the CSR kernels must not merely
+"feel" faster.
+
+Standalone script (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_backend_kernels.py           # full
+    PYTHONPATH=src python benchmarks/bench_backend_kernels.py --smoke   # CI
+
+Full mode uses a ~50k-edge graph; smoke mode shrinks it so CI stays
+fast while still exercising every code path.  Exits non-zero if any
+backend pair disagrees on its result (the benchmark doubles as an
+equivalence check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+from repro.core.config import adv_enum_config
+from repro.core.context import Budget
+from repro.core.solver import prepare_components
+from repro.core.stats import SearchStats
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.csr import CSRGraph
+from repro.graph.components import connected_components
+from repro.graph.kcore import k_core_vertices
+from repro.similarity.threshold import SimilarityPredicate
+
+VOCAB = [f"w{i}" for i in range(40)]
+
+
+def make_graph(n: int, m: int, seed: int = 0) -> AttributedGraph:
+    """Random multi-community graph with ~m edges and keyword attributes."""
+    rng = random.Random(seed)
+    g = AttributedGraph(n)
+    added = 0
+    while added < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and g.add_edge(min(u, v), max(u, v)):
+            added += 1
+    for u in range(n):
+        g.set_attribute(u, frozenset(rng.sample(VOCAB, 4)))
+    return g
+
+
+def timed(fn, *args, repeat: int = 3, **kwargs):
+    """Best-of-``repeat`` wall time and the (last) result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny instance for CI: validates paths, skips the speed gate",
+    )
+    parser.add_argument("--edges", type=int, default=None,
+                        help="override the synthetic edge count")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n, m, k = 400, 2_000, 3
+    else:
+        n, m, k = 10_000, 50_000, 3
+    if args.edges is not None:
+        m = args.edges
+        n = max(10, m // 5)
+
+    print(f"synthetic graph: n={n}, m={m}, k={k}")
+    g = make_graph(n, m)
+    t_freeze, csr = timed(CSRGraph.from_attributed, g, repeat=1)
+    print(f"CSR construction (once per solve): {t_freeze * 1e3:8.1f} ms")
+
+    failures = 0
+    rows = []
+
+    # --- k-core peeling ------------------------------------------------
+    t_py, core_py = timed(k_core_vertices, g, k)
+    t_csr, core_csr = timed(k_core_vertices, csr, k)
+    failures += core_py != core_csr
+    rows.append(("k-core peel", t_py, t_csr))
+
+    # --- connected components -----------------------------------------
+    t_py, comp_py = timed(connected_components, g, core_py)
+    t_csr, comp_csr = timed(connected_components, csr, core_csr)
+    failures += comp_py != comp_csr
+    rows.append(("components", t_py, t_csr))
+
+    # --- full preprocessing (Algorithm 1 lines 1-4) --------------------
+    pred = SimilarityPredicate("jaccard", 0.2)
+
+    def full(backend):
+        cfg = adv_enum_config(backend=backend)
+        return prepare_components(
+            g, k, pred, cfg, SearchStats(), Budget(None, None)
+        )
+
+    t_py, ctx_py = timed(full, "python", repeat=1)
+    t_csr, ctx_csr = timed(full, "csr", repeat=1)
+    failures += [sorted(c.vertices) for c in ctx_py] != \
+        [sorted(c.vertices) for c in ctx_csr]
+    rows.append(("prepare_components", t_py, t_csr))
+
+    print(f"{'kernel':>20} {'python':>10} {'csr':>10} {'speedup':>9}")
+    peel_speedup = None
+    for name, t_py, t_csr in rows:
+        speedup = t_py / t_csr if t_csr > 0 else float("inf")
+        if name == "k-core peel":
+            peel_speedup = speedup
+        print(f"{name:>20} {t_py * 1e3:9.1f}m {t_csr * 1e3:9.1f}m {speedup:8.1f}x")
+
+    if failures:
+        print(f"FAIL: {failures} backend disagreement(s)")
+        return 1
+    if not args.smoke and peel_speedup is not None and peel_speedup < 3.0:
+        print(f"FAIL: k-core peel speedup {peel_speedup:.1f}x < 3x gate")
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,7 @@ from one k-core.  The planted generators encode those shapes with known
 ground truth, so the benchmarks assert exact recovery.
 """
 
-from conftest import run_once
+from _fixtures import run_once
 
 from repro.bench.experiments import fig05_06
 from repro.core.api import enumerate_maximal_krcores

@@ -6,7 +6,7 @@ far more sensitive to k and r than the average size — is asserted as a
 ratio check.
 """
 
-from conftest import run_once
+from _fixtures import run_once
 
 from repro.bench.experiments import fig07a, fig07b
 

@@ -8,7 +8,7 @@ sweep point is asserted; at very sparse settings Clique+ can win locally
 converging at the left edge of the axis.
 """
 
-from conftest import run_once
+from _fixtures import run_once
 
 from repro.bench.experiments import fig08a, fig08b, fig08c
 

@@ -9,7 +9,7 @@ than its predecessor, and all finishing variants must agree on the
 result set.
 """
 
-from conftest import run_once
+from _fixtures import run_once
 
 from repro.bench.experiments import fig09a, fig09b
 

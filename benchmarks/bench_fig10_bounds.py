@@ -7,7 +7,7 @@ DoubleKcore <= Color+Kcore <= naive, and all three must return the same
 maximum size.
 """
 
-from conftest import run_once
+from _fixtures import run_once
 
 from repro.bench.experiments import fig10a, fig10b
 

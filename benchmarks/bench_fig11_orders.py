@@ -6,7 +6,7 @@ enumeration; (f) orders inside the maximal check.  Orders affect only
 performance, never results — asserted everywhere both run.
 """
 
-from conftest import run_once
+from _fixtures import run_once
 
 from repro.bench.experiments import (
     fig11a,

@@ -6,7 +6,7 @@ algorithm must finish on every analog within the cap; whenever an
 ablated variant also finishes it must agree on the result.
 """
 
-from conftest import run_once
+from _fixtures import run_once
 
 from repro.bench.experiments import fig12a, fig12b
 

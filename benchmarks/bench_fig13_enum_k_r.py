@@ -6,7 +6,7 @@ top-x‰ threshold at fixed k.  Expected shapes: work shrinks as k grows
 (more similar pairs survive).
 """
 
-from conftest import run_once
+from _fixtures import run_once
 
 from repro.bench.experiments import fig13a, fig13b
 

@@ -5,7 +5,7 @@ maximum result against the enumeration's largest core (the two problems
 must agree) at one sweep point per figure.
 """
 
-from conftest import run_once
+from _fixtures import run_once
 
 from repro.bench.experiments import fig14a, fig14b
 from repro.bench import workloads as wl

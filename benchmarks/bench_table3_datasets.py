@@ -4,7 +4,7 @@ Regenerates the nodes/edges/davg/dmax table; asserts the analogs keep
 the paper's average-degree ordering (Gowalla sparsest, Pokec densest).
 """
 
-from conftest import run_once
+from _fixtures import run_once
 
 from repro.bench.experiments import table3
 

@@ -1,26 +1,25 @@
-"""Shared fixtures for the benchmark suite.
+"""Pytest fixtures for the benchmark suite.
 
 Each benchmark wraps one representative point of a paper experiment in
 ``benchmark.pedantic(rounds=1)``: the solvers are deterministic and a
 single timed round per point keeps the whole suite quick.  Full sweeps
 (the actual figure series) run through ``python -m repro.bench.cli``;
 see EXPERIMENTS.md.
+
+Helper *functions* live in :mod:`_fixtures`, not here — a ``conftest``
+module that exports helpers collides with ``tests/conftest.py`` when
+both suites are collected from the same rootdir.  Run the benchmarks as
+their own session: ``PYTHONPATH=src python -m pytest benchmarks``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-
-TIME_CAP = 20.0
+from _fixtures import TIME_CAP
 
 
 @pytest.fixture(scope="session")
 def time_cap() -> float:
     """Per-run time cap (seconds) shared by all benchmark points."""
     return TIME_CAP
-
-
-def run_once(benchmark, fn, *args, **kwargs):
-    """Run ``fn`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -68,6 +68,9 @@ def _add_graph_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--k", type=int, required=True, help="degree threshold")
     p.add_argument("--algorithm", default="advanced",
                    help="algorithm preset (see README)")
+    p.add_argument("--backend", choices=("csr", "python"), default=None,
+                   help="preprocessing kernels: array-native CSR (default) "
+                        "or the set-based python reference")
     p.add_argument("--time-limit", type=float, default=None,
                    help="seconds before the solver stops with partial results")
     p.add_argument("--max-print", type=int, default=10,
@@ -108,7 +111,7 @@ def _cmd_mine(args) -> int:
     graph, pred = _load_graph(args)
     cores, stats = enumerate_maximal_krcores(
         graph, args.k, predicate=pred, algorithm=args.algorithm,
-        time_limit=args.time_limit, with_stats=True,
+        backend=args.backend, time_limit=args.time_limit, with_stats=True,
     )
     print(f"maximal ({args.k},{pred.r:g})-cores: {len(cores)} "
           f"[{stats.elapsed:.2f}s, {stats.nodes} nodes]")
@@ -125,7 +128,7 @@ def _cmd_maximum(args) -> int:
     graph, pred = _load_graph(args)
     best, stats = find_maximum_krcore(
         graph, args.k, predicate=pred, algorithm=args.algorithm,
-        time_limit=args.time_limit, with_stats=True,
+        backend=args.backend, time_limit=args.time_limit, with_stats=True,
     )
     if best is None:
         print(f"no ({args.k},{pred.r:g})-core exists "

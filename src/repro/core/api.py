@@ -53,6 +53,7 @@ def enumerate_maximal_krcores(
     predicate: Optional[SimilarityPredicate] = None,
     algorithm: str = "advanced",
     config: Optional[SearchConfig] = None,
+    backend: Optional[str] = None,
     time_limit: Optional[float] = None,
     node_limit: Optional[int] = None,
     with_stats: bool = False,
@@ -77,6 +78,10 @@ def enumerate_maximal_krcores(
         ``"be+cr+et"``, ``"advanced"`` (default), ``"advanced-o"``,
         ``"advanced-p"`` — the Table 2 line-up.  Ignored when an explicit
         ``config`` is supplied (the configurable engine then runs).
+    backend:
+        Preprocessing kernel selection: ``"csr"`` (array-native, the
+        config default) or ``"python"`` (set-based reference).  Overrides
+        the config's/preset's ``backend`` when given.
     time_limit / node_limit:
         Optional budget; exceeded budgets raise
         :class:`~repro.exceptions.SearchBudgetExceeded` carrying partial
@@ -101,6 +106,8 @@ def enumerate_maximal_krcores(
         cfg = adv_enum_config()
     else:
         cfg = resolve_enum_config(key)
+    if backend is not None:
+        cfg = cfg.evolve(backend=backend)
     if time_limit is not None:
         cfg = cfg.evolve(time_limit=time_limit)
     if node_limit is not None:
@@ -121,6 +128,7 @@ def find_maximum_krcore(
     predicate: Optional[SimilarityPredicate] = None,
     algorithm: str = "advanced",
     config: Optional[SearchConfig] = None,
+    backend: Optional[str] = None,
     time_limit: Optional[float] = None,
     node_limit: Optional[int] = None,
     with_stats: bool = False,
@@ -134,6 +142,8 @@ def find_maximum_krcore(
     """
     predicate = _resolve_predicate(r, metric, predicate)
     cfg = config if config is not None else resolve_max_config(algorithm)
+    if backend is not None:
+        cfg = cfg.evolve(backend=backend)
     if time_limit is not None:
         cfg = cfg.evolve(time_limit=time_limit)
     if node_limit is not None:

@@ -11,7 +11,10 @@ Every technique of the paper is a flag here, so the benchmark ablations
   ``"pairwise"`` (Algorithm 1's collect-then-filter);
 * ``bound``              — ``"naive"`` (|M|+|C|), ``"color-kcore"``
   ([31]-style), ``"kkprime"`` (the novel Algorithm 6 bound);
-* ``order`` / ``branch`` / ``lam`` — the Section 7 search orders.
+* ``order`` / ``branch`` / ``lam`` — the Section 7 search orders;
+* ``backend``            — preprocessing kernels: ``"csr"`` (array-native
+  CSR adjacency + vectorised peeling, the default) or ``"python"`` (the
+  original set-based code, kept as a reference fallback).
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ VERTEX_ORDERS = (
 BRANCH_ORDERS = ("adaptive", "expand", "shrink")
 MAXIMAL_CHECKS = ("search", "pairwise", "none")
 BOUNDS = ("naive", "color-kcore", "kkprime")
+BACKENDS = ("csr", "python")
 
 
 @dataclass(frozen=True)
@@ -52,6 +56,7 @@ class SearchConfig:
     check_order: str = "degree"         # order inside Algorithm 4 (§7.4)
     bound: str = "kkprime"              # size upper bound (§6.2)
     warm_start: bool = False            # greedy lower bound before searching
+    backend: str = "csr"                # preprocessing kernels: "csr" or "python"
     seed: int = 0                       # RNG seed for the random order
     time_limit: Optional[float] = None  # seconds; None = unlimited
     node_limit: Optional[int] = None    # search-tree nodes; None = unlimited
@@ -79,6 +84,10 @@ class SearchConfig:
         if self.bound not in BOUNDS:
             raise InvalidParameterError(
                 f"bound must be one of {BOUNDS}, got {self.bound!r}"
+            )
+        if self.backend not in BACKENDS:
+            raise InvalidParameterError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
         if self.on_budget not in ("raise", "partial"):
             raise InvalidParameterError(

@@ -52,10 +52,15 @@ class ComponentContext:
         only (dissimilar edges were deleted in preprocessing).
     index:
         Dissimilarity index restricted to the component.
+    csr:
+        Optional :class:`~repro.graph.csr.CSRGraph` of the *filtered*
+        graph the component was cut from (set by the CSR backend; the
+        engines themselves only consume ``adj``).
     """
 
     __slots__ = (
         "vertices", "adj", "index", "k", "config", "stats", "budget", "rng",
+        "csr",
     )
 
     def __init__(
@@ -68,6 +73,7 @@ class ComponentContext:
         stats: SearchStats,
         budget: Budget,
         rng,
+        csr=None,
     ):
         self.vertices = vertices
         self.adj = adj
@@ -77,6 +83,7 @@ class ComponentContext:
         self.stats = stats
         self.budget = budget
         self.rng = rng
+        self.csr = csr
 
     def enter_node(self) -> None:
         """Account one search-tree node against stats and budget."""

@@ -4,6 +4,8 @@
 Everything here is implemented from scratch (no external graph library):
 
 * :class:`~repro.graph.attributed_graph.AttributedGraph` — the core store.
+* :mod:`~repro.graph.csr` — the frozen CSR form plus the vectorised
+  array kernels (peeling, components) behind the ``"csr"`` backend.
 * :mod:`~repro.graph.kcore` — linear k-core peeling and full core
   decomposition (Batagelj & Zaversnik).
 * :mod:`~repro.graph.components` — connected components.
@@ -16,6 +18,14 @@ Everything here is implemented from scratch (no external graph library):
 
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.builder import GraphBuilder, from_edge_list
+from repro.graph.csr import (
+    CSRGraph,
+    anchored_k_core_mask,
+    component_labels,
+    component_vertex_groups,
+    core_numbers,
+    k_core_mask,
+)
 from repro.graph.cliques import enumerate_maximal_cliques
 from repro.graph.coloring import greedy_coloring, color_count
 from repro.graph.components import (
@@ -33,8 +43,14 @@ from repro.graph.kcore import (
 
 __all__ = [
     "AttributedGraph",
+    "CSRGraph",
     "GraphBuilder",
     "from_edge_list",
+    "anchored_k_core_mask",
+    "component_labels",
+    "component_vertex_groups",
+    "core_numbers",
+    "k_core_mask",
     "enumerate_maximal_cliques",
     "greedy_coloring",
     "color_count",

@@ -11,14 +11,18 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Union
 
+import numpy as np
+
 from repro.graph.attributed_graph import AttributedGraph
+from repro.graph import csr as _csr
+from repro.graph.csr import CSRGraph
 
 Adjacency = Mapping[int, Set[int]]
-GraphLike = Union[AttributedGraph, Adjacency]
+GraphLike = Union[AttributedGraph, CSRGraph, Adjacency]
 
 
 def _neighbor_fn(graph: GraphLike):
-    if isinstance(graph, AttributedGraph):
+    if isinstance(graph, (AttributedGraph, CSRGraph)):
         return graph.neighbors
     return graph.__getitem__
 
@@ -26,9 +30,15 @@ def _neighbor_fn(graph: GraphLike):
 def _vertex_iter(graph: GraphLike, vertices: Optional[Iterable[int]]):
     if vertices is not None:
         return set(vertices)
-    if isinstance(graph, AttributedGraph):
+    if isinstance(graph, (AttributedGraph, CSRGraph)):
         return set(graph.vertices())
     return set(graph)
+
+
+def _csr_mask(csr: CSRGraph, vertices: Optional[Iterable[int]]) -> Optional[np.ndarray]:
+    if vertices is None:
+        return None
+    return _csr.vertex_mask(csr, vertices)
 
 
 def connected_components(
@@ -41,6 +51,9 @@ def connected_components(
     returned largest-first so the "start from the subgraph holding the
     highest-degree vertex" heuristic of Section 6.1 falls out naturally.
     """
+    if isinstance(graph, CSRGraph):
+        groups = _csr.component_vertex_groups(graph, _csr_mask(graph, vertices))
+        return [set(g.tolist()) for g in groups]
     remaining = _vertex_iter(graph, vertices)
     nbrs = _neighbor_fn(graph)
     components: List[Set[int]] = []
@@ -56,7 +69,9 @@ def connected_components(
                     frontier.append(v)
         components.append(seen)
         remaining -= seen
-    components.sort(key=len, reverse=True)
+    # Largest first, ties by smallest member — the same deterministic
+    # order the CSR backend produces, so backends agree exactly.
+    components.sort(key=lambda comp: (-len(comp), min(comp)))
     return components
 
 
@@ -66,6 +81,16 @@ def component_of(
     vertices: Optional[Iterable[int]] = None,
 ) -> Set[int]:
     """The connected component containing ``seed`` within ``vertices``."""
+    if isinstance(graph, CSRGraph):
+        mask = _csr_mask(graph, vertices)
+        if mask is None or mask[seed]:
+            labels = _csr.component_labels(graph, mask)
+            same = labels == labels[seed]
+            if mask is not None:
+                same &= mask
+            return set(np.nonzero(same)[0].tolist())
+        # Seed outside the restriction: fall through to the generic BFS,
+        # which keeps the seed in the result like the set-based path does.
     allowed = _vertex_iter(graph, vertices)
     nbrs = _neighbor_fn(graph)
     seen = {seed}

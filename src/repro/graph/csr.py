@@ -1,0 +1,465 @@
+"""Array-native graph kernel: CSR adjacency + vectorised peeling.
+
+The solvers' three hot structural primitives — k-core peeling (Batagelj &
+Zaversnik's O(m) algorithm), connected components, and induced-subgraph
+restriction — are all linear scans over adjacency, which maps directly
+onto a compressed-sparse-row layout:
+
+* ``indptr``  — int64 array of length ``n + 1``; the neighbours of ``u``
+  are ``indices[indptr[u]:indptr[u+1]]`` (sorted ascending);
+* ``indices`` — int64 array of length ``2m`` (each undirected edge is
+  stored in both directions).
+
+:class:`CSRGraph` freezes an :class:`AttributedGraph` into this layout
+once; the kernels below then run bulk numpy passes instead of per-vertex
+Python loops:
+
+* :func:`k_core_mask` / :func:`anchored_k_core_mask` — frontier peeling,
+  one vectorised degree-decrement round per cascade wave;
+* :func:`core_numbers` — level-by-level peeling that also yields a valid
+  degeneracy order;
+* :func:`component_labels` — min-label propagation with pointer jumping
+  (Shiloach–Vishkin style), O(m log n) fully vectorised.
+
+All kernels take and return flat arrays / boolean masks over vertex ids,
+so they compose without materialising Python sets; the dispatchers in
+:mod:`repro.graph.kcore` and :mod:`repro.graph.components` convert back
+to the set-based API at the boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError, InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+
+
+class CSRGraph:
+    """Immutable undirected simple graph in compressed-sparse-row form.
+
+    Rows are sorted, both directions of every undirected edge are stored,
+    and vertex ids are dense integers ``0 .. n-1`` — the same contract as
+    :class:`AttributedGraph`, which it round-trips losslessly
+    (:meth:`from_attributed` / :meth:`to_attributed`).
+
+    Attributes and labels ride along unchanged so the similarity layer
+    can batch-extract attribute columns without touching the original
+    graph object.
+    """
+
+    __slots__ = ("indptr", "indices", "_attributes", "_labels", "_geo")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        attributes: Optional[Dict[int, Any]] = None,
+        labels: Optional[Sequence[str]] = None,
+    ):
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indptr.size == 0:
+            raise GraphError("indptr must be a 1-d array of length n + 1")
+        if int(self.indptr[-1]) != self.indices.size:
+            raise GraphError(
+                f"indptr[-1]={int(self.indptr[-1])} does not match "
+                f"len(indices)={self.indices.size}"
+            )
+        self._attributes: Dict[int, Any] = dict(attributes) if attributes else {}
+        self._labels: Optional[List[str]] = list(labels) if labels else None
+        self._geo: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_attributed(cls, graph: AttributedGraph) -> "CSRGraph":
+        """Freeze an :class:`AttributedGraph` into CSR form (O(n + m log m))."""
+        n = graph.vertex_count
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for u in range(n):
+            indptr[u + 1] = indptr[u] + graph.degree(u)
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for u in range(n):
+            indices[int(indptr[u]):int(indptr[u + 1])] = sorted(graph.neighbors(u))
+        attributes = {
+            u: graph.attribute(u) for u in range(n) if graph.has_attribute(u)
+        }
+        labels = [graph.label(u) for u in range(n)] if n else None
+        has_real_labels = labels is not None and labels != [str(u) for u in range(n)]
+        return cls(indptr, indices, attributes, labels if has_real_labels else None)
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        eu: np.ndarray,
+        ev: np.ndarray,
+        attributes: Optional[Dict[int, Any]] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> "CSRGraph":
+        """Build from undirected edge endpoint arrays (each edge once)."""
+        eu = np.asarray(eu, dtype=np.int64)
+        ev = np.asarray(ev, dtype=np.int64)
+        src = np.concatenate([eu, ev])
+        dst = np.concatenate([ev, eu])
+        deg = np.bincount(src, minlength=n).astype(np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(deg, out=indptr[1:])
+        order = np.lexsort((dst, src))
+        return cls(indptr, dst[order], attributes, labels)
+
+    def to_attributed(self) -> AttributedGraph:
+        """Thaw back into a mutable :class:`AttributedGraph`."""
+        g = AttributedGraph(self.vertex_count)
+        eu, ev = self.edge_array()
+        for u, v in zip(eu.tolist(), ev.tolist()):
+            g.add_edge(u, v)
+        for u, value in self._attributes.items():
+            g.set_attribute(u, value)
+        if self._labels is not None:
+            g._labels = list(self._labels)
+        return g
+
+    def to_adjacency(self) -> Dict[int, Set[int]]:
+        """Materialise the ``vertex -> neighbour set`` dict view."""
+        return {
+            u: set(self.neighbors(u).tolist())
+            for u in range(self.vertex_count)
+        }
+
+    # ------------------------------------------------------------------
+    # Accessors (AttributedGraph-compatible surface)
+    # ------------------------------------------------------------------
+    @property
+    def vertex_count(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def edge_count(self) -> int:
+        return self.indices.size // 2
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex, as an int64 array."""
+        return np.diff(self.indptr)
+
+    def vertices(self) -> range:
+        return range(self.vertex_count)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        eu, ev = self.edge_array()
+        for u, v in zip(eu.tolist(), ev.tolist()):
+            yield (u, v)
+
+    def edge_array(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Endpoint arrays ``(eu, ev)`` with ``eu < ev``, each edge once."""
+        src = np.repeat(np.arange(self.vertex_count, dtype=np.int64), self.degrees)
+        upper = src < self.indices
+        return src[upper], self.indices[upper]
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Sorted neighbour ids of ``u`` (a read-only CSR slice)."""
+        self._check_vertex(u)
+        return self.indices[int(self.indptr[u]):int(self.indptr[u + 1])]
+
+    def degree(self, u: int) -> int:
+        self._check_vertex(u)
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        row = self.neighbors(u)
+        i = int(np.searchsorted(row, v))
+        return i < row.size and int(row[i]) == v
+
+    def attribute(self, u: int) -> Any:
+        self._check_vertex(u)
+        return self._attributes.get(u)
+
+    def has_attribute(self, u: int) -> bool:
+        self._check_vertex(u)
+        return u in self._attributes
+
+    def label(self, u: int) -> str:
+        self._check_vertex(u)
+        if self._labels is None:
+            return str(u)
+        return self._labels[u]
+
+    def attribute_mask(self) -> np.ndarray:
+        """Boolean mask of vertices carrying an attribute value."""
+        mask = np.zeros(self.vertex_count, dtype=bool)
+        if self._attributes:
+            mask[np.fromiter(self._attributes, dtype=np.int64)] = True
+        return mask
+
+    def geo_points(self) -> np.ndarray:
+        """``(n, 2)`` float column of geo attributes (NaN when missing).
+
+        Cached after first use — the similarity layer slices it per
+        component instead of re-walking Python attribute objects.
+        """
+        if self._geo is None:
+            pts = np.full((self.vertex_count, 2), np.nan, dtype=np.float64)
+            for u, value in self._attributes.items():
+                pts[u, 0] = value[0]
+                pts[u, 1] = value[1]
+            self._geo = pts
+        return self._geo
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def filter_edges(self, keep: np.ndarray) -> "CSRGraph":
+        """New graph keeping only the edges selected by ``keep``.
+
+        ``keep`` is a boolean mask aligned with :meth:`edge_array`.
+        Attributes and labels are shared by reference.
+        """
+        eu, ev = self.edge_array()
+        keep = np.asarray(keep, dtype=bool)
+        if keep.shape != eu.shape:
+            raise GraphError(
+                f"edge mask has shape {keep.shape}, expected {eu.shape}"
+            )
+        out = CSRGraph.from_edges(
+            self.vertex_count, eu[keep], ev[keep], self._attributes, self._labels
+        )
+        return out
+
+    def __len__(self) -> int:
+        return self.vertex_count
+
+    def __contains__(self, u: object) -> bool:
+        return isinstance(u, int) and 0 <= u < self.vertex_count
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(n={self.vertex_count}, m={self.edge_count}, "
+            f"attrs={len(self._attributes)})"
+        )
+
+    def _check_vertex(self, u: int) -> None:
+        if not (isinstance(u, (int, np.integer)) and 0 <= u < self.vertex_count):
+            raise GraphError(
+                f"vertex {u!r} is not in the graph (n={self.vertex_count})"
+            )
+
+
+# ----------------------------------------------------------------------
+# Vectorised kernels
+# ----------------------------------------------------------------------
+
+def vertex_mask(csr: CSRGraph, vertices: Iterable[int]) -> np.ndarray:
+    """Boolean mask over ``vertices``, validating ids like the set API.
+
+    Out-of-range ids raise :class:`GraphError` — the same contract as
+    :meth:`AttributedGraph._check_vertex` — so the CSR dispatchers never
+    let a negative id wrap around to a high vertex silently.
+    """
+    mask = np.zeros(csr.vertex_count, dtype=bool)
+    ids = np.fromiter(set(vertices), dtype=np.int64)
+    if ids.size:
+        if ids.min() < 0 or ids.max() >= csr.vertex_count:
+            bad = int(ids.min()) if ids.min() < 0 else int(ids.max())
+            raise GraphError(
+                f"vertex {bad!r} is not in the graph (n={csr.vertex_count})"
+            )
+        mask[ids] = True
+    return mask
+
+
+def gather_neighbors(csr: CSRGraph, frontier: np.ndarray) -> np.ndarray:
+    """Concatenated neighbour lists of all ``frontier`` vertices.
+
+    The flat-gather recipe: one fancy index instead of a per-vertex loop.
+    Duplicates are preserved (a vertex adjacent to two frontier vertices
+    appears twice) — exactly what the degree-decrement peels need.
+    """
+    if frontier.size == 0:
+        return csr.indices[:0]
+    starts = csr.indptr[frontier]
+    counts = csr.indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return csr.indices[:0]
+    shift = np.cumsum(counts) - counts
+    flat = np.repeat(starts - shift, counts) + np.arange(total, dtype=np.int64)
+    return csr.indices[flat]
+
+
+def _masked_degrees(csr: CSRGraph, mask: np.ndarray) -> np.ndarray:
+    """Degrees counted within ``mask`` (0 outside it)."""
+    n = csr.vertex_count
+    src = np.repeat(np.arange(n, dtype=np.int64), csr.degrees)
+    alive_edge = mask[src] & mask[csr.indices]
+    return np.bincount(src[alive_edge], minlength=n).astype(np.int64)
+
+
+def k_core_mask(
+    csr: CSRGraph, k: int, mask: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Boolean survivor mask of the k-core (of the ``mask``-induced subgraph).
+
+    Frontier peeling: every wave removes all current sub-``k`` vertices at
+    once and decrements their surviving neighbours' degrees with one
+    ``np.subtract.at`` scatter, so the Python-level loop runs once per
+    cascade depth, not once per vertex.
+    """
+    if k < 0:
+        raise InvalidParameterError(f"k must be >= 0, got {k}")
+    n = csr.vertex_count
+    if mask is None:
+        alive = np.ones(n, dtype=bool)
+        deg = csr.degrees.copy()
+    else:
+        alive = np.asarray(mask, dtype=bool).copy()
+        deg = _masked_degrees(csr, alive)
+    frontier = np.nonzero(alive & (deg < k))[0]
+    alive[frontier] = False
+    while frontier.size:
+        hit = gather_neighbors(csr, frontier)
+        hit = hit[alive[hit]]
+        np.subtract.at(deg, hit, 1)
+        frontier = np.nonzero(alive & (deg < k))[0]
+        alive[frontier] = False
+    return alive
+
+
+def anchored_k_core_mask(
+    csr: CSRGraph,
+    k: int,
+    candidates: np.ndarray,
+    anchors: np.ndarray,
+) -> np.ndarray:
+    """Survivor mask of the anchored k-core (anchors exempt, never peeled).
+
+    Array form of :func:`repro.graph.kcore.anchored_k_core`: the maximal
+    candidate subset in which every candidate keeps ``k`` neighbours
+    among ``anchors | survivors``.
+    """
+    if k < 0:
+        raise InvalidParameterError(f"k must be >= 0, got {k}")
+    cand = np.asarray(candidates, dtype=bool)
+    anch = np.asarray(anchors, dtype=bool)
+    if (cand & anch).any():
+        raise InvalidParameterError("candidates and anchors must be disjoint")
+    n = csr.vertex_count
+    keep = cand | anch
+    src = np.repeat(np.arange(n, dtype=np.int64), csr.degrees)
+    counted = cand[src] & keep[csr.indices]
+    deg = np.bincount(src[counted], minlength=n).astype(np.int64)
+    alive = cand.copy()
+    frontier = np.nonzero(alive & (deg < k))[0]
+    alive[frontier] = False
+    while frontier.size:
+        hit = gather_neighbors(csr, frontier)
+        hit = hit[alive[hit]]
+        np.subtract.at(deg, hit, 1)
+        frontier = np.nonzero(alive & (deg < k))[0]
+        alive[frontier] = False
+    return alive
+
+
+def core_numbers(csr: CSRGraph) -> Tuple[np.ndarray, np.ndarray]:
+    """Core number of every vertex plus a degeneracy order.
+
+    Level-by-level peeling: at level ``k`` every remaining vertex of
+    degree ``<= k`` is removed (waves, as in :func:`k_core_mask`) and
+    assigned core number ``k``.  Removal order is a valid degeneracy
+    ordering: a vertex removed in a wave at level ``k`` has at most ``k``
+    neighbours that were still alive at the start of its wave, which
+    bounds its later-in-order neighbours by the degeneracy.
+
+    Returns ``(core, order)`` — int64 arrays of length ``n``.
+    """
+    n = csr.vertex_count
+    core = np.zeros(n, dtype=np.int64)
+    order = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return core, order
+    alive = np.ones(n, dtype=bool)
+    deg = csr.degrees.copy()
+    k = 0
+    filled = 0
+    remaining = n
+    while remaining:
+        frontier = np.nonzero(alive & (deg <= k))[0]
+        while frontier.size:
+            alive[frontier] = False
+            core[frontier] = k
+            order[filled:filled + frontier.size] = frontier
+            filled += frontier.size
+            remaining -= frontier.size
+            hit = gather_neighbors(csr, frontier)
+            hit = hit[alive[hit]]
+            np.subtract.at(deg, hit, 1)
+            frontier = np.nonzero(alive & (deg <= k))[0]
+        k += 1
+    return core, order
+
+
+def component_labels(
+    csr: CSRGraph, mask: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Connected-component label of every vertex (min vertex id wins).
+
+    Min-label propagation with pointer jumping: alternate one hook round
+    (every surviving edge pulls both endpoint labels down to their
+    minimum) with full path shortcutting (``label = label[label]`` to a
+    fixpoint), which converges in ``O(log n)`` rounds of ``O(m)`` work.
+
+    Vertices outside ``mask`` keep themselves as label; restrict by the
+    mask when grouping.
+    """
+    n = csr.vertex_count
+    label = np.arange(n, dtype=np.int64)
+    if n == 0 or csr.indices.size == 0:
+        return label
+    src = np.repeat(np.arange(n, dtype=np.int64), csr.degrees)
+    dst = csr.indices
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        live = mask[src] & mask[dst]
+        src, dst = src[live], dst[live]
+    while True:
+        before = label.copy()
+        np.minimum.at(label, src, label[dst])
+        while True:
+            jumped = label[label]
+            if np.array_equal(jumped, label):
+                break
+            label = jumped
+        if np.array_equal(label, before):
+            return label
+
+
+def component_vertex_groups(
+    csr: CSRGraph, mask: Optional[np.ndarray] = None
+) -> List[np.ndarray]:
+    """Vertex-id arrays of each component, largest first (ties: min id).
+
+    Deterministic ordering so both backends enumerate components in a
+    reproducible order.
+    """
+    labels = component_labels(csr, mask)
+    if mask is not None:
+        keep = np.nonzero(np.asarray(mask, dtype=bool))[0]
+    else:
+        keep = np.arange(csr.vertex_count, dtype=np.int64)
+    if keep.size == 0:
+        return []
+    lab = labels[keep]
+    order = np.argsort(lab, kind="stable")
+    sorted_vs = keep[order]
+    sorted_lab = lab[order]
+    bounds = np.nonzero(np.diff(sorted_lab))[0] + 1
+    groups = np.split(sorted_vs, bounds)
+    groups.sort(key=lambda g: (-g.size, int(g[0])))
+    return groups

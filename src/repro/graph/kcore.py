@@ -19,11 +19,21 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Union
 
+import numpy as np
+
 from repro.exceptions import InvalidParameterError
 from repro.graph.attributed_graph import AttributedGraph
+from repro.graph import csr as _csr
+from repro.graph.csr import CSRGraph
 
 Adjacency = Mapping[int, Set[int]]
-GraphLike = Union[AttributedGraph, Adjacency]
+GraphLike = Union[AttributedGraph, CSRGraph, Adjacency]
+
+
+def _vertex_mask(csr: CSRGraph, vertices: Optional[Iterable[int]]) -> Optional[np.ndarray]:
+    if vertices is None:
+        return None
+    return _csr.vertex_mask(csr, vertices)
 
 
 def _as_adjacency(graph: GraphLike, vertices: Optional[Iterable[int]] = None) -> Dict[int, Set[int]]:
@@ -32,6 +42,8 @@ def _as_adjacency(graph: GraphLike, vertices: Optional[Iterable[int]] = None) ->
     When ``vertices`` is given, the view is the induced subgraph on those
     vertices (original ids preserved).
     """
+    if isinstance(graph, CSRGraph):
+        graph = graph.to_adjacency()
     if isinstance(graph, AttributedGraph):
         if vertices is None:
             return {u: set(graph.neighbors(u)) for u in graph.vertices()}
@@ -61,6 +73,9 @@ def k_core_vertices(
     """
     if k < 0:
         raise InvalidParameterError(f"k must be >= 0, got {k}")
+    if isinstance(graph, CSRGraph):
+        alive = _csr.k_core_mask(graph, k, _vertex_mask(graph, vertices))
+        return set(np.nonzero(alive)[0].tolist())
     adj = _as_adjacency(graph, vertices)
     degree = {u: len(nbrs) for u, nbrs in adj.items()}
     queue: List[int] = [u for u, d in degree.items() if d < k]
@@ -83,7 +98,7 @@ def k_core_subgraph(graph: AttributedGraph, k: int) -> AttributedGraph:
 
 
 def anchored_k_core(
-    adjacency: Adjacency,
+    adjacency: Union[Adjacency, CSRGraph],
     k: int,
     candidates: Iterable[int],
     anchors: Iterable[int],
@@ -107,6 +122,11 @@ def anchored_k_core(
     """
     if k < 0:
         raise InvalidParameterError(f"k must be >= 0, got {k}")
+    if isinstance(adjacency, CSRGraph):
+        cand_mask = _csr.vertex_mask(adjacency, candidates)
+        anchor_mask = _csr.vertex_mask(adjacency, anchors)
+        alive = _csr.anchored_k_core_mask(adjacency, k, cand_mask, anchor_mask)
+        return set(np.nonzero(alive)[0].tolist())
     cand = set(candidates)
     anchor_set = set(anchors)
     if cand & anchor_set:
@@ -132,8 +152,12 @@ def core_decomposition(graph: GraphLike) -> Dict[int, int]:
     """Core number of every vertex (Batagelj–Zaversnik bucket peeling).
 
     The core number of ``u`` is the largest ``k`` such that ``u`` belongs
-    to the k-core.  Runs in ``O(n + m)`` using bucket sort on degrees.
+    to the k-core.  Runs in ``O(n + m)`` using bucket sort on degrees
+    (or the vectorised level peeling when given a :class:`CSRGraph`).
     """
+    if isinstance(graph, CSRGraph):
+        core, _ = _csr.core_numbers(graph)
+        return {u: int(c) for u, c in enumerate(core.tolist())}
     adj = _as_adjacency(graph)
     n = len(adj)
     if n == 0:
@@ -189,6 +213,9 @@ def degeneracy_order(graph: GraphLike) -> List[int]:
     *later* in the order.  Used by the Bron–Kerbosch driver to bound the
     branching factor.
     """
+    if isinstance(graph, CSRGraph):
+        _, order = _csr.core_numbers(graph)
+        return [int(u) for u in order.tolist()]
     adj = _as_adjacency(graph)
     n = len(adj)
     if n == 0:

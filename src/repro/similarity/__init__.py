@@ -30,7 +30,12 @@ from repro.similarity.threshold import (
     top_permille_threshold,
     pairwise_similarity_sample,
 )
-from repro.similarity.index import DissimilarityIndex, build_index
+from repro.similarity.index import (
+    DissimilarityIndex,
+    build_index,
+    remove_dissimilar_edges,
+    remove_dissimilar_edges_csr,
+)
 
 __all__ = [
     "jaccard",
@@ -45,4 +50,6 @@ __all__ = [
     "pairwise_similarity_sample",
     "DissimilarityIndex",
     "build_index",
+    "remove_dissimilar_edges",
+    "remove_dissimilar_edges_csr",
 ]

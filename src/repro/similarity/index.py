@@ -23,21 +23,26 @@ surviving component are few).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
 
 import numpy as np
 
 from repro.exceptions import MissingAttributeError
 from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.csr import CSRGraph
 from repro.similarity.metrics import (
     MetricKind,
     euclidean_distance,
+    jaccard,
     require_attribute,
     weighted_jaccard,
 )
 from repro.similarity.threshold import SimilarityPredicate
 
-#: Vectorised weighted-Jaccard kicks in above this component size ...
+AttributeSource = Union[AttributedGraph, CSRGraph]
+
+#: Vectorised weighted-Jaccard kicks in above this component size on the
+#: python backend; the CSR backend vectorises at every size.
 _WJ_MIN_VERTICES = 48
 #: ... and below this distinct-key (vocabulary) count.
 _WJ_MAX_VOCABULARY = 4096
@@ -119,9 +124,10 @@ class DissimilarityIndex:
 
 
 def build_index(
-    graph: AttributedGraph,
+    graph: AttributeSource,
     predicate: SimilarityPredicate,
     vertices: Iterable[int],
+    backend: str = "python",
 ) -> DissimilarityIndex:
     """Build the dissimilarity index for one component.
 
@@ -132,18 +138,51 @@ def build_index(
     small relative to the input graph, which is what makes this affordable
     (the paper's solvers equally touch all intra-component pairs through
     DP/SP bookkeeping).
+
+    ``backend="csr"`` (what :func:`repro.core.solver.prepare_components`
+    passes on the array backend) batches weighted-Jaccard and plain
+    Jaccard components of every size through the vectorised path instead
+    of only the large ones; both backends yield the same index.
     """
     vs = sorted(set(vertices))
     if predicate.metric is euclidean_distance:
         return _build_index_euclidean(graph, predicate, vs)
-    if (
-        predicate.metric is weighted_jaccard
-        and len(vs) >= _WJ_MIN_VERTICES
+    if predicate.metric is weighted_jaccard and (
+        backend == "csr" or len(vs) >= _WJ_MIN_VERTICES
     ):
         built = _build_index_weighted_jaccard(graph, predicate, vs)
         if built is not None:
             return built
+    if predicate.metric is jaccard and (
+        backend == "csr" or len(vs) >= _WJ_MIN_VERTICES
+    ):
+        built = _build_index_jaccard(graph, predicate, vs)
+        if built is not None:
+            return built
     return _build_index_generic(graph, predicate, vs)
+
+
+def _mark_far_rows(
+    dissimilar: Dict[int, Set[int]],
+    vs: Sequence[int],
+    ids: np.ndarray,
+    far: np.ndarray,
+    start: int,
+) -> None:
+    """Fold one chunk of a boolean ``far`` matrix into the dissimilar sets.
+
+    Row ``local_i`` of ``far`` flags the vertices dissimilar to
+    ``vs[start + local_i]``; the diagonal (self) is skipped.  Shared by
+    every vectorised index builder so the chunk epilogue exists once.
+    """
+    for local_i in range(far.shape[0]):
+        js = np.nonzero(far[local_i])[0]
+        if js.size:
+            u = vs[start + local_i]
+            mine = dissimilar[u]
+            for j in ids[js]:
+                if j != u:
+                    mine.add(int(j))
 
 
 def _build_index_generic(
@@ -190,15 +229,7 @@ def _build_index_euclidean(
         dx = block[:, 0][:, None] - points[:, 0][None, :]
         dy = block[:, 1][:, None] - points[:, 1][None, :]
         far = (dx * dx + dy * dy) > r2
-        for local_i in range(stop - start):
-            i = start + local_i
-            js = np.nonzero(far[local_i])[0]
-            if js.size:
-                u = vs[i]
-                mine = dissimilar[u]
-                for j in ids[js]:
-                    if j != u:
-                        mine.add(int(j))
+        _mark_far_rows(dissimilar, vs, ids, far, start)
     return DissimilarityIndex(dissimilar)
 
 
@@ -247,16 +278,57 @@ def _build_index_weighted_jaccard(
         dens = sums[start:stop, None] + sums[None, :] - mins
         with np.errstate(invalid="ignore", divide="ignore"):
             sim = np.where(dens > 0.0, mins / dens, 0.0)
-        far = sim < r
-        for local_i in range(stop - start):
-            i = start + local_i
-            js = np.nonzero(far[local_i])[0]
-            if js.size:
-                u = vs[i]
-                mine = dissimilar[u]
-                for j in ids[js]:
-                    if j != u:
-                        mine.add(int(j))
+        _mark_far_rows(dissimilar, vs, ids, sim < r, start)
+    return DissimilarityIndex(dissimilar)
+
+
+def _build_index_jaccard(
+    graph: AttributeSource,
+    predicate: SimilarityPredicate,
+    vs: Sequence[int],
+):
+    """Vectorised pairwise plain Jaccard over set-valued attributes.
+
+    Sets become rows of a binary ``n x d`` membership matrix; pairwise
+    intersections are one matmul and unions follow from row sums.  All
+    quantities are small integers represented exactly in float64, so the
+    thresholded result matches the scalar loop bit-for-bit.  Returns
+    ``None`` (caller falls back to the generic loop) when the vocabulary
+    outgrows the dense representation.
+    """
+    vocabulary: Dict[object, int] = {}
+    profiles: List[Set[object]] = []
+    for u in vs:
+        raw = require_attribute(graph.attribute(u), u)
+        profile = set(raw)
+        profiles.append(profile)
+        for key in profile:
+            if key not in vocabulary:
+                vocabulary[key] = len(vocabulary)
+                if len(vocabulary) > _WJ_MAX_VOCABULARY:
+                    return None
+    n = len(vs)
+    d = max(1, len(vocabulary))
+    member = np.zeros((n, d), dtype=np.float64)
+    for i, profile in enumerate(profiles):
+        for key in profile:
+            member[i, vocabulary[key]] = 1.0
+    sizes = member.sum(axis=1)
+
+    r = predicate.r
+    dissimilar: Dict[int, Set[int]] = {u: set() for u in vs}
+    if n < 2:
+        return DissimilarityIndex(dissimilar)
+    ids = np.asarray(vs)
+    # The matmul temporary is chunk x n cells (d is contracted away).
+    chunk = max(1, min(n, 32_000_000 // max(1, n)))
+    for start in range(0, n, chunk):
+        stop = min(n, start + chunk)
+        inter = member[start:stop] @ member.T
+        union = sizes[start:stop, None] + sizes[None, :] - inter
+        with np.errstate(invalid="ignore", divide="ignore"):
+            sim = np.where((union > 0.0) & (inter > 0.0), inter / union, 0.0)
+        _mark_far_rows(dissimilar, vs, ids, sim < r, start)
     return DissimilarityIndex(dissimilar)
 
 
@@ -279,4 +351,143 @@ def remove_dissimilar_edges(
             continue
         if not predicate.similar(graph.attribute(u), graph.attribute(v)):
             out.remove_edge(u, v)
+    return out
+
+
+def remove_dissimilar_edges_csr(
+    csr: CSRGraph,
+    predicate: SimilarityPredicate,
+) -> CSRGraph:
+    """CSR counterpart of :func:`remove_dissimilar_edges`.
+
+    Builds the kept-edge mask over the flat endpoint arrays: attribute
+    presence is one boolean gather, geo distances are a single vectorised
+    pass over the coordinate columns, and other metrics evaluate the
+    scalar predicate only on edges whose endpoints both carry attributes.
+    """
+    eu, ev = csr.edge_array()
+    if eu.size == 0:
+        return csr.filter_edges(np.zeros(0, dtype=bool))
+    has = csr.attribute_mask()
+    keep = has[eu] & has[ev]
+    if predicate.metric is euclidean_distance and predicate.kind is MetricKind.DISTANCE:
+        # Attribute columns only for edge endpoints — the set-based path
+        # never reads non-endpoint attributes either, so a malformed
+        # attribute on an isolated vertex cannot crash this backend only.
+        live = np.nonzero(keep)[0]
+        needed = np.unique(np.concatenate([eu[live], ev[live]]))
+        pts = np.full((csr.vertex_count, 2), np.nan, dtype=np.float64)
+        for u in needed.tolist():
+            a = csr.attribute(u)
+            pts[u, 0] = a[0]
+            pts[u, 1] = a[1]
+        d2 = (pts[eu, 0] - pts[ev, 0]) ** 2 + (pts[eu, 1] - pts[ev, 1]) ** 2
+        r2 = predicate.r * predicate.r
+        # Squared distances decide all but a ~1-ulp band around the
+        # threshold; borderline edges re-check through the scalar
+        # predicate so both backends make bit-identical keep decisions.
+        with np.errstate(invalid="ignore"):
+            near = d2 <= r2 * (1.0 - 1e-12)
+            far = d2 > r2 * (1.0 + 1e-12)
+        keep &= ~far
+        for i in np.nonzero(keep & ~near & ~far)[0]:
+            keep[i] = predicate.similar(
+                csr.attribute(int(eu[i])), csr.attribute(int(ev[i]))
+            )
+        return csr.filter_edges(keep)
+    if (
+        predicate.metric in (jaccard, weighted_jaccard)
+        and predicate.kind is MetricKind.SIMILARITY
+    ):
+        batched = _edge_profile_keep(csr, eu, ev, keep, predicate)
+        if batched is not None:
+            return csr.filter_edges(batched)
+    for i in np.nonzero(keep)[0]:
+        keep[i] = predicate.similar(
+            csr.attribute(int(eu[i])), csr.attribute(int(ev[i]))
+        )
+    return csr.filter_edges(keep)
+
+
+def _edge_profile_keep(
+    csr: CSRGraph,
+    eu: np.ndarray,
+    ev: np.ndarray,
+    keep: np.ndarray,
+    predicate: SimilarityPredicate,
+) -> Optional[np.ndarray]:
+    """Vectorised per-edge (weighted) Jaccard similarity filter.
+
+    Vertex profiles become rows of a dense count matrix over the joint
+    vocabulary (binary rows for plain sets); per-edge ``sum(min)`` /
+    ``sum(max)`` then evaluates in chunked array passes instead of one
+    Python metric call per edge.  Returns ``None`` when the vocabulary or
+    the matrix would be too large — the caller falls back to the scalar
+    loop.
+    """
+    weighted = predicate.metric is weighted_jaccard
+    n = csr.vertex_count
+    live = np.nonzero(keep)[0]
+    # Only edge endpoints need profiles — matching the set-based path,
+    # which never evaluates the metric on non-endpoint vertices.
+    needed = np.unique(np.concatenate([eu[live], ev[live]]))
+    vocabulary: Dict[object, int] = {}
+    attributed = []
+    for u in needed.tolist():
+        value = csr.attribute(u)
+        profile = value if weighted else set(value)
+        attributed.append((u, profile))
+        keys = profile.keys() if weighted else profile
+        for key in keys:
+            if key not in vocabulary:
+                vocabulary[key] = len(vocabulary)
+                if len(vocabulary) > _WJ_MAX_VOCABULARY:
+                    return None
+    d = max(1, len(vocabulary))
+    out = keep.copy()
+    r = predicate.r
+
+    if not weighted and hasattr(np, "bitwise_count"):
+        # Plain sets pack into uint64 bitmask words; intersections are
+        # then AND + popcount — far less memory traffic than a dense
+        # membership matrix (n * d/64 bits, so no size bailout needed).
+        # All quantities stay small integers, so the thresholding
+        # matches the scalar metric exactly.
+        words = (d + 63) // 64
+        masks = np.zeros((n, words), dtype=np.uint64)
+        for u, profile in attributed:
+            for key in profile:
+                slot = vocabulary[key]
+                masks[u, slot >> 6] |= np.uint64(1 << (slot & 63))
+        sizes = np.bitwise_count(masks).sum(axis=1).astype(np.float64)
+        bu, bv = eu[live], ev[live]
+        inter = np.bitwise_count(masks[bu] & masks[bv]).sum(axis=1).astype(np.float64)
+        union = sizes[bu] + sizes[bv] - inter
+        with np.errstate(invalid="ignore", divide="ignore"):
+            sim = np.where((union > 0.0) & (inter > 0.0), inter / union, 0.0)
+        out[live] = sim >= r
+        return out
+
+    if n * d > 64_000_000:
+        return None  # dense count matrix would not pay off
+    counts = np.zeros((n, d), dtype=np.float64)
+    for u, profile in attributed:
+        if weighted:
+            for key, value in profile.items():
+                if value < 0:
+                    return None  # generic path raises the clean error
+                counts[u, vocabulary[key]] = value
+        else:
+            for key in profile:
+                counts[u, vocabulary[key]] = 1.0
+    sums = counts.sum(axis=1)
+    chunk = max(1, 16_000_000 // d)
+    for start in range(0, live.size, chunk):
+        block = live[start:start + chunk]
+        bu, bv = eu[block], ev[block]
+        mins = np.minimum(counts[bu], counts[bv]).sum(axis=1)
+        dens = sums[bu] + sums[bv] - mins
+        with np.errstate(invalid="ignore", divide="ignore"):
+            sim = np.where((dens > 0.0) & (mins > 0.0), mins / dens, 0.0)
+        out[block] = sim >= r
     return out

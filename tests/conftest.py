@@ -24,7 +24,10 @@ from repro.core.naive import brute_force_maximal_krcores
 from repro.core.solver import prepare_components
 from repro.core.stats import SearchStats
 from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.csr import CSRGraph
 from repro.similarity.threshold import SimilarityPredicate
+
+BACKENDS = ("python", "csr")
 
 VOCAB = ("a", "b", "c", "d", "e", "f")
 
@@ -97,6 +100,19 @@ def as_sorted_sets(cores) -> List[List[int]]:
     """Canonical form for comparing core collections."""
     return sorted(sorted(c.vertices if hasattr(c, "vertices") else c)
                   for c in cores)
+
+
+@pytest.fixture(params=BACKENDS)
+def graph_backend(request):
+    """Convert an :class:`AttributedGraph` to the backend under test.
+
+    ``"python"`` passes the graph through; ``"csr"`` freezes it into a
+    :class:`CSRGraph`.  Structural-algorithm tests parametrized over this
+    fixture assert both substrates give identical answers.
+    """
+    if request.param == "csr":
+        return CSRGraph.from_attributed
+    return lambda graph: graph
 
 
 @pytest.fixture

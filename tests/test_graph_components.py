@@ -38,24 +38,34 @@ class TestConnectedComponents:
         assert sorted(map(sorted, comps)) == [[0, 1], [2]]
 
     @pytest.mark.parametrize("seed", range(12))
-    def test_matches_networkx(self, seed):
+    def test_matches_networkx(self, seed, graph_backend):
         g = make_random_attr_graph(seed, n=20, p=0.12)
         nxg = nx.Graph()
         nxg.add_nodes_from(g.vertices())
         nxg.add_edges_from(g.edges())
-        ours = sorted(map(sorted, connected_components(g)))
+        ours = sorted(map(sorted, connected_components(graph_backend(g))))
         theirs = sorted(map(sorted, nx.connected_components(nxg)))
         assert ours == theirs
 
+    @pytest.mark.parametrize("seed", range(12))
+    def test_backends_agree_exactly(self, seed):
+        """Same component list, same order — not just the same partition."""
+        from repro.graph.csr import CSRGraph
+
+        g = make_random_attr_graph(seed, n=24, p=0.1)
+        want = connected_components(g)
+        got = connected_components(CSRGraph.from_attributed(g))
+        assert got == want
+
 
 class TestComponentOf:
-    def test_basic(self):
-        g = AttributedGraph(5, edges=[(0, 1), (1, 2), (3, 4)])
+    def test_basic(self, graph_backend):
+        g = graph_backend(AttributedGraph(5, edges=[(0, 1), (1, 2), (3, 4)]))
         assert component_of(g, 0) == {0, 1, 2}
         assert component_of(g, 4) == {3, 4}
 
-    def test_restricted(self):
-        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 3)])
+    def test_restricted(self, graph_backend):
+        g = graph_backend(AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 3)]))
         assert component_of(g, 0, vertices=[0, 1, 3]) == {0, 1}
 
 
@@ -75,21 +85,21 @@ class TestComponentContainingAll:
 
 
 class TestIsConnected:
-    def test_empty_is_connected(self):
-        assert is_connected(AttributedGraph(0)) is True
+    def test_empty_is_connected(self, graph_backend):
+        assert is_connected(graph_backend(AttributedGraph(0))) is True
 
-    def test_single_vertex(self):
-        assert is_connected(AttributedGraph(1)) is True
+    def test_single_vertex(self, graph_backend):
+        assert is_connected(graph_backend(AttributedGraph(1))) is True
 
-    def test_disconnected(self):
-        g = AttributedGraph(4, edges=[(0, 1), (2, 3)])
+    def test_disconnected(self, graph_backend):
+        g = graph_backend(AttributedGraph(4, edges=[(0, 1), (2, 3)]))
         assert is_connected(g) is False
 
-    def test_connected(self):
-        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 3)])
+    def test_connected(self, graph_backend):
+        g = graph_backend(AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 3)]))
         assert is_connected(g) is True
 
-    def test_restricted(self):
-        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 3)])
+    def test_restricted(self, graph_backend):
+        g = graph_backend(AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 3)]))
         assert is_connected(g, vertices=[0, 1]) is True
         assert is_connected(g, vertices=[0, 3]) is False

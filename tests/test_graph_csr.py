@@ -1,0 +1,219 @@
+"""CSRGraph round-trip fidelity and array-kernel agreement."""
+
+import random
+
+import numpy as np
+import pytest
+
+from conftest import make_geo_graph, make_random_attr_graph
+from repro.exceptions import GraphError, InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.csr import (
+    CSRGraph,
+    anchored_k_core_mask,
+    component_labels,
+    component_vertex_groups,
+    core_numbers,
+    gather_neighbors,
+    k_core_mask,
+)
+from repro.graph.kcore import core_decomposition, k_core_vertices
+from repro.similarity.index import remove_dissimilar_edges, remove_dissimilar_edges_csr
+from repro.similarity.threshold import SimilarityPredicate
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_graph_round_trip(self, seed):
+        g = make_random_attr_graph(seed)
+        c = CSRGraph.from_attributed(g)
+        assert c.vertex_count == g.vertex_count
+        assert c.edge_count == g.edge_count
+        for u in g.vertices():
+            assert c.degree(u) == g.degree(u)
+            assert set(c.neighbors(u).tolist()) == g.neighbors(u)
+            assert c.attribute(u) == g.attribute(u)
+            assert c.has_attribute(u) == g.has_attribute(u)
+        back = c.to_attributed()
+        assert sorted(back.edges()) == sorted(g.edges())
+        assert all(back.attribute(u) == g.attribute(u) for u in g.vertices())
+
+    def test_empty_graph(self):
+        c = CSRGraph.from_attributed(AttributedGraph(0))
+        assert c.vertex_count == 0
+        assert c.edge_count == 0
+        assert list(c.edges()) == []
+        assert c.to_attributed().vertex_count == 0
+        core, order = core_numbers(c)
+        assert core.size == 0 and order.size == 0
+        assert component_vertex_groups(c) == []
+
+    def test_single_vertex(self):
+        g = AttributedGraph(1)
+        g.set_attribute(0, frozenset({"a"}))
+        c = CSRGraph.from_attributed(g)
+        assert c.vertex_count == 1
+        assert c.edge_count == 0
+        assert c.degree(0) == 0
+        assert c.attribute(0) == frozenset({"a"})
+        assert c.to_attributed().attribute(0) == frozenset({"a"})
+        assert k_core_mask(c, 0).tolist() == [True]
+        assert k_core_mask(c, 1).tolist() == [False]
+
+    def test_isolated_vertices_preserved(self):
+        g = AttributedGraph(5, edges=[(0, 1)])
+        c = CSRGraph.from_attributed(g)
+        assert c.vertex_count == 5
+        assert [c.degree(u) for u in range(5)] == [1, 1, 0, 0, 0]
+
+    def test_edges_sorted_and_symmetric(self):
+        g = make_random_attr_graph(7, n=15, p=0.4)
+        c = CSRGraph.from_attributed(g)
+        for u in range(15):
+            row = c.neighbors(u)
+            assert list(row) == sorted(row)
+        eu, ev = c.edge_array()
+        assert (eu < ev).all()
+        assert sorted(zip(eu.tolist(), ev.tolist())) == sorted(g.edges())
+
+    def test_has_edge(self):
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2)])
+        c = CSRGraph.from_attributed(g)
+        assert c.has_edge(0, 1) and c.has_edge(1, 0)
+        assert not c.has_edge(0, 2)
+        assert not c.has_edge(3, 0)
+
+    def test_vertex_check(self):
+        c = CSRGraph.from_attributed(AttributedGraph(2, edges=[(0, 1)]))
+        with pytest.raises(GraphError):
+            c.neighbors(2)
+        with pytest.raises(GraphError):
+            c.degree(-1)
+
+    def test_labels_round_trip(self):
+        g = AttributedGraph(2, edges=[(0, 1)], labels=["alice", "bob"])
+        c = CSRGraph.from_attributed(g)
+        assert c.label(0) == "alice"
+        assert c.to_attributed().label(1) == "bob"
+
+
+class TestFilterEdges:
+    def test_filter_matches_python_edge_removal(self):
+        for seed in range(8):
+            g = make_random_attr_graph(seed, n=14, p=0.5)
+            pred = SimilarityPredicate("jaccard", 0.4)
+            want = CSRGraph.from_attributed(remove_dissimilar_edges(g, pred))
+            got = remove_dissimilar_edges_csr(CSRGraph.from_attributed(g), pred)
+            assert sorted(got.edges()) == sorted(want.edges())
+
+    def test_geo_filter_matches(self):
+        for seed in range(8):
+            g = make_geo_graph(seed, n=16, p=0.5)
+            pred = SimilarityPredicate("euclidean", 20.0)
+            want = remove_dissimilar_edges(g, pred)
+            got = remove_dissimilar_edges_csr(CSRGraph.from_attributed(g), pred)
+            assert sorted(got.edges()) == sorted(want.edges())
+
+    def test_missing_attribute_drops_incident_edges(self):
+        g = AttributedGraph(3, edges=[(0, 1), (1, 2)])
+        g.set_attribute(0, frozenset({"x"}))
+        g.set_attribute(1, frozenset({"x"}))
+        pred = SimilarityPredicate("jaccard", 0.1)
+        got = remove_dissimilar_edges_csr(CSRGraph.from_attributed(g), pred)
+        assert sorted(got.edges()) == [(0, 1)]
+
+    def test_bad_mask_shape_rejected(self):
+        c = CSRGraph.from_attributed(AttributedGraph(3, edges=[(0, 1), (1, 2)]))
+        with pytest.raises(GraphError):
+            c.filter_edges(np.ones(5, dtype=bool))
+
+    def test_malformed_attr_on_isolated_vertex_is_ignored(self):
+        """Non-endpoint attributes are never read — matching the python
+        path, which only evaluates metrics on edge endpoints."""
+        g = AttributedGraph(3, edges=[(0, 1)])
+        g.set_attribute(0, (1.0, 2.0))
+        g.set_attribute(1, (1.5, 2.0))
+        g.set_attribute(2, frozenset({"not", "a", "point"}))  # isolated
+        pred = SimilarityPredicate("euclidean", 5.0)
+        want = remove_dissimilar_edges(g, pred)
+        got = remove_dissimilar_edges_csr(CSRGraph.from_attributed(g), pred)
+        assert sorted(got.edges()) == sorted(want.edges())
+
+    def test_jaccard_filter_ignores_isolated_garbage_attr(self):
+        g = AttributedGraph(3, edges=[(0, 1)])
+        g.set_attribute(0, frozenset({"a", "b"}))
+        g.set_attribute(1, frozenset({"a", "b"}))
+        g.set_attribute(2, 12345)  # not iterable; isolated vertex
+        pred = SimilarityPredicate("jaccard", 0.5)
+        got = remove_dissimilar_edges_csr(CSRGraph.from_attributed(g), pred)
+        assert sorted(got.edges()) == [(0, 1)]
+
+    def test_geo_points_column(self):
+        g = AttributedGraph(3, edges=[(0, 1)])
+        g.set_attribute(0, (1.0, 2.0))
+        g.set_attribute(1, (3.0, 4.0))
+        pts = CSRGraph.from_attributed(g).geo_points()
+        assert pts.shape == (3, 2)
+        assert pts[0].tolist() == [1.0, 2.0]
+        assert np.isnan(pts[2]).all()
+
+
+class TestKernels:
+    def test_gather_neighbors_preserves_duplicates(self):
+        c = CSRGraph.from_attributed(
+            AttributedGraph(4, edges=[(0, 2), (1, 2), (0, 3), (1, 3)])
+        )
+        out = gather_neighbors(c, np.array([0, 1]))
+        assert sorted(out.tolist()) == [2, 2, 3, 3]
+
+    def test_negative_k_rejected(self):
+        c = CSRGraph.from_attributed(AttributedGraph(2))
+        with pytest.raises(InvalidParameterError):
+            k_core_mask(c, -1)
+
+    def test_out_of_range_vertices_rejected(self):
+        """Negative ids must raise like the set path, not wrap around."""
+        from repro.graph.components import connected_components
+
+        g = AttributedGraph(5, edges=[(0, 1), (2, 3)])
+        c = CSRGraph.from_attributed(g)
+        with pytest.raises(GraphError):
+            k_core_vertices(c, 1, vertices=[-1])
+        with pytest.raises(GraphError):
+            connected_components(c, vertices=[0, 5])
+
+    def test_overlapping_anchor_candidate_rejected(self):
+        c = CSRGraph.from_attributed(AttributedGraph(2, edges=[(0, 1)]))
+        both = np.array([True, False])
+        with pytest.raises(InvalidParameterError):
+            anchored_k_core_mask(c, 1, both, both)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_core_numbers_match_dict_path(self, seed):
+        g = make_random_attr_graph(seed, n=24, p=0.3)
+        c = CSRGraph.from_attributed(g)
+        core, order = core_numbers(c)
+        want = core_decomposition(g)
+        assert {u: int(x) for u, x in enumerate(core)} == want
+        assert sorted(order.tolist()) == list(range(24))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_component_labels_partition(self, seed):
+        g = make_random_attr_graph(seed, n=20, p=0.1)
+        c = CSRGraph.from_attributed(g)
+        labels = component_labels(c)
+        # Endpoint labels agree along every edge; label is the min member.
+        for u, v in g.edges():
+            assert labels[u] == labels[v]
+        for u in g.vertices():
+            assert labels[u] <= u
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_masked_k_core_matches_reference(self, seed):
+        rng = random.Random(seed)
+        g = make_random_attr_graph(seed, n=22, p=0.35)
+        sub = rng.sample(range(22), 14)
+        c = CSRGraph.from_attributed(g)
+        for k in (1, 2, 3):
+            assert k_core_vertices(c, k, vertices=sub) == \
+                k_core_vertices(g, k, vertices=sub)

@@ -60,18 +60,19 @@ class TestKCoreVertices:
         assert k_core_vertices(adj, 2) == {0, 1, 2}
 
     @pytest.mark.parametrize("seed", range(15))
-    def test_matches_networkx(self, seed):
+    def test_matches_networkx(self, seed, graph_backend):
         g = make_random_attr_graph(seed, n=20, p=0.25)
         nxg = to_networkx(g)
+        backed = graph_backend(g)
         for k in (1, 2, 3, 4):
             expected = set(nx.k_core(nxg, k).nodes())
-            assert k_core_vertices(g, k) == expected
+            assert k_core_vertices(backed, k) == expected
 
     @pytest.mark.parametrize("seed", range(10))
-    def test_result_is_maximal_with_min_degree(self, seed):
+    def test_result_is_maximal_with_min_degree(self, seed, graph_backend):
         g = make_random_attr_graph(seed, n=25, p=0.3)
         k = 3
-        core = k_core_vertices(g, k)
+        core = k_core_vertices(graph_backend(g), k)
         # Every survivor has >= k neighbours among survivors.
         for u in core:
             assert len(g.neighbors(u) & core) >= k
@@ -102,17 +103,18 @@ class TestCoreDecomposition:
         assert core_decomposition(g)[2] == 0
 
     @pytest.mark.parametrize("seed", range(15))
-    def test_matches_networkx(self, seed):
+    def test_matches_networkx(self, seed, graph_backend):
         g = make_random_attr_graph(seed, n=22, p=0.3)
         expected = nx.core_number(to_networkx(g))
-        assert core_decomposition(g) == expected
+        assert core_decomposition(graph_backend(g)) == expected
 
     @pytest.mark.parametrize("seed", range(5))
-    def test_consistent_with_k_core(self, seed):
+    def test_consistent_with_k_core(self, seed, graph_backend):
         g = make_random_attr_graph(seed, n=18, p=0.35)
-        core = core_decomposition(g)
+        backed = graph_backend(g)
+        core = core_decomposition(backed)
         for k in (1, 2, 3):
-            assert k_core_vertices(g, k) == {
+            assert k_core_vertices(backed, k) == {
                 u for u, c in core.items() if c >= k
             }
 
@@ -129,10 +131,10 @@ class TestMaxCoreNumber:
         assert max_core_number(AttributedGraph(0)) == 0
 
     @pytest.mark.parametrize("seed", range(8))
-    def test_matches_networkx(self, seed):
+    def test_matches_networkx(self, seed, graph_backend):
         g = make_random_attr_graph(seed, n=20, p=0.3)
         expected = max(nx.core_number(to_networkx(g)).values())
-        assert max_core_number(g) == expected
+        assert max_core_number(graph_backend(g)) == expected
 
 
 class TestAnchoredKCore:
@@ -161,15 +163,17 @@ class TestAnchoredKCore:
             anchored_k_core({0: set()}, 1, candidates={0}, anchors={0})
 
     @pytest.mark.parametrize("seed", range(10))
-    def test_result_satisfies_definition(self, seed):
+    def test_result_satisfies_definition(self, seed, graph_backend):
         rng = random.Random(seed)
         g = make_random_attr_graph(seed, n=16, p=0.4)
         adj = {u: set(g.neighbors(u)) for u in g.vertices()}
+        backed = graph_backend(g)
+        peel_input = adj if isinstance(backed, AttributedGraph) else backed
         vertices = list(g.vertices())
         anchors = set(rng.sample(vertices, 4))
         candidates = set(vertices) - anchors
         k = rng.randint(1, 3)
-        survivors = anchored_k_core(adj, k, candidates, anchors)
+        survivors = anchored_k_core(peel_input, k, candidates, anchors)
         keep = survivors | anchors
         for u in survivors:
             assert len(adj[u] & keep) >= k
@@ -180,15 +184,15 @@ class TestAnchoredKCore:
 
 
 class TestDegeneracyOrder:
-    def test_order_covers_all_vertices(self):
+    def test_order_covers_all_vertices(self, graph_backend):
         g = make_random_attr_graph(3, n=15, p=0.3)
-        order = degeneracy_order(g)
+        order = degeneracy_order(graph_backend(g))
         assert sorted(order) == list(g.vertices())
 
     @pytest.mark.parametrize("seed", range(8))
-    def test_later_neighbour_bound(self, seed):
+    def test_later_neighbour_bound(self, seed, graph_backend):
         g = make_random_attr_graph(seed, n=18, p=0.35)
-        order = degeneracy_order(g)
+        order = degeneracy_order(graph_backend(g))
         rank = {v: i for i, v in enumerate(order)}
         degeneracy = max_core_number(g)
         for v in order:

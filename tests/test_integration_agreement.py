@@ -25,57 +25,86 @@ ENUM_ALGORITHMS = (
 MAX_ALGORITHMS = (
     "basic", "advanced", "advanced-ub", "advanced-o", "color-kcore",
 )
+BACKENDS = ("python", "csr")
 
 
 class TestKeywordGraphs:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("seed", range(12))
     @pytest.mark.parametrize("k", [1, 2, 3])
-    def test_enumeration_agreement(self, seed, k):
+    def test_enumeration_agreement(self, seed, k, backend):
         g = make_random_attr_graph(seed, n=9)
         pred = SimilarityPredicate("jaccard", 0.35)
         expected = oracle_maximal_cores(g, k, pred)
         for alg in ENUM_ALGORITHMS:
             got = enumerate_maximal_krcores(
-                g, k, predicate=pred, algorithm=alg,
+                g, k, predicate=pred, algorithm=alg, backend=backend,
             )
-            assert as_sorted_sets(got) == expected, (alg, seed, k)
+            assert as_sorted_sets(got) == expected, (alg, seed, k, backend)
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("seed", range(12))
     @pytest.mark.parametrize("k", [1, 2, 3])
-    def test_maximum_agreement(self, seed, k):
+    def test_maximum_agreement(self, seed, k, backend):
         g = make_random_attr_graph(seed, n=9)
         pred = SimilarityPredicate("jaccard", 0.35)
         expected = oracle_maximal_cores(g, k, pred)
         want = max((len(c) for c in expected), default=0)
         for alg in MAX_ALGORITHMS:
             best = find_maximum_krcore(
-                g, k, predicate=pred, algorithm=alg,
+                g, k, predicate=pred, algorithm=alg, backend=backend,
             )
-            assert (best.size if best else 0) == want, (alg, seed, k)
+            assert (best.size if best else 0) == want, (alg, seed, k, backend)
 
 
 class TestGeoGraphs:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("seed", range(8))
     @pytest.mark.parametrize("r", [10.0, 25.0])
-    def test_enumeration_agreement(self, seed, r):
+    def test_enumeration_agreement(self, seed, r, backend):
         g = make_geo_graph(seed, n=11, p=0.45)
         pred = SimilarityPredicate("euclidean", r)
         expected = oracle_maximal_cores(g, 2, pred)
         for alg in ENUM_ALGORITHMS:
             got = enumerate_maximal_krcores(
-                g, 2, predicate=pred, algorithm=alg,
+                g, 2, predicate=pred, algorithm=alg, backend=backend,
             )
-            assert as_sorted_sets(got) == expected, (alg, seed, r)
+            assert as_sorted_sets(got) == expected, (alg, seed, r, backend)
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("seed", range(8))
-    def test_maximum_agreement(self, seed):
+    def test_maximum_agreement(self, seed, backend):
         g = make_geo_graph(seed, n=11, p=0.45)
         pred = SimilarityPredicate("euclidean", 18.0)
         expected = oracle_maximal_cores(g, 2, pred)
         want = max((len(c) for c in expected), default=0)
         for alg in MAX_ALGORITHMS:
-            best = find_maximum_krcore(g, 2, predicate=pred, algorithm=alg)
-            assert (best.size if best else 0) == want, (alg, seed)
+            best = find_maximum_krcore(
+                g, 2, predicate=pred, algorithm=alg, backend=backend,
+            )
+            assert (best.size if best else 0) == want, (alg, seed, backend)
+
+
+class TestBackendIdentity:
+    """The two preprocessing backends must agree *exactly* — same cores,
+    same canonical serialisation — on every agreement fixture."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_keyword_outputs_byte_identical(self, seed, k):
+        g = make_random_attr_graph(seed, n=10)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        py = enumerate_maximal_krcores(g, k, predicate=pred, backend="python")
+        cs = enumerate_maximal_krcores(g, k, predicate=pred, backend="csr")
+        assert repr(as_sorted_sets(py)) == repr(as_sorted_sets(cs))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_geo_outputs_byte_identical(self, seed):
+        g = make_geo_graph(seed, n=12, p=0.45)
+        pred = SimilarityPredicate("euclidean", 15.0)
+        py = enumerate_maximal_krcores(g, 2, predicate=pred, backend="python")
+        cs = enumerate_maximal_krcores(g, 2, predicate=pred, backend="csr")
+        assert repr(as_sorted_sets(py)) == repr(as_sorted_sets(cs))
 
 
 class TestThresholdExtremes:
