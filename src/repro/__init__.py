@@ -24,6 +24,7 @@ See README.md for the architecture overview and DESIGN.md for the paper
 
 from repro.core import (
     KRCore,
+    KRCoreSession,
     SearchConfig,
     SearchStats,
     enumerate_maximal_krcores,
@@ -53,6 +54,7 @@ __all__ = [
     "GraphBuilder",
     "from_edge_list",
     "KRCore",
+    "KRCoreSession",
     "SearchConfig",
     "SearchStats",
     "enumerate_maximal_krcores",

@@ -5,6 +5,8 @@ Usage::
     python -m repro mine --dataset gowalla --k 5 --km 20
     python -m repro maximum --dataset dblp --k 5 --permille 3
     python -m repro stats --dataset dblp --k 5 --permille 3
+    python -m repro stats --dataset dblp --ks 4 5 6 --permille 3
+    python -m repro sweep --dataset dblp --ks 4 5 --rs 0.2 0.3 0.4
     python -m repro mine --edges edges.txt --attrs attrs.txt \\
         --attr-kind set --metric jaccard --k 3 --r 0.5
     python -m repro datasets
@@ -12,6 +14,11 @@ Usage::
 Graphs come either from the named synthetic analogs (``--dataset``) or
 from edge-list + attribute files in the formats of
 :mod:`repro.graph.io` (``--edges``/``--attrs``/``--attr-kind``).
+
+``stats`` and ``sweep`` accept *lists* of k and r values (``--ks`` /
+``--rs``); those grids run on one prepared
+:class:`~repro.core.session.KRCoreSession`, so the preprocessing is paid
+once, not once per grid point.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from repro.core.api import (
     find_maximum_krcore,
     krcore_statistics,
 )
+from repro.core.session import KRCoreSession
 from repro.datasets.registry import (
     DATASETS,
     dataset_statistics,
@@ -40,7 +48,7 @@ from repro.similarity.threshold import (
 )
 
 
-def _add_graph_args(p: argparse.ArgumentParser) -> None:
+def _add_graph_args(p: argparse.ArgumentParser, require_k: bool = True) -> None:
     src = p.add_argument_group("graph source")
     src.add_argument("--dataset", choices=sorted(DATASETS),
                      help="named synthetic analog")
@@ -65,7 +73,7 @@ def _add_graph_args(p: argparse.ArgumentParser) -> None:
     sim.add_argument("--permille", type=float, default=None,
                      help="top-x permille threshold (keyword datasets)")
 
-    p.add_argument("--k", type=int, required=True, help="degree threshold")
+    p.add_argument("--k", type=int, required=require_k, help="degree threshold")
     p.add_argument("--algorithm", default="advanced",
                    help="algorithm preset (see README)")
     p.add_argument("--backend", choices=("csr", "python"), default=None,
@@ -144,12 +152,50 @@ def _cmd_maximum(args) -> int:
 
 
 def _cmd_stats(args) -> int:
+    ks = getattr(args, "ks", None)
+    rs = getattr(args, "rs", None)
+    if ks or rs:
+        if not ks:
+            if args.k is None:
+                raise ReproError("pass --k or --ks")
+            ks = [args.k]
+        return _print_sweep(args, ks, rs)
+    if args.k is None:
+        raise ReproError("pass --k (or --ks for a grid)")
     graph, pred = _load_graph(args)
     stats = krcore_statistics(
-        graph, args.k, predicate=pred, time_limit=args.time_limit,
+        graph, args.k, predicate=pred, algorithm=args.algorithm,
+        backend=args.backend, time_limit=args.time_limit,
     )
     print(f"count={stats['count']} max_size={stats['max_size']} "
           f"avg_size={stats['avg_size']:.2f}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    return _print_sweep(args, args.ks, args.rs)
+
+
+def _print_sweep(args, ks: List[int], rs: Optional[List[float]]) -> int:
+    """Run a k × r statistics grid on one prepared session and print it."""
+    if rs and args.r is None and args.km is None and args.permille is None:
+        # The grid thresholds stand in for the usual single threshold.
+        args.r = rs[0]
+    graph, pred = _load_graph(args)
+    rs = list(rs) if rs else [pred.r]
+    session = KRCoreSession(graph, backend=args.backend, copy=False)
+    rows, stats = session.sweep(
+        ks, rs, predicate=pred, algorithm=args.algorithm,
+        time_limit=args.time_limit, with_stats=True,
+    )
+    for row in rows:
+        print(f"k={row['k']} r={row['r']:g} count={row['count']} "
+              f"max_size={row['max_size']} avg_size={row['avg_size']:.2f}")
+    solves = stats.cache_hits + stats.cache_misses
+    print(f"session reuse: {stats.cache_hits}/{solves} component results "
+          f"from cache, {stats.reused_filters} filtered graphs, "
+          f"{stats.reused_indexes} indexes, {stats.seeded_peels} seeded "
+          f"peels [{stats.elapsed:.2f}s]")
     return 0
 
 
@@ -181,8 +227,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_max.set_defaults(fn=_cmd_maximum)
 
     p_stats = sub.add_parser("stats", help="count/max/avg of maximal cores")
-    _add_graph_args(p_stats)
+    _add_graph_args(p_stats, require_k=False)
+    p_stats.add_argument("--ks", type=int, nargs="+", default=None,
+                         help="several k values (grid mode, one session)")
+    p_stats.add_argument("--rs", type=float, nargs="+", default=None,
+                         help="several r thresholds (grid mode, one session)")
     p_stats.set_defaults(fn=_cmd_stats)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="statistics over a k x r grid on one prepared session",
+    )
+    _add_graph_args(p_sweep, require_k=False)
+    p_sweep.add_argument("--ks", type=int, nargs="+", required=True,
+                         help="k values of the grid")
+    p_sweep.add_argument("--rs", type=float, nargs="+", default=None,
+                         help="r thresholds of the grid (default: the "
+                              "single resolved threshold)")
+    p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_ds = sub.add_parser("datasets", help="list the named synthetic analogs")
     p_ds.set_defaults(fn=_cmd_datasets)

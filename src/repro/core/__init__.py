@@ -1,6 +1,7 @@
 """Core (k,r)-core algorithms — the paper's primary contribution.
 
-Public entry points: :func:`enumerate_maximal_krcores`,
+Public entry points: :class:`KRCoreSession` (prepared graph, repeated
+queries) and the one-shot wrappers :func:`enumerate_maximal_krcores`,
 :func:`find_maximum_krcore`, :func:`krcore_statistics`; configuration via
 :class:`SearchConfig` and the Table 2 presets in
 :mod:`repro.core.config`.
@@ -11,6 +12,7 @@ from repro.core.api import (
     find_maximum_krcore,
     krcore_statistics,
 )
+from repro.core.session import KRCoreSession
 from repro.core.decomposition import (
     degree_profile,
     krcore_vertex_memberships,
@@ -36,6 +38,7 @@ from repro.core.results import KRCore, filter_maximal, summarize_cores
 from repro.core.stats import SearchStats
 
 __all__ = [
+    "KRCoreSession",
     "enumerate_maximal_krcores",
     "find_maximum_krcore",
     "krcore_statistics",

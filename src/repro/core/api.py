@@ -1,4 +1,4 @@
-"""Public API of the (k,r)-core library.
+"""Public one-shot API of the (k,r)-core library.
 
 Three entry points:
 
@@ -11,37 +11,24 @@ All accept either a prepared
 :class:`~repro.similarity.threshold.SimilarityPredicate` or a
 ``(metric, r)`` pair, and either a named algorithm (Table 2 spelling) or
 an explicit :class:`~repro.core.config.SearchConfig`.
+
+Each function is a thin wrapper constructing a throwaway
+:class:`~repro.core.session.KRCoreSession`: one call, one full
+preprocessing pass, identical results and cost to the classic one-shot
+path.  Callers issuing *repeated* queries against the same graph —
+several thresholds, several ``k``, statistics sweeps, edit/re-query
+loops — should hold a session instead, which caches every preprocessing
+layer between calls (see README "Sessions and repeated queries").
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Callable, Optional, Union
 
-from repro.core.config import (
-    SearchConfig,
-    adv_enum_config,
-    adv_max_config,
-    resolve_enum_config,
-    resolve_max_config,
-)
-from repro.core.results import KRCore, summarize_cores
-from repro.core.solver import run_enumeration, run_maximum
-from repro.core.stats import SearchStats
-from repro.exceptions import InvalidParameterError
+from repro.core.config import SearchConfig
+from repro.core.session import KRCoreSession
 from repro.graph.attributed_graph import AttributedGraph
 from repro.similarity.threshold import SimilarityPredicate
-
-
-def _resolve_predicate(
-    r: Optional[float],
-    metric: Union[str, Callable],
-    predicate: Optional[SimilarityPredicate],
-) -> SimilarityPredicate:
-    if predicate is not None:
-        return predicate
-    if r is None:
-        raise InvalidParameterError("pass either r= (with metric=) or predicate=")
-    return SimilarityPredicate(metric, r)
 
 
 def enumerate_maximal_krcores(
@@ -92,31 +79,18 @@ def enumerate_maximal_krcores(
     Returns
     -------
     ``list[KRCore]`` sorted by decreasing size, or ``(list, SearchStats)``.
+
+    See Also
+    --------
+    :class:`~repro.core.session.KRCoreSession` : amortises the
+        preprocessing across repeated queries on the same graph.
     """
-    predicate = _resolve_predicate(r, metric, predicate)
-    key = algorithm.lower()
-    engine = "engine"
-    if config is not None:
-        cfg = config
-    elif key == "naive":
-        engine = "naive"
-        cfg = adv_enum_config()  # engine ignores technique flags
-    elif key in ("clique", "clique+"):
-        engine = "clique"
-        cfg = adv_enum_config()
-    else:
-        cfg = resolve_enum_config(key)
-    if backend is not None:
-        cfg = cfg.evolve(backend=backend)
-    if time_limit is not None:
-        cfg = cfg.evolve(time_limit=time_limit)
-    if node_limit is not None:
-        cfg = cfg.evolve(node_limit=node_limit)
-    cores, stats = run_enumeration(graph, k, predicate, cfg, engine)
-    cores.sort(key=lambda c: (-c.size, sorted(c.vertices)))
-    if with_stats:
-        return cores, stats
-    return cores
+    session = KRCoreSession(graph, copy=False)
+    return session.enumerate(
+        k, r, metric=metric, predicate=predicate, algorithm=algorithm,
+        config=config, backend=backend, time_limit=time_limit,
+        node_limit=node_limit, with_stats=with_stats,
+    )
 
 
 def find_maximum_krcore(
@@ -138,20 +112,16 @@ def find_maximum_krcore(
     ``algorithm`` is one of ``"basic"``, ``"advanced"`` (default),
     ``"advanced-ub"``, ``"advanced-o"``, ``"color-kcore"`` — see Table 2
     and Figure 12(b).  Other parameters as in
-    :func:`enumerate_maximal_krcores`.
+    :func:`enumerate_maximal_krcores`; repeated queries should use a
+    :class:`~repro.core.session.KRCoreSession` (README "Sessions and
+    repeated queries").
     """
-    predicate = _resolve_predicate(r, metric, predicate)
-    cfg = config if config is not None else resolve_max_config(algorithm)
-    if backend is not None:
-        cfg = cfg.evolve(backend=backend)
-    if time_limit is not None:
-        cfg = cfg.evolve(time_limit=time_limit)
-    if node_limit is not None:
-        cfg = cfg.evolve(node_limit=node_limit)
-    core, stats = run_maximum(graph, k, predicate, cfg)
-    if with_stats:
-        return core, stats
-    return core
+    session = KRCoreSession(graph, copy=False)
+    return session.maximum(
+        k, r, metric=metric, predicate=predicate, algorithm=algorithm,
+        config=config, backend=backend, time_limit=time_limit,
+        node_limit=node_limit, with_stats=with_stats,
+    )
 
 
 def krcore_statistics(
@@ -161,15 +131,25 @@ def krcore_statistics(
     *,
     metric: Union[str, Callable] = "jaccard",
     predicate: Optional[SimilarityPredicate] = None,
+    algorithm: str = "advanced",
     config: Optional[SearchConfig] = None,
+    backend: Optional[str] = None,
     time_limit: Optional[float] = None,
-) -> dict:
+    node_limit: Optional[int] = None,
+    with_stats: bool = False,
+):
     """Count, maximum size and average size of all maximal (k,r)-cores.
 
-    The Figure 7 measurement.  Uses AdvEnum.
+    The Figure 7 measurement.  Accepts the full parameter surface of its
+    sister entry points (``algorithm=``, ``backend=``, ``node_limit=``,
+    ``with_stats=``); with ``with_stats=True`` returns
+    ``(summary_dict, SearchStats)``.  Sweeping many ``k`` / ``r`` values
+    is cheaper through :meth:`KRCoreSession.sweep <repro.core.session.\
+KRCoreSession.sweep>` (README "Sessions and repeated queries").
     """
-    cores = enumerate_maximal_krcores(
-        graph, k, r, metric=metric, predicate=predicate,
-        config=config, time_limit=time_limit,
+    session = KRCoreSession(graph, copy=False)
+    return session.statistics(
+        k, r, metric=metric, predicate=predicate, algorithm=algorithm,
+        config=config, backend=backend, time_limit=time_limit,
+        node_limit=node_limit, with_stats=with_stats,
     )
-    return summarize_cores(cores)

@@ -1,17 +1,21 @@
 """Multi-threshold profiles: sweeping r and k without re-doing the work.
 
 The paper's statistics experiments (Figure 7) and the sensitivity sweeps
-(Figures 13/14) re-solve the same graph at many thresholds.  Two
-observations make sweeps much cheaper than independent runs:
+(Figures 13/14) re-solve the same graph at many thresholds.  Both
+profiles here are thin orchestration over
+:class:`~repro.core.session.KRCoreSession`, which supplies the two
+observations that make sweeps much cheaper than independent runs:
 
 * **r-sweeps** (similarity thresholds): pairwise metric values do not
-  change, only the comparison does — so metric values are computed once
-  per k-core component (:class:`PairwiseSimilarityCache`) and each
-  threshold reuses them.
+  change, only the comparison does — the session's edge-value and
+  pairwise-index caches recompare cached values at each threshold;
 
 * **k-sweeps**: the k-core is monotone (the (k+1)-core is inside the
-  k-core), so the structural peeling for larger ``k`` starts from the
-  previous survivor set instead of the whole graph.
+  k-core), so the session seeds the structural peeling for larger ``k``
+  from the previous survivor set instead of the whole graph.
+
+Because the session runs the standard preprocessing pipeline, both
+profiles honour ``SearchConfig.backend`` (CSR kernels by default).
 
 The module also provides :func:`krcore_vertex_memberships` — which
 vertices belong to at least one maximal (k,r)-core — used by the case
@@ -20,21 +24,22 @@ studies to colour the "in a cohesive group / not" distinction.
 
 from __future__ import annotations
 
-import random
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SearchConfig, adv_enum_config
-from repro.core.context import Budget, ComponentContext
-from repro.core.enumerate import enumerate_component
-from repro.core.results import KRCore, summarize_cores
-from repro.core.stats import SearchStats
+from repro.core.session import KRCoreSession
 from repro.exceptions import InvalidParameterError
 from repro.graph.attributed_graph import AttributedGraph
-from repro.graph.components import connected_components
-from repro.graph.kcore import k_core_vertices
-from repro.similarity.cache import PairwiseSimilarityCache
-from repro.similarity.index import remove_dissimilar_edges
 from repro.similarity.threshold import SimilarityPredicate
+
+
+def _sweep_config(
+    config: Optional[SearchConfig], time_limit: Optional[float]
+) -> SearchConfig:
+    cfg = config or adv_enum_config()
+    if time_limit is not None:
+        cfg = cfg.evolve(time_limit=time_limit)
+    return cfg
 
 
 def threshold_profile(
@@ -48,81 +53,24 @@ def threshold_profile(
     """Figure 7(a)-style statistics for many thresholds in one pass.
 
     ``predicate`` supplies the metric and direction; its own ``r`` is
-    ignored.  Pairwise similarity values are computed once per k-core
-    component and reused across all ``thresholds``.
+    ignored.  Pairwise similarity values are computed once per structural
+    k-core component (inside the session's caches) and reused across all
+    ``thresholds``.
 
     Returns one row per threshold: ``{"r", "count", "max_size",
-    "avg_size"}``.  Note the preprocessing here keeps the k-core of the
-    *full* graph (dissimilar edges are dropped per threshold inside the
-    sweep), so the per-threshold work matches running the solver from
-    scratch while the metric evaluations are shared.
+    "avg_size"}``.
     """
     if k < 1:
         raise InvalidParameterError(f"k must be positive, got {k}")
     if not thresholds:
         return []
-    cfg = config or adv_enum_config()
-    if time_limit is not None:
-        cfg = cfg.evolve(time_limit=time_limit)
-
-    # Structural k-core of the raw graph upper-bounds every threshold's
-    # k-core, whatever r is — cache pairwise values only there.
-    survivors = k_core_vertices(graph, k)
-    caches = [
-        PairwiseSimilarityCache(graph, predicate, comp)
-        for comp in connected_components(graph, survivors)
-    ]
-
+    cfg = _sweep_config(config, time_limit)
+    session = KRCoreSession(graph, config=cfg, copy=False)
     rows: List[Dict[str, float]] = []
     for r in thresholds:
-        pred_r = predicate.with_threshold(r)
-        cores: List[KRCore] = []
-        stats = SearchStats()
-        budget = Budget(cfg.time_limit, cfg.node_limit)
-        for cache in caches:
-            cores.extend(
-                _solve_component_at(cache, graph, k, r, cfg, stats, budget)
-            )
-        row = {"r": r, **summarize_cores(cores)}
-        rows.append(row)
+        summary = session.statistics(k, predicate=predicate.with_threshold(r))
+        rows.append({"r": r, **summary})
     return rows
-
-
-def _solve_component_at(
-    cache: PairwiseSimilarityCache,
-    graph: AttributedGraph,
-    k: int,
-    r: float,
-    cfg: SearchConfig,
-    stats: SearchStats,
-    budget: Budget,
-) -> List[KRCore]:
-    """Run the enumeration on one cached component at threshold ``r``."""
-    members = set(cache.vertices)
-    # Drop edges between pairs dissimilar at r, then re-peel.
-    adj = {
-        u: {
-            v for v in graph.neighbors(u) & members
-            if cache.similar(u, v, r)
-        }
-        for u in members
-    }
-    alive = k_core_vertices(adj, k)
-    cores: List[KRCore] = []
-    for comp in connected_components(adj, alive):
-        ctx = ComponentContext(
-            vertices=frozenset(comp),
-            adj={u: adj[u] & comp for u in comp},
-            index=cache.index_at(r, comp),
-            k=k,
-            config=cfg,
-            stats=stats,
-            budget=budget,
-            rng=random.Random(cfg.seed),
-        )
-        for vs in enumerate_component(ctx):
-            cores.append(KRCore(vs, k, r))
-    return cores
 
 
 def degree_profile(
@@ -134,34 +82,20 @@ def degree_profile(
 ) -> List[Dict[str, float]]:
     """Figure 7(b)-style statistics for many ``k`` at one threshold.
 
-    Exploits k-core monotonicity: the structural survivor set of each
-    ``k`` seeds the peeling of the next larger ``k``.
+    Exploits k-core monotonicity through the session's survivor cache:
+    the structural survivor set of each ``k`` seeds the peeling of the
+    next larger ``k``.
     """
     if any(k < 1 for k in ks):
         raise InvalidParameterError("every k must be positive")
     if not ks:
         return []
-    from repro.core.api import enumerate_maximal_krcores
-
-    filtered = remove_dissimilar_edges(graph, predicate)
-    rows: List[Dict[str, float]] = []
-    survivors: Optional[Set[int]] = None
-    for k in sorted(ks):
-        survivors = k_core_vertices(
-            filtered, k,
-            vertices=survivors if survivors is not None else None,
-        )
-        sub = filtered.induced_subgraph(survivors)
-        # Vertex ids are re-indexed inside `sub`, which is fine — only
-        # the statistics are reported.
-        cores = enumerate_maximal_krcores(
-            sub, k, predicate=predicate, config=config,
-            time_limit=time_limit,
-        )
-        rows.append({"k": k, **summarize_cores(cores)})
-    order = {k: i for i, k in enumerate(ks)}
-    rows.sort(key=lambda row: order[row["k"]])
-    return rows
+    cfg = _sweep_config(config, time_limit)
+    session = KRCoreSession(graph, config=cfg, copy=False)
+    rows_by: Dict[int, Dict[str, float]] = {}
+    for k in sorted(set(ks)):
+        rows_by[k] = {"k": k, **session.statistics(k, predicate=predicate)}
+    return [dict(rows_by[k]) for k in ks]
 
 
 def krcore_vertex_memberships(
@@ -176,13 +110,7 @@ def krcore_vertex_memberships(
     Vertices absent from the mapping belong to no core.  The Figure 5
     bridge author is exactly the vertex with membership count 2.
     """
-    from repro.core.api import enumerate_maximal_krcores
-
-    cores = enumerate_maximal_krcores(
-        graph, k, predicate=predicate, config=config, time_limit=time_limit,
+    session = KRCoreSession(graph, config=config, copy=False)
+    return session.memberships(
+        k, predicate=predicate, time_limit=time_limit,
     )
-    counts: Dict[int, int] = {}
-    for core in cores:
-        for u in core:
-            counts[u] = counts.get(u, 0) + 1
-    return counts

@@ -7,35 +7,30 @@ one connected component of the preprocessed graph (dissimilar edges
 dropped, k-core peeled), so an edit can only invalidate the components
 it touches.
 
-:class:`DynamicKRCoreMiner` keeps an editable copy of the graph plus a
-cache of per-component results keyed by a component *signature* (vertex
-set, edge count, attribute revisions).  After any sequence of edits, the
-next query re-runs preprocessing (linear) and re-solves **only** the
-components whose signature changed — for local edits on a large graph
-that is typically one small component.
+:class:`DynamicKRCoreMiner` is thin orchestration over
+:class:`~repro.core.session.KRCoreSession`: the session keeps an
+editable copy of the graph plus a per-component result cache keyed by a
+component *signature* (vertex set, similar-edge set, attribute
+revisions).  After any sequence of edits, the next query re-runs
+preprocessing (linear, on the configured backend — CSR kernels by
+default) and re-solves **only** the components whose signature changed —
+for local edits on a large graph that is typically one small component.
 
 This layer is exact, not approximate: the test suite checks equivalence
-with from-scratch mining after randomized edit sequences.
+with from-scratch mining after randomized edit sequences on both
+backends.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+from typing import Any, List, Optional
 
 from repro.core.config import SearchConfig, adv_enum_config
-from repro.core.context import Budget, ComponentContext
-from repro.core.enumerate import enumerate_component
 from repro.core.results import KRCore, largest_core
-from repro.core.stats import SearchStats
+from repro.core.session import KRCoreSession
 from repro.exceptions import InvalidParameterError
 from repro.graph.attributed_graph import AttributedGraph
-from repro.graph.components import connected_components
-from repro.graph.kcore import k_core_vertices
-from repro.similarity.index import build_index, remove_dissimilar_edges
 from repro.similarity.threshold import SimilarityPredicate
-
-Signature = Tuple[FrozenSet[int], int, Tuple[Tuple[int, int], ...]]
 
 
 class DynamicKRCoreMiner:
@@ -50,7 +45,7 @@ class DynamicKRCoreMiner:
         The usual (k,r)-core parameters, fixed for the miner's lifetime.
     config:
         Solver configuration for the per-component searches (defaults to
-        AdvEnum).
+        AdvEnum; its ``backend`` selects the preprocessing kernels).
 
     Usage
     -----
@@ -69,12 +64,11 @@ class DynamicKRCoreMiner:
     ):
         if k < 1:
             raise InvalidParameterError(f"k must be positive, got {k}")
-        self._graph = graph.copy()
+        self._session = KRCoreSession(
+            graph, config=config or adv_enum_config(), copy=True,
+        )
         self._k = k
         self._predicate = predicate
-        self._config = config or adv_enum_config()
-        self._attr_revision: Dict[int, int] = {}
-        self._cache: Dict[Signature, List[FrozenSet[int]]] = {}
         self._dirty = True
         self._results: List[KRCore] = []
         #: components re-solved by the last refresh (observability/tests)
@@ -88,24 +82,28 @@ class DynamicKRCoreMiner:
     @property
     def graph(self) -> AttributedGraph:
         """The miner's current graph (treat as read-only)."""
-        return self._graph
+        return self._session.graph
+
+    @property
+    def session(self) -> KRCoreSession:
+        """The underlying prepared session (shared caches, counters)."""
+        return self._session
 
     def add_edge(self, u: int, v: int) -> bool:
         """Insert an edge; returns whether the graph changed."""
-        changed = self._graph.add_edge(u, v)
+        changed = self._session.add_edge(u, v)
         self._dirty = self._dirty or changed
         return changed
 
     def remove_edge(self, u: int, v: int) -> bool:
         """Delete an edge; returns whether the graph changed."""
-        changed = self._graph.remove_edge(u, v)
+        changed = self._session.remove_edge(u, v)
         self._dirty = self._dirty or changed
         return changed
 
     def set_attribute(self, u: int, value: Any) -> None:
         """Update a vertex attribute (similarity changes around ``u``)."""
-        self._graph.set_attribute(u, value)
-        self._attr_revision[u] = self._attr_revision.get(u, 0) + 1
+        self._session.set_attribute(u, value)
         self._dirty = True
 
     # ------------------------------------------------------------------
@@ -123,61 +121,17 @@ class DynamicKRCoreMiner:
 
     def invalidate(self) -> None:
         """Drop every cached component result (next query re-solves all)."""
-        self._cache.clear()
+        self._session.invalidate()
         self._dirty = True
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _signature(
-        self, comp: FrozenSet[int], filtered: AttributedGraph
-    ) -> Signature:
-        edges = filtered.subgraph_edge_count(comp)
-        revisions = tuple(
-            (u, self._attr_revision.get(u, 0)) for u in sorted(comp)
-        )
-        return (comp, edges, revisions)
-
     def _refresh(self) -> None:
-        filtered = remove_dissimilar_edges(self._graph, self._predicate)
-        survivors = k_core_vertices(filtered, self._k)
-        results: List[KRCore] = []
-        new_cache: Dict[Signature, List[FrozenSet[int]]] = {}
-        solved = 0
-        cached = 0
-        for comp_set in connected_components(filtered, survivors):
-            comp = frozenset(comp_set)
-            sig = self._signature(comp, filtered)
-            found = self._cache.get(sig)
-            if found is None:
-                found = self._solve_component(comp, filtered)
-                solved += 1
-            else:
-                cached += 1
-            new_cache[sig] = found
-            results.extend(
-                KRCore(vs, self._k, self._predicate.r) for vs in found
-            )
-        self._cache = new_cache
-        results.sort(key=lambda c: (-c.size, sorted(c.vertices)))
+        results, stats = self._session.enumerate(
+            self._k, predicate=self._predicate, with_stats=True,
+        )
         self._results = results
         self._dirty = False
-        self.last_solved_components = solved
-        self.last_cached_components = cached
-
-    def _solve_component(
-        self, comp: FrozenSet[int], filtered: AttributedGraph
-    ) -> List[FrozenSet[int]]:
-        stats = SearchStats()
-        budget = Budget(self._config.time_limit, self._config.node_limit)
-        ctx = ComponentContext(
-            vertices=comp,
-            adj={u: filtered.neighbors(u) & comp for u in comp},
-            index=build_index(self._graph, self._predicate, comp),
-            k=self._k,
-            config=self._config,
-            stats=stats,
-            budget=budget,
-            rng=random.Random(self._config.seed),
-        )
-        return enumerate_component(ctx)
+        self.last_solved_components = stats.cache_misses
+        self.last_cached_components = stats.cache_hits

@@ -1,0 +1,836 @@
+"""Prepared-graph query sessions: amortised (k,r)-core mining.
+
+The one-shot entry points of :mod:`repro.core.api` re-run Algorithm 1's
+whole front end — dissimilar-edge deletion, k-core peel, component
+split, index build — on every call, even when the caller queries the
+same graph at ten different ``(k, r)`` settings (exactly the workload of
+the paper's Figures 7, 13 and 14).  :class:`KRCoreSession` freezes a
+graph once and serves repeated queries against layered caches:
+
+* **edge-value layer** — per metric, the metric value of every edge is
+  computed once (:class:`~repro.similarity.cache.EdgeSimilarityCache`);
+  each threshold ``r`` re-*compares* instead of re-*computing*, and the
+  resulting filtered graph is cached per ``(metric, r)``;
+* **survivor layer** — k-core peels are cached per ``(metric, r)`` and
+  warm-started from the largest cached smaller ``k`` (the k-core is
+  monotone, so seeding is lossless);
+* **index layer** — from the second query per metric on, component
+  dissimilarity indexes are served from
+  :class:`~repro.similarity.cache.PairwiseSimilarityCache` objects built
+  over the *structural* k-core components (supersets of every ``(k, r)``
+  component), so r- and k-sweeps re-threshold cached pairwise values;
+* **result layer** — per-component solver results are cached under a
+  sound component signature (vertex set, similar-edge set,
+  dissimilar-pair set: exactly the engines' inputs), so repeating a
+  query does zero search work, sweep points that induce the same
+  similarity structure share results, and :meth:`edit` invalidates only
+  the components an edit actually touches.
+
+All reuse is observable through the ``cache_hits`` / ``cache_misses`` /
+``reused_*`` / ``seeded_peels`` counters on
+:class:`~repro.core.stats.SearchStats`.  Results are identical to the
+one-shot API on both backends; the one-shot functions are themselves
+thin wrappers over a throwaway session.  See README "Sessions and
+repeated queries".
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.config import (
+    SearchConfig,
+    adv_enum_config,
+    resolve_enum_config,
+    resolve_max_config,
+)
+from repro.core.context import Budget, ComponentContext
+from repro.core.maximum import find_maximum_in_component
+from repro.core.results import KRCore, summarize_cores
+from repro.core.solver import (
+    component_adjacency,
+    component_index,
+    component_sets,
+    freeze_graph,
+    kcore_survivors,
+    max_component_degree,
+    resolve_engine,
+)
+from repro.core.stats import SearchStats
+from repro.exceptions import InvalidParameterError, SearchBudgetExceeded
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.components import connected_components
+from repro.graph.csr import CSRGraph
+from repro.graph.csr import gather_neighbors as _gather_neighbors
+from repro.graph.kcore import k_core_vertices
+from repro.similarity.cache import EdgeSimilarityCache, PairwiseSimilarityCache
+from repro.similarity.threshold import SimilarityPredicate
+
+#: ``(metric callable, comparison direction)`` — the cache dimension a
+#: predicate contributes besides its threshold.
+MetricKey = Tuple[Callable, Any]
+
+#: Cap on retained PairwiseSimilarityCache entries (each is
+#: ``O(size^2)`` floats); least-recently-used entries are evicted.
+_PAIRWISE_ENTRY_CAP = 32
+
+
+def resolve_enumeration_setup(
+    algorithm: str, config: Optional[SearchConfig]
+) -> Tuple[str, SearchConfig]:
+    """Map a Table-2 algorithm name (or explicit config) to (engine, config)."""
+    key = algorithm.lower()
+    if config is not None:
+        return "engine", config
+    if key == "naive":
+        return "naive", adv_enum_config()  # engine ignores technique flags
+    if key in ("clique", "clique+"):
+        return "clique", adv_enum_config()
+    return "engine", resolve_enum_config(key)
+
+
+class _PreparedComponent:
+    """One component's cached preprocessing output (query-independent)."""
+
+    __slots__ = ("vertices", "adj", "index", "signature", "max_degree", "csr")
+
+    def __init__(self, vertices, adj, index, signature, max_degree, csr):
+        self.vertices = vertices
+        self.adj = adj
+        self.index = index
+        self.signature = signature
+        self.max_degree = max_degree
+        self.csr = csr
+
+
+class KRCoreSession:
+    """A prepared graph serving repeated (k,r)-core queries.
+
+    Parameters
+    ----------
+    graph:
+        The attributed graph (or an already-frozen
+        :class:`~repro.graph.csr.CSRGraph`).  With ``copy=True`` (the
+        default) a private copy is kept, so :meth:`edit` never mutates
+        the caller's object.
+    metric:
+        Default metric for queries passing only ``r`` (name or callable,
+        default Jaccard); each query may override it.
+    config:
+        Default :class:`SearchConfig` for every query (per-query
+        ``config=`` still wins; ``algorithm=`` presets apply when
+        neither is given).
+    backend:
+        Default preprocessing backend (``"csr"``/``"python"``);
+        overrides the config's backend for every query unless the query
+        passes its own ``backend=``.
+    pairwise_cache_limit:
+        Largest structural component for which all-pairs metric values
+        are cached (``O(size^2)`` floats each); larger components fall
+        back to per-query index builds.
+    result_cache_limit:
+        Maximum number of cached per-component search results (LRU
+        eviction), bounding memory on long edit/re-query loops.
+
+    Usage
+    -----
+    >>> session = KRCoreSession(g)
+    >>> session.enumerate(k=3, r=0.5)       # cold: full preprocessing
+    >>> session.enumerate(k=3, r=0.6)       # warm: recompares, re-peels
+    >>> session.maximum(k=4, r=0.6)         # warm: seeded peel, cached index
+    >>> session.sweep(ks=[2, 3], rs=[0.4, 0.5, 0.6])
+    """
+
+    def __init__(
+        self,
+        graph: Union[AttributedGraph, CSRGraph],
+        *,
+        metric: Union[str, Callable] = "jaccard",
+        config: Optional[SearchConfig] = None,
+        backend: Optional[str] = None,
+        copy: bool = True,
+        pairwise_cache_limit: int = 2048,
+        result_cache_limit: int = 4096,
+    ):
+        if isinstance(graph, CSRGraph):
+            self._graph = graph.to_attributed()
+            self._csr: Optional[CSRGraph] = graph
+        else:
+            self._graph = graph.copy() if copy else graph
+            self._csr = None
+        self._default_metric = metric
+        self._default_config = config
+        self._default_backend = backend
+        self._pairwise_limit = pairwise_cache_limit
+        self._result_limit = result_cache_limit
+        self._attr_revs: Dict[int, int] = {}
+        self._version = 0       # bumped by every graph edit
+        self._prep_version = 0  # version the preprocessing caches match
+        # Preprocessing caches — dropped wholesale after any edit.
+        self._edge_values: Dict[Tuple[MetricKey, str], EdgeSimilarityCache] = {}
+        self._filtered: Dict[Tuple[MetricKey, float, str], Any] = {}
+        self._survivors: Dict[Tuple[MetricKey, float, str], Dict[int, Any]] = {}
+        self._prepared: Dict[Tuple, List[_PreparedComponent]] = {}
+        self._backbone: Dict[int, Tuple[List[FrozenSet[int]], Dict[int, int]]] = {}
+        # Cross-edit caches — guarded by signatures / attribute revisions.
+        self._pairwise: Dict[Tuple, Tuple[PairwiseSimilarityCache, Tuple]] = {}
+        self._results: Dict[Tuple, Any] = {}
+        self._metric_queries: Dict[MetricKey, int] = {}
+        #: Cumulative counters over every query this session served.
+        self.total_stats = SearchStats()
+
+    # ------------------------------------------------------------------
+    # Graph access and edits
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> AttributedGraph:
+        """The session's current graph (treat as read-only; use the mutators)."""
+        return self._graph
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert an edge; returns whether the graph changed."""
+        changed = self._graph.add_edge(u, v)
+        if changed:
+            self._touch()
+        return changed
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Delete an edge; returns whether the graph changed."""
+        changed = self._graph.remove_edge(u, v)
+        if changed:
+            self._touch()
+        return changed
+
+    def set_attribute(self, u: int, value: Any) -> None:
+        """Update a vertex attribute (similarity changes around ``u``)."""
+        self._graph.set_attribute(u, value)
+        self._attr_revs[u] = self._attr_revs.get(u, 0) + 1
+        self._touch()
+
+    def edit(
+        self,
+        *,
+        add_edges: Iterable[Tuple[int, int]] = (),
+        remove_edges: Iterable[Tuple[int, int]] = (),
+        attributes: Optional[Dict[int, Any]] = None,
+    ) -> bool:
+        """Apply a batch of edits; returns whether anything changed.
+
+        Only components actually touched by the edits are re-solved by
+        the next query — untouched components keep serving from the
+        result cache (their signatures are unchanged).
+        """
+        changed = False
+        for u, v in add_edges:
+            changed = self.add_edge(u, v) or changed
+        for u, v in remove_edges:
+            changed = self.remove_edge(u, v) or changed
+        for u, value in (attributes or {}).items():
+            self.set_attribute(u, value)
+            changed = True
+        return changed
+
+    def invalidate(self) -> None:
+        """Drop every cache, including per-component results.
+
+        The next query re-runs preprocessing and search from scratch;
+        normally unnecessary (edits invalidate precisely), but useful
+        after out-of-band mutation of a ``copy=False`` graph.
+        """
+        self._touch()
+        self._results.clear()
+        self._pairwise.clear()
+        self._metric_queries.clear()
+        self._ensure_fresh()
+
+    def _touch(self) -> None:
+        self._version += 1
+        self._csr = None  # CSR snapshots attributes; rebuild after any edit
+
+    def _ensure_fresh(self) -> None:
+        if self._prep_version != self._version:
+            self._edge_values.clear()
+            self._filtered.clear()
+            self._survivors.clear()
+            self._prepared.clear()
+            self._backbone.clear()
+            self._prep_version = self._version
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def enumerate(
+        self,
+        k: int,
+        r: Optional[float] = None,
+        *,
+        metric: Union[str, Callable, None] = None,
+        predicate: Optional[SimilarityPredicate] = None,
+        algorithm: str = "advanced",
+        config: Optional[SearchConfig] = None,
+        backend: Optional[str] = None,
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+        with_stats: bool = False,
+    ):
+        """All maximal (k,r)-cores, sorted by decreasing size.
+
+        Mirrors :func:`repro.core.api.enumerate_maximal_krcores`
+        parameter-for-parameter; repeated queries are served from the
+        session caches (observable via the stats reuse counters).
+        """
+        predicate = self._resolve_predicate(r, metric, predicate)
+        engine, cfg = resolve_enumeration_setup(
+            algorithm, config if config is not None else self._default_config
+        )
+        cfg = self._apply_overrides(cfg, backend, time_limit, node_limit)
+        cores, stats = self._run_enumeration(k, predicate, cfg, engine)
+        cores.sort(key=lambda c: (-c.size, sorted(c.vertices)))
+        self.total_stats.merge(stats)
+        if with_stats:
+            return cores, stats
+        return cores
+
+    def maximum(
+        self,
+        k: int,
+        r: Optional[float] = None,
+        *,
+        metric: Union[str, Callable, None] = None,
+        predicate: Optional[SimilarityPredicate] = None,
+        algorithm: str = "advanced",
+        config: Optional[SearchConfig] = None,
+        backend: Optional[str] = None,
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+        with_stats: bool = False,
+    ):
+        """The maximum (k,r)-core (``None`` when none exists)."""
+        predicate = self._resolve_predicate(r, metric, predicate)
+        if config is not None:
+            cfg = config
+        elif self._default_config is not None:
+            cfg = self._default_config
+        else:
+            cfg = resolve_max_config(algorithm)
+        cfg = self._apply_overrides(cfg, backend, time_limit, node_limit)
+        core, stats = self._run_maximum(k, predicate, cfg)
+        self.total_stats.merge(stats)
+        if with_stats:
+            return core, stats
+        return core
+
+    def statistics(
+        self,
+        k: int,
+        r: Optional[float] = None,
+        *,
+        metric: Union[str, Callable, None] = None,
+        predicate: Optional[SimilarityPredicate] = None,
+        algorithm: str = "advanced",
+        config: Optional[SearchConfig] = None,
+        backend: Optional[str] = None,
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+        with_stats: bool = False,
+    ):
+        """Count / max size / average size of all maximal (k,r)-cores."""
+        cores, stats = self.enumerate(
+            k, r, metric=metric, predicate=predicate, algorithm=algorithm,
+            config=config, backend=backend, time_limit=time_limit,
+            node_limit=node_limit, with_stats=True,
+        )
+        summary = summarize_cores(cores)
+        if with_stats:
+            return summary, stats
+        return summary
+
+    def memberships(
+        self,
+        k: int,
+        r: Optional[float] = None,
+        *,
+        metric: Union[str, Callable, None] = None,
+        predicate: Optional[SimilarityPredicate] = None,
+        algorithm: str = "advanced",
+        config: Optional[SearchConfig] = None,
+        backend: Optional[str] = None,
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+    ) -> Dict[int, int]:
+        """``vertex -> number of maximal (k,r)-cores containing it``.
+
+        Vertices in no core are absent from the mapping.
+        """
+        cores = self.enumerate(
+            k, r, metric=metric, predicate=predicate, algorithm=algorithm,
+            config=config, backend=backend, time_limit=time_limit,
+            node_limit=node_limit,
+        )
+        counts: Dict[int, int] = {}
+        for core in cores:
+            for u in core:
+                counts[u] = counts.get(u, 0) + 1
+        return counts
+
+    def sweep(
+        self,
+        ks: Sequence[int],
+        rs: Sequence[float],
+        *,
+        metric: Union[str, Callable, None] = None,
+        predicate: Optional[SimilarityPredicate] = None,
+        algorithm: str = "advanced",
+        config: Optional[SearchConfig] = None,
+        backend: Optional[str] = None,
+        time_limit: Optional[float] = None,
+        with_stats: bool = False,
+    ):
+        """Statistics over the ``ks`` × ``rs`` grid, one row per point.
+
+        Rows are emitted in request order (``for k in ks: for r in rs``)
+        but computed threshold-major with ``k`` ascending so the
+        monotone-peel and pairwise-value layers see their best case.
+        Each row is ``{"k", "r", "count", "max_size", "avg_size"}``.
+        """
+        ks = list(ks)
+        rs = list(rs)
+        agg = SearchStats()
+        rows_by: Dict[Tuple[int, float], Dict[str, float]] = {}
+        for r_ in rs:
+            for k_ in sorted(set(ks)):
+                if (k_, r_) in rows_by:
+                    continue
+                summary, stats = self.statistics(
+                    k_, r_, metric=metric,
+                    predicate=(
+                        predicate.with_threshold(r_) if predicate is not None
+                        else None
+                    ),
+                    algorithm=algorithm, config=config, backend=backend,
+                    time_limit=time_limit, with_stats=True,
+                )
+                rows_by[(k_, r_)] = {"k": k_, "r": r_, **summary}
+                agg.merge(stats)
+        rows = [dict(rows_by[(k_, r_)]) for k_ in ks for r_ in rs]
+        if with_stats:
+            return rows, agg
+        return rows
+
+    # ------------------------------------------------------------------
+    # Query plumbing
+    # ------------------------------------------------------------------
+    def _resolve_predicate(
+        self,
+        r: Optional[float],
+        metric: Union[str, Callable, None],
+        predicate: Optional[SimilarityPredicate],
+    ) -> SimilarityPredicate:
+        if predicate is not None:
+            return predicate
+        if r is None:
+            raise InvalidParameterError(
+                "pass either r= (with metric=) or predicate="
+            )
+        return SimilarityPredicate(metric or self._default_metric, r)
+
+    def _apply_overrides(
+        self,
+        cfg: SearchConfig,
+        backend: Optional[str],
+        time_limit: Optional[float],
+        node_limit: Optional[int],
+    ) -> SearchConfig:
+        backend = backend if backend is not None else self._default_backend
+        if backend is not None:
+            cfg = cfg.evolve(backend=backend)
+        if time_limit is not None:
+            cfg = cfg.evolve(time_limit=time_limit)
+        if node_limit is not None:
+            cfg = cfg.evolve(node_limit=node_limit)
+        return cfg
+
+    @staticmethod
+    def _config_fingerprint(cfg: SearchConfig) -> SearchConfig:
+        """Budget-free view of a config — the result-relevant knobs only.
+
+        Budgets never change a *completed* component's result (results
+        are cached only after a component finishes searching), so
+        budget-limited and unlimited runs share cache entries.
+        """
+        return cfg.evolve(time_limit=None, node_limit=None, on_budget="raise")
+
+    def _run_enumeration(
+        self,
+        k: int,
+        predicate: SimilarityPredicate,
+        cfg: SearchConfig,
+        engine: str,
+    ) -> Tuple[List[KRCore], SearchStats]:
+        component_fn = resolve_engine(engine)
+        fp = self._config_fingerprint(cfg)
+        stats = SearchStats()
+        budget = Budget(cfg.time_limit, cfg.node_limit)
+        start = time.monotonic()
+        cores: List[KRCore] = []
+        try:
+            parts = self._prepare(k, predicate, cfg.backend, stats)
+            for part in parts:
+                # The engines are pure functions of (vertices, adj,
+                # index, k, config); the signature captures exactly
+                # those, so sweep points that induce the same filtered
+                # component and similarity structure share results.
+                key = ("enum", engine, fp, k, part.signature)
+                found = self._result_get(key)
+                if found is not None:
+                    stats.cache_hits += 1
+                else:
+                    ctx = self._context(part, k, cfg, stats, budget)
+                    found = component_fn(ctx)
+                    stats.cache_misses += 1
+                    self._result_put(key, found)
+                for vs in found:
+                    cores.append(KRCore(vs, k, predicate.r))
+        except SearchBudgetExceeded:
+            stats.timed_out = True
+            if cfg.on_budget == "raise":
+                stats.elapsed = time.monotonic() - start
+                raise SearchBudgetExceeded(
+                    "enumeration budget exceeded", partial=(cores, stats)
+                ) from None
+        stats.elapsed = time.monotonic() - start
+        return cores, stats
+
+    def _run_maximum(
+        self,
+        k: int,
+        predicate: SimilarityPredicate,
+        cfg: SearchConfig,
+    ) -> Tuple[Optional[KRCore], SearchStats]:
+        fp = self._config_fingerprint(cfg)
+        stats = SearchStats()
+        budget = Budget(cfg.time_limit, cfg.node_limit)
+        start = time.monotonic()
+        best: Optional[FrozenSet[int]] = None
+        try:
+            parts = self._prepare(k, predicate, cfg.backend, stats)
+            for part in parts:
+                if best is not None and len(part.vertices) <= len(best):
+                    continue
+                seed_size = len(best) if best is not None else 0
+                key = ("max", fp, k, part.signature)
+                entry = self._result_get(key)
+                if entry is not None:
+                    tag, payload = entry
+                    if tag == "exact":
+                        # The component's true maximum is known.
+                        stats.cache_hits += 1
+                        if payload is not None and len(payload) > seed_size:
+                            best = payload
+                        continue
+                    if payload <= seed_size:
+                        # tag == "atmost": the component cannot beat the
+                        # current best — skipping matches the engine,
+                        # which only ever improves strictly.
+                        stats.cache_hits += 1
+                        continue
+                ctx = self._context(part, k, cfg, stats, budget)
+                found = find_maximum_in_component(ctx, best)
+                stats.cache_misses += 1
+                if found is not None and (best is None or len(found) > len(best)):
+                    self._result_put(key, ("exact", found))
+                    best = found
+                elif best is None:
+                    self._result_put(key, ("exact", None))  # no core at all
+                else:
+                    bound = len(best)
+                    if entry is not None and entry[0] == "atmost":
+                        bound = min(bound, entry[1])
+                    self._result_put(key, ("atmost", bound))
+        except SearchBudgetExceeded:
+            stats.timed_out = True
+            if cfg.on_budget == "raise":
+                stats.elapsed = time.monotonic() - start
+                partial = KRCore(best, k, predicate.r) if best else None
+                raise SearchBudgetExceeded(
+                    "maximum search budget exceeded", partial=(partial, stats)
+                ) from None
+        stats.elapsed = time.monotonic() - start
+        if best is None:
+            return None, stats
+        return KRCore(best, k, predicate.r), stats
+
+    def _context(
+        self,
+        part: _PreparedComponent,
+        k: int,
+        cfg: SearchConfig,
+        stats: SearchStats,
+        budget: Budget,
+    ) -> ComponentContext:
+        return ComponentContext(
+            vertices=part.vertices,
+            adj=part.adj,
+            index=part.index,
+            k=k,
+            config=cfg,
+            stats=stats,
+            budget=budget,
+            rng=random.Random(cfg.seed),
+            csr=part.csr,
+        )
+
+    # ------------------------------------------------------------------
+    # Layered preprocessing
+    # ------------------------------------------------------------------
+    def _prepare(
+        self,
+        k: int,
+        predicate: SimilarityPredicate,
+        backend: str,
+        stats: SearchStats,
+    ) -> List[_PreparedComponent]:
+        if k < 1:
+            raise InvalidParameterError(
+                f"k must be a positive integer, got {k}"
+            )
+        self._ensure_fresh()
+        mkey: MetricKey = (predicate.metric, predicate.kind)
+        pkey = (mkey, predicate.r, backend, k)
+        parts = self._prepared.get(pkey)
+        if parts is not None:
+            stats.reused_preprocess += 1
+            stats.components = len(parts)
+            return parts
+        served = self._metric_queries.get(mkey, 0)
+        filtered = self._filtered_graph(mkey, predicate, backend, stats)
+        survivors = self._survivor_set(
+            mkey, predicate, backend, filtered, k, stats
+        )
+        parts = []
+        for comp in component_sets(filtered, survivors, backend):
+            adj = component_adjacency(filtered, comp, survivors, backend)
+            index = self._component_index(
+                mkey, predicate, comp, k, backend, served, stats
+            )
+            if backend == "csr":
+                edges_key = self._edges_key_csr(comp, filtered, survivors)
+            else:
+                edges_key = self._edges_key(adj)
+            parts.append(
+                _PreparedComponent(
+                    vertices=frozenset(comp),
+                    adj=adj,
+                    index=index,
+                    signature=(frozenset(comp), edges_key, index.pair_key()),
+                    max_degree=max_component_degree(adj),
+                    csr=filtered if backend == "csr" else None,
+                )
+            )
+        parts.sort(key=lambda part: -part.max_degree)  # stable: ties keep order
+        self._prepared[pkey] = parts
+        self._metric_queries[mkey] = served + 1
+        stats.components = len(parts)
+        return parts
+
+    # ------------------------------------------------------------------
+    # Bounded cross-edit caches (LRU over dict insertion order)
+    # ------------------------------------------------------------------
+    def _result_get(self, key: Tuple):
+        found = self._results.pop(key, None)
+        if found is not None:
+            self._results[key] = found  # reinsert last = most recently used
+        return found
+
+    def _result_put(self, key: Tuple, value) -> None:
+        self._results.pop(key, None)
+        self._results[key] = value
+        while len(self._results) > self._result_limit:
+            self._results.pop(next(iter(self._results)))
+
+    def _substrate(self, backend: str):
+        if backend == "csr":
+            if self._csr is None:
+                self._csr = freeze_graph(self._graph)
+            return self._csr
+        return self._graph
+
+    def _filtered_graph(
+        self,
+        mkey: MetricKey,
+        predicate: SimilarityPredicate,
+        backend: str,
+        stats: SearchStats,
+    ):
+        fkey = (mkey, predicate.r, backend)
+        got = self._filtered.get(fkey)
+        if got is not None:
+            stats.reused_filters += 1
+            return got
+        cache = self._edge_values.get((mkey, backend))
+        if cache is None:
+            cache = EdgeSimilarityCache(
+                self._substrate(backend), predicate, backend=backend
+            )
+            self._edge_values[(mkey, backend)] = cache
+        filtered = cache.filtered_at(predicate.r)
+        self._filtered[fkey] = filtered
+        return filtered
+
+    def _survivor_set(
+        self,
+        mkey: MetricKey,
+        predicate: SimilarityPredicate,
+        backend: str,
+        filtered,
+        k: int,
+        stats: SearchStats,
+    ):
+        per_k = self._survivors.setdefault((mkey, predicate.r, backend), {})
+        if k in per_k:
+            return per_k[k]
+        # The k-core is inside every smaller k's core: seed the peel from
+        # the largest cached smaller k instead of the whole graph.
+        seed_k = max((k0 for k0 in per_k if k0 < k), default=None)
+        seed = per_k[seed_k] if seed_k is not None else None
+        survivors = kcore_survivors(filtered, k, backend, seed=seed)
+        if seed_k is not None:
+            stats.seeded_peels += 1
+        per_k[k] = survivors
+        return survivors
+
+    def _component_index(
+        self,
+        mkey: MetricKey,
+        predicate: SimilarityPredicate,
+        comp: Set[int],
+        k: int,
+        backend: str,
+        served: int,
+        stats: SearchStats,
+    ):
+        # The pairwise layer only pays off from the second query per
+        # metric on — a throwaway (one-shot) session never builds it.
+        if served >= 1 and len(comp) > 1:
+            entry = self._pairwise_entry(mkey, predicate, comp, k)
+            if entry is not None:
+                cache, fresh = entry
+                if not fresh:
+                    stats.reused_indexes += 1
+                return cache.index_at(predicate.r, comp)
+        return component_index(self._substrate(backend), predicate, comp, backend)
+
+    def _pairwise_entry(
+        self,
+        mkey: MetricKey,
+        predicate: SimilarityPredicate,
+        comp: Set[int],
+        k: int,
+    ) -> Optional[Tuple[PairwiseSimilarityCache, bool]]:
+        backbone = self._backbone_comp(k, comp)
+        if backbone is None or len(backbone) > self._pairwise_limit:
+            # No (cacheable) backbone — an older entry may still cover it.
+            for (entry_mkey, _), (cache, revs) in self._pairwise.items():
+                if (
+                    entry_mkey == mkey
+                    and comp <= set(cache.vertices)
+                    and revs == self._revs_of(cache.vertices)
+                ):
+                    return cache, False
+            return None
+        key = (mkey, backbone)
+        revs = self._revs_of(backbone)
+        entry = self._pairwise.pop(key, None)
+        if entry is not None and entry[1] == revs:
+            self._pairwise[key] = entry  # LRU bump
+            return entry[0], False
+        cache = PairwiseSimilarityCache(self._graph, predicate, backbone)
+        self._pairwise[key] = (cache, revs)
+        while len(self._pairwise) > _PAIRWISE_ENTRY_CAP:
+            self._pairwise.pop(next(iter(self._pairwise)))
+        return cache, True
+
+    def _backbone_comp(self, k: int, comp: Set[int]) -> Optional[FrozenSet[int]]:
+        """The structural k-core component containing ``comp``.
+
+        The k-core of the *unfiltered* graph upper-bounds the k-core of
+        every ``(k, r)``-filtered graph, so its components are supersets
+        of every similarity-filtered component at the same ``k`` —
+        pairwise values cached there serve all thresholds.
+        """
+        cached = self._backbone.get(k)
+        if cached is None:
+            source = self._csr if self._csr is not None else self._graph
+            survivors = k_core_vertices(source, k)
+            # Attributeless vertices can never enter a filtered component
+            # (the edge filter drops all their edges), so restricting the
+            # backbone to attributed vertices keeps the superset property
+            # while letting the pairwise cache require every attribute.
+            comps = [
+                frozenset(
+                    v for v in c if self._graph.has_attribute(v)
+                )
+                for c in connected_components(source, survivors)
+            ]
+            comps = [c for c in comps if c]
+            where = {u: i for i, c in enumerate(comps) for u in c}
+            cached = (comps, where)
+            self._backbone[k] = cached
+        comps, where = cached
+        idx = where.get(next(iter(comp)))
+        if idx is None:
+            return None
+        backbone = comps[idx]
+        if not comp <= backbone:
+            return None
+        return backbone
+
+    def _revs_of(self, vertices: Iterable[int]) -> Tuple:
+        revs = self._attr_revs
+        return tuple(
+            sorted((u, revs[u]) for u in vertices if revs.get(u))
+        )
+
+    @staticmethod
+    def _edges_key(adj: Dict[int, Set[int]]) -> FrozenSet:
+        """Canonical hashable view of a component's similar-edge set."""
+        return frozenset(
+            (u, v) if u < v else (v, u)
+            for u in adj
+            for v in adj[u]
+        )
+
+    @staticmethod
+    def _edges_key_csr(comp: Set[int], filtered, survivors) -> bytes:
+        """CSR form of :meth:`_edges_key`: one vectorised gather.
+
+        The component's similar-edge list is cut straight from the
+        filtered CSR arrays in canonical (sorted ``u``, then sorted
+        ``v``, ``u < v``) order and keyed as its raw bytes — the same
+        edge set always yields the same key, a different edge set never
+        does.
+        """
+        members = np.fromiter(comp, dtype=np.int64)
+        members.sort()
+        counts = filtered.indptr[members + 1] - filtered.indptr[members]
+        src = np.repeat(members, counts)
+        dst = _gather_neighbors(filtered, members)
+        keep = survivors[dst] & (src < dst)
+        pairs = np.stack([src[keep], dst[keep]])
+        return pairs.tobytes()

@@ -1,17 +1,30 @@
-"""Solver orchestration: preprocessing and per-component dispatch.
+"""Solver orchestration: preprocessing pipeline and per-component dispatch.
 
-Algorithm 1's shared front end (lines 1–4): delete dissimilar edges,
-compute the k-core, split into connected components, build a
-dissimilarity index per component, then hand each component to the
-requested engine.  Budget policy (`on_budget`) is applied here so the
-engines stay exception-transparent.
+Algorithm 1's shared front end (lines 1–4) is decomposed into reusable
+stages so both the one-shot path and the prepared-session path
+(:class:`repro.core.session.KRCoreSession`) compose the same kernels:
+
+* :func:`freeze_graph`        — CSR build (csr backend substrate);
+* :func:`filter_similar_edges` — dissimilar-edge deletion;
+* :func:`kcore_survivors`     — k-core peel (optionally warm-started);
+* :func:`component_sets`      — connected-component split;
+* :func:`component_adjacency` — per-component similar-edge adjacency;
+* :func:`component_index`     — per-component dissimilarity index;
+* :func:`order_components`    — the largest-max-degree-first ordering.
+
+:func:`prepare_components` chains them; the session interposes its
+caches between the stages instead.  Budget policy (`on_budget`) is
+applied in :func:`run_enumeration` / :func:`run_maximum` so the engines
+stay exception-transparent.
 """
 
 from __future__ import annotations
 
 import random
 import time
-from typing import Callable, FrozenSet, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+import numpy as np
 
 from repro.core.clique_based import clique_based_component
 from repro.core.config import SearchConfig
@@ -35,15 +48,150 @@ from repro.similarity.threshold import SimilarityPredicate
 
 ComponentFn = Callable[[ComponentContext], List[FrozenSet[int]]]
 
-_ENUM_ENGINES = {
+ENUM_ENGINES: Dict[str, ComponentFn] = {
     "engine": enumerate_component,
     "naive": naive_enumerate_component,
     "clique": clique_based_component,
 }
 
+# Backwards-compatible alias (pre-session name).
+_ENUM_ENGINES = ENUM_ENGINES
+
+#: Survivor sets are plain vertex sets on the python backend and boolean
+#: masks on the csr backend.
+Survivors = Union[Set[int], np.ndarray]
+
+
+def resolve_engine(engine: str) -> ComponentFn:
+    """The per-component enumeration callable for a named engine."""
+    try:
+        return ENUM_ENGINES[engine]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown engine {engine!r}; choose from {sorted(ENUM_ENGINES)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Pipeline stages (Algorithm 1 lines 1–4, one function per stage)
+# ----------------------------------------------------------------------
+
+def freeze_graph(graph: Union[AttributedGraph, CSRGraph]) -> CSRGraph:
+    """Freeze the graph into CSR form (identity when already frozen)."""
+    if isinstance(graph, CSRGraph):
+        return graph
+    return CSRGraph.from_attributed(graph)
+
+
+def thaw_graph(graph: Union[AttributedGraph, CSRGraph]) -> AttributedGraph:
+    """Set-based view of the graph (identity when already mutable)."""
+    if isinstance(graph, CSRGraph):
+        return graph.to_attributed()
+    return graph
+
+
+def filter_similar_edges(
+    graph: Union[AttributedGraph, CSRGraph],
+    predicate: SimilarityPredicate,
+    backend: str,
+):
+    """Algorithm 1 lines 1–2: delete every dissimilar edge.
+
+    Returns a filtered graph of the backend's flavour (CSR for
+    ``"csr"``, a fresh :class:`AttributedGraph` for ``"python"``).
+    """
+    if backend == "csr":
+        return remove_dissimilar_edges_csr(freeze_graph(graph), predicate)
+    return remove_dissimilar_edges(thaw_graph(graph), predicate)
+
+
+def kcore_survivors(
+    filtered,
+    k: int,
+    backend: str,
+    seed: Optional[Survivors] = None,
+) -> Survivors:
+    """Algorithm 1 line 3: peel the k-core of the filtered graph.
+
+    ``seed`` optionally warm-starts the peel from a known superset of the
+    k-core (e.g. a smaller k's survivors — the k-core is monotone, so the
+    result is identical to peeling from the whole graph).
+    """
+    if backend == "csr":
+        mask = None if seed is None else np.asarray(seed, dtype=bool)
+        return k_core_mask(filtered, k, mask)
+    return k_core_vertices(filtered, k, vertices=seed)
+
+
+def component_sets(filtered, survivors: Survivors, backend: str) -> List[Set[int]]:
+    """Algorithm 1 line 4: connected components of the surviving k-core.
+
+    The per-backend canonical order is preserved (the csr kernels yield
+    largest-first with min-id ties; the set-based walk yields its
+    deterministic BFS order) so both paths stay reproducible.
+    """
+    if backend == "csr":
+        return [
+            set(group.tolist())
+            for group in component_vertex_groups(filtered, survivors)
+        ]
+    return [set(comp) for comp in connected_components(filtered, survivors)]
+
+
+def component_adjacency(
+    filtered,
+    comp: Set[int],
+    survivors: Survivors,
+    backend: str,
+) -> Dict[int, Set[int]]:
+    """Similar-edge adjacency of one component (original vertex ids)."""
+    if backend == "csr":
+        # Alive neighbours of a component member are in the same
+        # component, so masking by the k-core survivors is exactly the
+        # ``& comp`` restriction of the python path.
+        adj: Dict[int, Set[int]] = {}
+        for u in comp:
+            nbrs = filtered.neighbors(u)
+            adj[u] = set(nbrs[survivors[nbrs]].tolist())
+        return adj
+    return {u: filtered.neighbors(u) & comp for u in comp}
+
+
+def component_index(
+    graph: Union[AttributedGraph, CSRGraph],
+    predicate: SimilarityPredicate,
+    comp: Set[int],
+    backend: str,
+):
+    """Per-component dissimilarity index (attribute source: the raw graph)."""
+    return build_index(graph, predicate, comp, backend=backend)
+
+
+def max_component_degree(adj: Dict[int, Set[int]]) -> int:
+    """Largest in-component degree (0 for an empty component)."""
+    return max((len(nbrs) for nbrs in adj.values()), default=0)
+
+
+def order_components(contexts: List[ComponentContext]) -> List[ComponentContext]:
+    """Largest-max-degree first (the seeding rule of Section 6.1).
+
+    The max degree is computed once per context up front instead of
+    being re-derived inside the sort key; the empty list passes through
+    untouched.  The sort is stable, so ties keep their backend order.
+    """
+    if not contexts:
+        return contexts
+    keyed = [(max_component_degree(ctx.adj), ctx) for ctx in contexts]
+    keyed.sort(key=lambda pair: -pair[0])
+    return [ctx for _, ctx in keyed]
+
+
+# ----------------------------------------------------------------------
+# One-shot composition
+# ----------------------------------------------------------------------
 
 def prepare_components(
-    graph: AttributedGraph,
+    graph: Union[AttributedGraph, CSRGraph],
     k: int,
     predicate: SimilarityPredicate,
     config: SearchConfig,
@@ -65,95 +213,30 @@ def prepare_components(
     """
     if k < 1:
         raise InvalidParameterError(f"k must be a positive integer, got {k}")
-    if config.backend == "csr":
-        contexts = _prepare_components_csr(
-            graph, k, predicate, config, stats, budget
-        )
+    backend = config.backend
+    if backend == "csr":
+        source: Union[AttributedGraph, CSRGraph] = freeze_graph(graph)
     else:
-        contexts = _prepare_components_python(
-            graph, k, predicate, config, stats, budget
+        source = thaw_graph(graph)
+    filtered = filter_similar_edges(source, predicate, backend)
+    survivors = kcore_survivors(filtered, k, backend)
+    contexts: List[ComponentContext] = []
+    for comp in component_sets(filtered, survivors, backend):
+        contexts.append(
+            ComponentContext(
+                vertices=frozenset(comp),
+                adj=component_adjacency(filtered, comp, survivors, backend),
+                index=component_index(source, predicate, comp, backend),
+                k=k,
+                config=config,
+                stats=stats,
+                budget=budget,
+                rng=random.Random(config.seed),
+                csr=filtered if backend == "csr" else None,
+            )
         )
-    contexts.sort(
-        key=lambda ctx: max(len(ctx.adj[u]) for u in ctx.vertices),
-        reverse=True,
-    )
+    contexts = order_components(contexts)
     stats.components = len(contexts)
-    return contexts
-
-
-def _prepare_components_python(
-    graph: AttributedGraph,
-    k: int,
-    predicate: SimilarityPredicate,
-    config: SearchConfig,
-    stats: SearchStats,
-    budget: Budget,
-) -> List[ComponentContext]:
-    """Set-based reference preprocessing (``backend="python"``)."""
-    filtered = remove_dissimilar_edges(graph, predicate)
-    survivors = k_core_vertices(filtered, k)
-    contexts: List[ComponentContext] = []
-    for comp in connected_components(filtered, survivors):
-        adj = {u: filtered.neighbors(u) & comp for u in comp}
-        index = build_index(graph, predicate, comp)
-        contexts.append(
-            ComponentContext(
-                vertices=frozenset(comp),
-                adj=adj,
-                index=index,
-                k=k,
-                config=config,
-                stats=stats,
-                budget=budget,
-                rng=random.Random(config.seed),
-            )
-        )
-    return contexts
-
-
-def _prepare_components_csr(
-    graph: AttributedGraph,
-    k: int,
-    predicate: SimilarityPredicate,
-    config: SearchConfig,
-    stats: SearchStats,
-    budget: Budget,
-) -> List[ComponentContext]:
-    """Array-native preprocessing (``backend="csr"``).
-
-    The CSR form is built once and threaded through every stage:
-    dissimilar-edge deletion is an edge-mask pass, the k-core is the
-    vectorised frontier peel, components come from min-label propagation,
-    and the per-component adjacency sets handed to the engines are cut
-    straight from CSR slices.
-    """
-    csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_attributed(graph)
-    filtered = remove_dissimilar_edges_csr(csr, predicate)
-    alive = k_core_mask(filtered, k)
-    contexts: List[ComponentContext] = []
-    for group in component_vertex_groups(filtered, alive):
-        comp = set(group.tolist())
-        # Alive neighbours of a component member are in the same
-        # component, so masking by the k-core survivors is exactly the
-        # ``& comp`` restriction of the python path.
-        adj = {}
-        for u in comp:
-            nbrs = filtered.neighbors(u)
-            adj[u] = set(nbrs[alive[nbrs]].tolist())
-        index = build_index(csr, predicate, comp, backend="csr")
-        contexts.append(
-            ComponentContext(
-                vertices=frozenset(comp),
-                adj=adj,
-                index=index,
-                k=k,
-                config=config,
-                stats=stats,
-                budget=budget,
-                rng=random.Random(config.seed),
-                csr=filtered,
-            )
-        )
     return contexts
 
 
@@ -170,12 +253,7 @@ def run_enumeration(
     branch-and-bound), ``"naive"`` (Algorithms 1+2), or ``"clique"``
     (the Clique+ baseline).
     """
-    try:
-        component_fn = _ENUM_ENGINES[engine]
-    except KeyError:
-        raise InvalidParameterError(
-            f"unknown engine {engine!r}; choose from {sorted(_ENUM_ENGINES)}"
-        ) from None
+    component_fn = resolve_engine(engine)
     stats = SearchStats()
     budget = Budget(config.time_limit, config.node_limit)
     start = time.monotonic()

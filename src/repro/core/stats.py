@@ -30,6 +30,14 @@ class SearchStats:
     cores_emitted: int = 0         # candidate cores reaching the emit step
     maximal_checks: int = 0        # Theorem 6 checks run
     components: int = 0            # k-core components searched
+    # --- session cache / preprocess-reuse counters (all zero for one-shot
+    # runs; see repro.core.session.KRCoreSession) -----------------------
+    cache_hits: int = 0            # per-component solver results served from cache
+    cache_misses: int = 0          # components solved by a fresh engine run
+    reused_preprocess: int = 0     # full per-(k, r) component preparations reused
+    reused_filters: int = 0        # (metric, r) filtered graphs served from cache
+    reused_indexes: int = 0        # component indexes built from cached pairwise values
+    seeded_peels: int = 0          # k-core peels warm-started from a smaller k
     elapsed: float = 0.0           # wall-clock seconds
     timed_out: bool = False        # a budget cap was hit (results partial)
 
@@ -40,6 +48,8 @@ class SearchStats:
             "connectivity_pruned", "retained", "moved_similarity_free",
             "early_term_i", "early_term_ii", "bound_pruned", "bound_calls",
             "dead_branches", "cores_emitted", "maximal_checks", "components",
+            "cache_hits", "cache_misses", "reused_preprocess",
+            "reused_filters", "reused_indexes", "seeded_peels",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.elapsed += other.elapsed
@@ -63,6 +73,12 @@ class SearchStats:
             "cores_emitted": self.cores_emitted,
             "maximal_checks": self.maximal_checks,
             "components": self.components,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "reused_preprocess": self.reused_preprocess,
+            "reused_filters": self.reused_filters,
+            "reused_indexes": self.reused_indexes,
+            "seeded_peels": self.seeded_peels,
             "elapsed": self.elapsed,
             "timed_out": self.timed_out,
         }

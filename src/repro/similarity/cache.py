@@ -1,30 +1,49 @@
-"""Pairwise similarity value cache for threshold sweeps.
+"""Similarity value caches for threshold sweeps and prepared sessions.
 
 The Figure 7 / 13 / 14 experiments sweep the threshold ``r`` over the
 same graph; recomputing every pairwise metric value per sweep point is
-pure waste, since only the *comparison* changes.  The cache stores the
-raw metric values for all pairs within a vertex set once and can then
-materialise a :class:`~repro.similarity.index.DissimilarityIndex` (or a
-filtered predicate decision) for any threshold in O(pairs) comparisons.
+pure waste, since only the *comparison* changes.  Two caches exploit
+that:
 
-Used by :mod:`repro.core.decomposition` for multi-threshold profiles.
+* :class:`PairwiseSimilarityCache` stores the raw metric values for all
+  pairs within a vertex set once and can then materialise a
+  :class:`~repro.similarity.index.DissimilarityIndex` (or a filtered
+  predicate decision) for any threshold in O(pairs) comparisons.
+
+* :class:`EdgeSimilarityCache` stores one metric value per *edge* of a
+  frozen graph, so the dissimilar-edge deletion of Algorithm 1 line 1
+  becomes a pure comparison pass at every threshold instead of ``O(m)``
+  metric evaluations.
+
+Used by :class:`repro.core.session.KRCoreSession` (and through it the
+multi-threshold profiles of :mod:`repro.core.decomposition`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.attributed_graph import AttributedGraph
-from repro.similarity.index import DissimilarityIndex
+from repro.graph.csr import CSRGraph
+from repro.similarity.index import (
+    DissimilarityIndex,
+    edge_profile_similarities,
+)
 from repro.similarity.metrics import (
     MetricKind,
     euclidean_distance,
+    jaccard,
     require_attribute,
+    weighted_jaccard,
 )
 from repro.similarity.threshold import SimilarityPredicate
+
+#: Vocabulary cap for the vectorised pairwise Jaccard fill (falls back to
+#: the scalar double loop beyond it).
+_PAIRWISE_MAX_VOCABULARY = 4096
 
 
 class PairwiseSimilarityCache:
@@ -58,7 +77,11 @@ class PairwiseSimilarityCache:
             dx = pts[:, 0][:, None] - pts[:, 0][None, :]
             dy = pts[:, 1][:, None] - pts[:, 1][None, :]
             self._values = np.sqrt(dx * dx + dy * dy)
-        else:
+        elif not (
+            self._metric is jaccard
+            and n >= 2
+            and self._fill_jaccard(graph)
+        ):
             attrs = [
                 require_attribute(graph.attribute(u), u)
                 for u in self._vertices
@@ -68,6 +91,46 @@ class PairwiseSimilarityCache:
                     v = self._metric(attrs[i], attrs[j])
                     self._values[i, j] = v
                     self._values[j, i] = v
+
+    def _fill_jaccard(self, graph: AttributedGraph) -> bool:
+        """Vectorised all-pairs Jaccard fill (exact for set attributes).
+
+        Profiles become rows of a binary membership matrix; pairwise
+        intersections are one matmul and unions follow from row sums —
+        all small integers represented exactly in float64, so the values
+        match the scalar metric bit-for-bit (including the both-empty and
+        empty-intersection = 0.0 conventions).  Returns ``False`` when
+        the joint vocabulary outgrows the dense representation (caller
+        runs the scalar double loop instead).
+        """
+        vocabulary: Dict[object, int] = {}
+        profiles: List[Set[object]] = []
+        for u in self._vertices:
+            profile = set(require_attribute(graph.attribute(u), u))
+            profiles.append(profile)
+            for key in profile:
+                if key not in vocabulary:
+                    vocabulary[key] = len(vocabulary)
+                    if len(vocabulary) > _PAIRWISE_MAX_VOCABULARY:
+                        return False
+        n = len(self._vertices)
+        d = max(1, len(vocabulary))
+        if n * d > 64_000_000:
+            return False
+        member = np.zeros((n, d), dtype=np.float64)
+        for i, profile in enumerate(profiles):
+            for key in profile:
+                member[i, vocabulary[key]] = 1.0
+        sizes = member.sum(axis=1)
+        inter = member @ member.T
+        union = sizes[:, None] + sizes[None, :] - inter
+        with np.errstate(invalid="ignore", divide="ignore"):
+            values = np.where(
+                (union > 0.0) & (inter > 0.0), inter / union, 0.0
+            )
+        np.fill_diagonal(values, 0.0)
+        self._values = values
+        return True
 
     @property
     def vertices(self) -> Sequence[int]:
@@ -123,3 +186,173 @@ class PairwiseSimilarityCache:
             else:
                 counts.append(int(np.count_nonzero(flat <= r)))
         return counts
+
+
+class EdgeSimilarityCache:
+    """Per-edge metric values of one frozen graph under one metric.
+
+    The dissimilar-edge deletion of Algorithm 1 (line 1) evaluates the
+    metric on every edge; across an r-sweep only the threshold
+    *comparison* changes.  This cache computes the per-edge values once —
+    vectorised where the metric allows it — and materialises the filtered
+    graph at any threshold with :meth:`filtered_at`.
+
+    The keep decisions are identical to
+    :func:`repro.similarity.index.remove_dissimilar_edges` (python
+    backend) / :func:`~repro.similarity.index.remove_dissimilar_edges_csr`
+    (csr backend) at every threshold: the same scalar metric calls or the
+    same vectorised value computations decide, including the borderline
+    re-check band of the squared-distance geo path.
+
+    Parameters
+    ----------
+    graph:
+        :class:`~repro.graph.csr.CSRGraph` for ``backend="csr"``,
+        :class:`~repro.graph.attributed_graph.AttributedGraph` for
+        ``backend="python"``.
+    predicate:
+        Supplies the metric and comparison direction; its own ``r`` is
+        ignored.
+    """
+
+    def __init__(
+        self,
+        graph,
+        predicate: SimilarityPredicate,
+        backend: str = "python",
+    ):
+        self._backend = backend
+        self._predicate = predicate
+        if backend == "csr":
+            if not isinstance(graph, CSRGraph):
+                raise InvalidParameterError(
+                    "EdgeSimilarityCache(backend='csr') needs a CSRGraph"
+                )
+            self._init_csr(graph, predicate)
+        else:
+            if not isinstance(graph, AttributedGraph):
+                raise InvalidParameterError(
+                    "EdgeSimilarityCache(backend='python') needs an "
+                    "AttributedGraph"
+                )
+            self._init_python(graph, predicate)
+
+    # ------------------------------------------------------------------
+    # CSR backend
+    # ------------------------------------------------------------------
+    def _init_csr(self, csr: CSRGraph, predicate: SimilarityPredicate) -> None:
+        self._csr = csr
+        eu, ev = csr.edge_array()
+        self._eu, self._ev = eu, ev
+        if eu.size == 0:
+            self._base = np.zeros(0, dtype=bool)
+            self._mode = "scalar"
+            self._live = np.zeros(0, dtype=np.int64)
+            self._values = np.zeros(0, dtype=np.float64)
+            return
+        has = csr.attribute_mask()
+        self._base = has[eu] & has[ev]
+        live = np.nonzero(self._base)[0]
+        self._live = live
+        if (
+            predicate.metric is euclidean_distance
+            and predicate.kind is MetricKind.DISTANCE
+        ):
+            # Squared pairwise distances, exactly as the one-shot filter
+            # computes them; thresholds re-use them with the same 1-ulp
+            # borderline re-check through the scalar predicate.
+            needed = np.unique(np.concatenate([eu[live], ev[live]]))
+            pts = np.full((csr.vertex_count, 2), np.nan, dtype=np.float64)
+            for u in needed.tolist():
+                a = csr.attribute(u)
+                pts[u, 0] = a[0]
+                pts[u, 1] = a[1]
+            self._mode = "euclid2"
+            self._values = (
+                (pts[eu, 0] - pts[ev, 0]) ** 2 + (pts[eu, 1] - pts[ev, 1]) ** 2
+            )
+            return
+        if (
+            predicate.metric in (jaccard, weighted_jaccard)
+            and predicate.kind is MetricKind.SIMILARITY
+        ):
+            sims = edge_profile_similarities(csr, eu, ev, live, predicate)
+            if sims is not None:
+                self._mode = "sims"
+                self._values = sims
+                return
+        self._mode = "scalar"
+        self._values = np.array(
+            [
+                predicate.value(csr.attribute(int(eu[i])), csr.attribute(int(ev[i])))
+                for i in live.tolist()
+            ],
+            dtype=np.float64,
+        )
+
+    def _keep_mask(self, r: float) -> np.ndarray:
+        keep = self._base.copy()
+        if keep.size == 0:
+            return keep
+        if self._mode == "euclid2":
+            d2 = self._values
+            r2 = r * r
+            with np.errstate(invalid="ignore"):
+                near = d2 <= r2 * (1.0 - 1e-12)
+                far = d2 > r2 * (1.0 + 1e-12)
+            keep &= ~far
+            pred_r = self._predicate.with_threshold(r)
+            for i in np.nonzero(keep & ~near & ~far)[0]:
+                keep[i] = pred_r.similar(
+                    self._csr.attribute(int(self._eu[i])),
+                    self._csr.attribute(int(self._ev[i])),
+                )
+            return keep
+        if self._predicate.kind is MetricKind.SIMILARITY:
+            keep[self._live] = self._values >= r
+        else:
+            keep[self._live] = self._values <= r
+        return keep
+
+    # ------------------------------------------------------------------
+    # Python (set-based) backend
+    # ------------------------------------------------------------------
+    def _init_python(
+        self, graph: AttributedGraph, predicate: SimilarityPredicate
+    ) -> None:
+        self._graph = graph
+        self._edges: List[Tuple[int, int]] = []
+        values: List[Optional[float]] = []
+        for u, v in graph.edges():
+            self._edges.append((u, v))
+            if not graph.has_attribute(u) or not graph.has_attribute(v):
+                values.append(None)  # missing attribute: never similar
+            else:
+                values.append(
+                    predicate.value(graph.attribute(u), graph.attribute(v))
+                )
+        self._edge_values = values
+
+    # ------------------------------------------------------------------
+    # Shared surface
+    # ------------------------------------------------------------------
+    def filtered_at(self, r: float):
+        """The graph with every edge dissimilar at threshold ``r`` deleted.
+
+        Returns a :class:`CSRGraph` (csr backend) or a fresh
+        :class:`AttributedGraph` copy (python backend) — the same flavour
+        the one-shot preprocessing produces.
+        """
+        if self._backend == "csr":
+            return self._csr.filter_edges(self._keep_mask(r))
+        out = self._graph.copy()
+        similarity = self._predicate.kind is MetricKind.SIMILARITY
+        for (u, v), value in zip(self._edges, self._edge_values):
+            if value is None:
+                out.remove_edge(u, v)
+            elif similarity:
+                if value < r:
+                    out.remove_edge(u, v)
+            elif value > r:
+                out.remove_edge(u, v)
+        return out

@@ -118,6 +118,22 @@ class DissimilarityIndex:
             {u: self._dissimilar[u] & vertices for u in vertices}
         )
 
+    def pair_key(self) -> FrozenSet:
+        """Canonical hashable view of the dissimilar-pair set.
+
+        Two indexes with equal pair keys (over equal vertex sets) are
+        interchangeable for every solver — the engines consume nothing
+        but these pairs.  The session's result cache keys on this, so
+        sweep points whose thresholds happen to induce the same
+        similarity structure share search results.
+        """
+        return frozenset(
+            (u, v)
+            for u, others in self._dissimilar.items()
+            for v in others
+            if u < v
+        )
+
     def __repr__(self) -> str:
         pairs = self.dissimilar_pair_count(set(self._vertices))
         return f"DissimilarityIndex(n={len(self._vertices)}, dissimilar_pairs={pairs})"
@@ -418,16 +434,44 @@ def _edge_profile_keep(
 ) -> Optional[np.ndarray]:
     """Vectorised per-edge (weighted) Jaccard similarity filter.
 
+    Thin thresholding wrapper over
+    :func:`edge_profile_similarities`; returns ``None`` when the
+    vectorised value computation is unavailable (caller falls back to
+    the scalar loop).
+    """
+    live = np.nonzero(keep)[0]
+    sims = edge_profile_similarities(csr, eu, ev, live, predicate)
+    if sims is None:
+        return None
+    out = keep.copy()
+    out[live] = sims >= predicate.r
+    return out
+
+
+def edge_profile_similarities(
+    csr: CSRGraph,
+    eu: np.ndarray,
+    ev: np.ndarray,
+    live: np.ndarray,
+    predicate: SimilarityPredicate,
+) -> Optional[np.ndarray]:
+    """Vectorised (weighted) Jaccard values for the ``live`` edges.
+
     Vertex profiles become rows of a dense count matrix over the joint
     vocabulary (binary rows for plain sets); per-edge ``sum(min)`` /
     ``sum(max)`` then evaluates in chunked array passes instead of one
-    Python metric call per edge.  Returns ``None`` when the vocabulary or
-    the matrix would be too large — the caller falls back to the scalar
-    loop.
+    Python metric call per edge.  Returns the similarity value of every
+    edge in ``live`` (aligned with it), or ``None`` when the vocabulary
+    or the matrix would be too large — the caller falls back to the
+    scalar loop.  Thresholding the returned values with ``>= r`` matches
+    the scalar metric decisions exactly for plain sets (all quantities
+    are small integers in float64); :class:`EdgeSimilarityCache` relies
+    on this to serve many thresholds from one value pass.
     """
     weighted = predicate.metric is weighted_jaccard
     n = csr.vertex_count
-    live = np.nonzero(keep)[0]
+    if live.size == 0:
+        return np.zeros(0, dtype=np.float64)
     # Only edge endpoints need profiles — matching the set-based path,
     # which never evaluates the metric on non-endpoint vertices.
     needed = np.unique(np.concatenate([eu[live], ev[live]]))
@@ -444,8 +488,6 @@ def _edge_profile_keep(
                 if len(vocabulary) > _WJ_MAX_VOCABULARY:
                     return None
     d = max(1, len(vocabulary))
-    out = keep.copy()
-    r = predicate.r
 
     if not weighted and hasattr(np, "bitwise_count"):
         # Plain sets pack into uint64 bitmask words; intersections are
@@ -464,9 +506,7 @@ def _edge_profile_keep(
         inter = np.bitwise_count(masks[bu] & masks[bv]).sum(axis=1).astype(np.float64)
         union = sizes[bu] + sizes[bv] - inter
         with np.errstate(invalid="ignore", divide="ignore"):
-            sim = np.where((union > 0.0) & (inter > 0.0), inter / union, 0.0)
-        out[live] = sim >= r
-        return out
+            return np.where((union > 0.0) & (inter > 0.0), inter / union, 0.0)
 
     if n * d > 64_000_000:
         return None  # dense count matrix would not pay off
@@ -481,6 +521,7 @@ def _edge_profile_keep(
             for key in profile:
                 counts[u, vocabulary[key]] = 1.0
     sums = counts.sum(axis=1)
+    sims = np.zeros(live.size, dtype=np.float64)
     chunk = max(1, 16_000_000 // d)
     for start in range(0, live.size, chunk):
         block = live[start:start + chunk]
@@ -488,6 +529,7 @@ def _edge_profile_keep(
         mins = np.minimum(counts[bu], counts[bv]).sum(axis=1)
         dens = sums[bu] + sums[bv] - mins
         with np.errstate(invalid="ignore", divide="ignore"):
-            sim = np.where((dens > 0.0) & (mins > 0.0), mins / dens, 0.0)
-        out[block] = sim >= r
-    return out
+            sims[start:start + block.size] = np.where(
+                (dens > 0.0) & (mins > 0.0), mins / dens, 0.0
+            )
+    return sims

@@ -126,3 +126,66 @@ class TestStatsCommand:
         ])
         assert code == 0
         assert "count=" in capsys.readouterr().out
+
+    def test_backend_and_algorithm_wired(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "stats", "--edges", edges, "--attrs", attrs,
+            "--attr-kind", "set", "--k", "2", "--r", "0.5",
+            "--backend", "python", "--algorithm", "basic",
+        ])
+        assert code == 0
+        assert "count=2" in capsys.readouterr().out
+
+    def test_missing_k_errors(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "stats", "--edges", edges, "--attrs", attrs,
+            "--attr-kind", "set", "--r", "0.5",
+        ])
+        assert code == 2
+        assert "--k" in capsys.readouterr().err
+
+    def test_grid_mode(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "stats", "--edges", edges, "--attrs", attrs,
+            "--attr-kind", "set", "--ks", "2", "3", "--rs", "0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "k=2 r=0.5 count=2" in out
+        assert "k=3 r=0.5 count=0" in out
+        assert "session reuse:" in out
+
+
+class TestSweepCommand:
+    def test_file_graph_grid(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "sweep", "--edges", edges, "--attrs", attrs,
+            "--attr-kind", "set", "--ks", "2", "3", "--rs", "0.4", "0.6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "k=2 r=0.4 count=2" in out
+        assert "k=2 r=0.6 count=2" in out
+        assert "k=3 r=0.4 count=0" in out
+        assert "session reuse:" in out
+
+    def test_rs_default_to_resolved_threshold(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "sweep", "--edges", edges, "--attrs", attrs,
+            "--attr-kind", "set", "--ks", "2", "--r", "0.5",
+        ])
+        assert code == 0
+        assert "k=2 r=0.5 count=2" in capsys.readouterr().out
+
+    def test_named_dataset(self, capsys):
+        code = main([
+            "sweep", "--dataset", "dblp", "--scale", "0.3",
+            "--ks", "4", "5", "--permille", "5",
+        ])
+        assert code == 0
+        assert "session reuse:" in capsys.readouterr().out

@@ -59,6 +59,24 @@ class TestThresholdProfile:
         with pytest.raises(InvalidParameterError):
             threshold_profile(g, 0, [0.5], pred)
 
+    @pytest.mark.parametrize("seed", range(4))
+    def test_backends_agree(self, seed):
+        # The profiles honour SearchConfig.backend; both kernels must
+        # produce identical rows.
+        from repro.core.config import adv_enum_config
+
+        g = make_random_attr_graph(seed, n=13)
+        pred = SimilarityPredicate("jaccard", 0.0)
+        thresholds = [0.25, 0.4, 0.6]
+        rows = {
+            backend: threshold_profile(
+                g, 2, thresholds, pred,
+                config=adv_enum_config(backend=backend),
+            )
+            for backend in ("python", "csr")
+        }
+        assert rows["python"] == rows["csr"]
+
 
 class TestDegreeProfile:
     @pytest.mark.parametrize("seed", range(6))
@@ -89,6 +107,28 @@ class TestDegreeProfile:
         rows = degree_profile(g, [1, 2, 3], pred)
         sizes = [row["max_size"] for row in rows]
         assert sizes == sorted(sizes, reverse=True)
+
+    def test_duplicate_ks_emit_one_row_each(self):
+        g = make_random_attr_graph(4, n=10)
+        pred = SimilarityPredicate("jaccard", 0.3)
+        rows = degree_profile(g, [2, 1, 2], pred)
+        assert [row["k"] for row in rows] == [2, 1, 2]
+        assert rows[0] == rows[2]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_backends_agree(self, seed):
+        from repro.core.config import adv_enum_config
+
+        g = make_random_attr_graph(seed, n=13)
+        pred = SimilarityPredicate("jaccard", 0.3)
+        rows = {
+            backend: degree_profile(
+                g, [1, 2, 3], pred,
+                config=adv_enum_config(backend=backend),
+            )
+            for backend in ("python", "csr")
+        }
+        assert rows["python"] == rows["csr"]
 
 
 class TestMemberships:

@@ -69,6 +69,24 @@ class TestEdits:
         miner.set_attribute(3, frozenset({"p", "q"}))
         assert miner.maximum().size == 3
 
+    def test_attributeless_vertex_survives_refresh(self, jaccard_half):
+        # Vertex 3 never gets an attribute; it stays in the structural
+        # k-core but outside every filtered component.  Re-refreshes
+        # (which use the session's pairwise layer) must handle it.
+        from repro.graph.attributed_graph import AttributedGraph
+        g = AttributedGraph(4)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                g.add_edge(i, j)
+        for u in (0, 1, 2):
+            g.set_attribute(u, frozenset({"x", "y"}))
+        miner = DynamicKRCoreMiner(g, 2, jaccard_half)
+        assert as_sorted_sets(miner.cores()) == [[0, 1, 2]]
+        miner.remove_edge(0, 3)
+        assert as_sorted_sets(miner.cores()) == [[0, 1, 2]]
+        miner.remove_edge(1, 3)
+        assert as_sorted_sets(miner.cores()) == [[0, 1, 2]]
+
     def test_noop_edits_keep_cache(self, two_triangles, jaccard_half):
         miner = DynamicKRCoreMiner(two_triangles, 2, jaccard_half)
         miner.cores()
@@ -81,9 +99,15 @@ class TestEdits:
 
 
 class TestCacheReuse:
-    def test_untouched_components_cached(self):
+    @pytest.mark.parametrize("backend", ("python", "csr"))
+    def test_untouched_components_cached(self, backend):
+        from repro.core.config import adv_enum_config
+
         pc = planted_communities(n_blocks=4, block_size=10, k=3, seed=8)
-        miner = DynamicKRCoreMiner(pc.graph, pc.k, pc.predicate)
+        miner = DynamicKRCoreMiner(
+            pc.graph, pc.k, pc.predicate,
+            config=adv_enum_config(backend=backend),
+        )
         miner.cores()
         assert miner.last_solved_components >= 1
         # Edit inside one block: the others must come from cache.
@@ -103,12 +127,17 @@ class TestCacheReuse:
 
 
 class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("backend", ("python", "csr"))
     @pytest.mark.parametrize("seed", range(8))
-    def test_edit_sequences_match_scratch(self, seed):
+    def test_edit_sequences_match_scratch(self, seed, backend):
+        from repro.core.config import adv_enum_config
+
         rng = random.Random(seed)
         g = make_random_attr_graph(seed, n=12, p=0.4)
         pred = SimilarityPredicate("jaccard", 0.35)
-        miner = DynamicKRCoreMiner(g, 2, pred)
+        miner = DynamicKRCoreMiner(
+            g, 2, pred, config=adv_enum_config(backend=backend),
+        )
         assert_matches_scratch(miner, pred)
         vocab = ["a", "b", "c", "d", "e", "f"]
         for _ in range(12):

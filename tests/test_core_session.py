@@ -1,0 +1,344 @@
+"""KRCoreSession: one-shot parity, cache semantics, edits, sweeps."""
+
+import random
+
+import pytest
+
+from conftest import as_sorted_sets, make_geo_graph, make_random_attr_graph
+from repro.core.api import (
+    enumerate_maximal_krcores,
+    find_maximum_krcore,
+    krcore_statistics,
+)
+from repro.core.config import adv_enum_config, basic_enum_config
+from repro.core.decomposition import krcore_vertex_memberships
+from repro.core.session import KRCoreSession
+from repro.datasets.planted import planted_communities
+from repro.exceptions import InvalidParameterError, SearchBudgetExceeded
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.csr import CSRGraph
+from repro.similarity.threshold import SimilarityPredicate
+
+BACKENDS = ("python", "csr")
+
+
+class TestOneShotParity:
+    """Session answers must equal the one-shot API on both backends."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_enumerate(self, seed, backend):
+        g = make_random_attr_graph(seed, n=11)
+        session = KRCoreSession(g, backend=backend)
+        for k in (1, 2, 3):
+            for r in (0.25, 0.4, 0.6):
+                got = session.enumerate(k, r)
+                want = enumerate_maximal_krcores(
+                    g, k, r, backend=backend,
+                )
+                assert as_sorted_sets(got) == as_sorted_sets(want), (k, r)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_maximum(self, seed, backend):
+        g = make_random_attr_graph(seed, n=11)
+        session = KRCoreSession(g, backend=backend)
+        for k in (1, 2, 3):
+            for r in (0.25, 0.4, 0.6):
+                got = session.maximum(k, r)
+                want = find_maximum_krcore(g, k, r, backend=backend)
+                assert (got.size if got else 0) == \
+                    (want.size if want else 0), (k, r)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_geo_metric(self, seed, backend):
+        g = make_geo_graph(seed, n=12)
+        session = KRCoreSession(g, metric="euclidean", backend=backend)
+        for r in (10.0, 25.0, 60.0):
+            got = session.enumerate(2, r)
+            want = enumerate_maximal_krcores(
+                g, 2, r, metric="euclidean", backend=backend,
+            )
+            assert as_sorted_sets(got) == as_sorted_sets(want)
+
+    def test_statistics_and_memberships(self, two_triangles, jaccard_half):
+        session = KRCoreSession(two_triangles)
+        assert session.statistics(2, predicate=jaccard_half) == \
+            krcore_statistics(two_triangles, 2, predicate=jaccard_half)
+        assert session.memberships(2, predicate=jaccard_half) == \
+            krcore_vertex_memberships(two_triangles, 2, jaccard_half)
+
+    @pytest.mark.parametrize(
+        "algorithm", ("naive", "clique", "basic", "advanced"),
+    )
+    def test_algorithm_presets(self, algorithm):
+        g = make_random_attr_graph(3, n=10)
+        session = KRCoreSession(g)
+        got = session.enumerate(2, 0.35, algorithm=algorithm)
+        want = enumerate_maximal_krcores(g, 2, 0.35, algorithm=algorithm)
+        assert as_sorted_sets(got) == as_sorted_sets(want)
+
+    def test_session_level_config_default(self):
+        g = make_random_attr_graph(5, n=10)
+        cfg = basic_enum_config()
+        session = KRCoreSession(g, config=cfg)
+        got = session.enumerate(2, 0.35)
+        want = enumerate_maximal_krcores(g, 2, 0.35, config=cfg)
+        assert as_sorted_sets(got) == as_sorted_sets(want)
+
+    def test_csr_graph_input(self, two_triangles, jaccard_half):
+        frozen = CSRGraph.from_attributed(two_triangles)
+        session = KRCoreSession(frozen)
+        assert as_sorted_sets(session.enumerate(2, predicate=jaccard_half)) \
+            == [[0, 1, 2], [3, 4, 5]]
+        # The thawed copy also serves the python backend.
+        assert as_sorted_sets(
+            session.enumerate(2, predicate=jaccard_half, backend="python")
+        ) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_missing_threshold(self, two_triangles):
+        session = KRCoreSession(two_triangles)
+        with pytest.raises(InvalidParameterError):
+            session.enumerate(2)
+
+    def test_invalid_k(self, two_triangles):
+        session = KRCoreSession(two_triangles)
+        with pytest.raises(InvalidParameterError):
+            session.enumerate(0, 0.5)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_attributeless_vertex_in_backbone(self, backend):
+        # Vertex 3 has no attribute: it survives the *structural* k-core
+        # (the pairwise layer's backbone) but can never enter a filtered
+        # component.  Warm queries must not trip over it.
+        g = AttributedGraph(4)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                g.add_edge(i, j)
+        for u in (0, 1, 2):
+            g.set_attribute(u, frozenset({"x", "y"}))
+        session = KRCoreSession(g, backend=backend)
+        for r in (0.5, 0.4, 0.3):  # 2nd+ queries use the pairwise layer
+            got = session.enumerate(2, r)
+            want = enumerate_maximal_krcores(g, 2, r, backend=backend)
+            assert as_sorted_sets(got) == as_sorted_sets(want)
+
+
+class TestCacheSemantics:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_repeat_query_zero_repreprocessing(self, backend):
+        g = make_random_attr_graph(11, n=12)
+        session = KRCoreSession(g, backend=backend)
+        first, stats1 = session.enumerate(2, 0.35, with_stats=True)
+        assert stats1.cache_misses == stats1.components
+        assert stats1.cache_hits == 0
+        assert stats1.reused_preprocess == 0
+        second, stats2 = session.enumerate(2, 0.35, with_stats=True)
+        assert as_sorted_sets(second) == as_sorted_sets(first)
+        # Zero re-preprocessing and zero re-searching, by the counters:
+        assert stats2.reused_preprocess == 1
+        assert stats2.cache_hits == stats2.components == stats1.components
+        assert stats2.cache_misses == 0
+        assert stats2.nodes == 0
+
+    def test_repeat_maximum_cached(self):
+        g = make_random_attr_graph(13, n=12)
+        session = KRCoreSession(g)
+        first, stats1 = session.maximum(2, 0.35, with_stats=True)
+        second, stats2 = session.maximum(2, 0.35, with_stats=True)
+        assert (first.vertices if first else None) == \
+            (second.vertices if second else None)
+        assert stats2.cache_misses == 0
+        assert stats2.nodes == 0
+
+    def test_maximum_rides_enumeration_preprocessing(self):
+        g = make_random_attr_graph(17, n=12)
+        session = KRCoreSession(g)
+        session.enumerate(2, 0.35)
+        _, stats = session.maximum(2, 0.35, with_stats=True)
+        assert stats.reused_preprocess == 1  # same prepared components
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_same_threshold_reuses_filter(self, backend):
+        g = make_random_attr_graph(19, n=12)
+        session = KRCoreSession(g, backend=backend)
+        session.enumerate(2, 0.35)
+        _, stats = session.enumerate(3, 0.35, with_stats=True)
+        assert stats.reused_filters == 1
+        assert stats.seeded_peels == 1  # peel warm-started from k=2
+
+    def test_r_sweep_reuses_pairwise_values(self, two_triangles):
+        session = KRCoreSession(two_triangles)
+        session.enumerate(2, 0.3)
+        session.enumerate(2, 0.5)   # builds the pairwise layer
+        _, stats = session.enumerate(2, 0.7, with_stats=True)
+        assert stats.reused_indexes >= 1
+
+    def test_identical_structure_shares_results_across_r(self, two_triangles):
+        # All intra-triangle similarities are 1.0 and the bridge is 0.0:
+        # every threshold in (0, 1] induces the same filtered components
+        # and the same (empty) dissimilar sets, so the result layer
+        # serves later thresholds without re-searching.
+        session = KRCoreSession(two_triangles)
+        first, stats1 = session.enumerate(2, 0.3, with_stats=True)
+        second, stats2 = session.enumerate(2, 0.8, with_stats=True)
+        assert as_sorted_sets(second) == as_sorted_sets(first)
+        assert stats1.cache_misses == 2
+        assert stats2.cache_misses == 0
+        assert stats2.cache_hits == 2
+
+    def test_total_stats_accumulates(self, two_triangles, jaccard_half):
+        session = KRCoreSession(two_triangles)
+        session.enumerate(2, predicate=jaccard_half)
+        session.enumerate(2, predicate=jaccard_half)
+        assert session.total_stats.components == 4
+        assert session.total_stats.cache_hits == 2
+
+    def test_warm_cache_serves_budgeted_queries(self):
+        g = make_random_attr_graph(23, n=12)
+        session = KRCoreSession(g)
+        full = session.enumerate(2, 0.35)
+        # A warm session can serve complete cached results without
+        # spending any of the (tiny) budget.
+        again = session.enumerate(2, 0.35, node_limit=1)
+        assert as_sorted_sets(again) == as_sorted_sets(full)
+
+    def test_cold_budget_raises_with_partial(self):
+        g = make_random_attr_graph(7, n=14, p=0.8)
+        session = KRCoreSession(g)
+        with pytest.raises(SearchBudgetExceeded) as exc:
+            session.enumerate(2, 0.2, time_limit=1e-9)
+        partial_cores, partial_stats = exc.value.partial
+        assert isinstance(partial_cores, list)
+        assert partial_stats.timed_out
+
+
+class TestEdits:
+    def test_copy_isolates_caller_graph(self, two_triangles, jaccard_half):
+        session = KRCoreSession(two_triangles)
+        session.remove_edge(0, 1)
+        assert two_triangles.has_edge(0, 1)
+        assert as_sorted_sets(session.enumerate(2, predicate=jaccard_half)) \
+            == [[3, 4, 5]]
+
+    def test_edit_batch_reports_change(self, two_triangles):
+        session = KRCoreSession(two_triangles)
+        assert session.edit(remove_edges=[(0, 1)])
+        assert not session.edit(remove_edges=[(0, 1)])  # already gone
+        assert session.edit(attributes={0: frozenset({"z"})})
+
+    def test_edit_invalidates_only_touched_components(self):
+        pc = planted_communities(n_blocks=4, block_size=10, k=3, seed=8)
+        session = KRCoreSession(pc.graph)
+        _, stats = session.enumerate(
+            pc.k, predicate=pc.predicate, with_stats=True,
+        )
+        solved_initially = stats.cache_misses
+        assert solved_initially >= 3
+        block0 = sorted(pc.communities[0])
+        session.remove_edge(block0[0], block0[1])
+        _, stats = session.enumerate(
+            pc.k, predicate=pc.predicate, with_stats=True,
+        )
+        # Only the edited block re-solves; the rest come from cache.
+        assert stats.cache_hits >= solved_initially - 2
+        assert stats.cache_misses <= 2
+
+    def test_attribute_edit_invalidates_touched_component(self):
+        pc = planted_communities(n_blocks=3, block_size=10, k=3, seed=5)
+        session = KRCoreSession(pc.graph)
+        session.enumerate(pc.k, predicate=pc.predicate)
+        u = sorted(pc.communities[0])[0]
+        session.set_attribute(u, frozenset({"entirely", "new"}))
+        cores, stats = session.enumerate(
+            pc.k, predicate=pc.predicate, with_stats=True,
+        )
+        assert stats.cache_hits >= 1
+        want = enumerate_maximal_krcores(
+            session.graph, pc.k, predicate=pc.predicate,
+        )
+        assert as_sorted_sets(cores) == as_sorted_sets(want)
+
+    def test_invalidate_forces_full_resolve(self, two_triangles, jaccard_half):
+        session = KRCoreSession(two_triangles)
+        session.enumerate(2, predicate=jaccard_half)
+        session.invalidate()
+        _, stats = session.enumerate(
+            2, predicate=jaccard_half, with_stats=True,
+        )
+        assert stats.cache_misses == 2
+        assert stats.cache_hits == 0
+
+    def test_result_cache_bounded(self):
+        g = make_random_attr_graph(37, n=12)
+        session = KRCoreSession(g, result_cache_limit=4)
+        for round_ in range(10):
+            session.remove_edge(round_, (round_ + 1) % 12)
+            got = session.enumerate(2, 0.35)
+            want = enumerate_maximal_krcores(session.graph, 2, 0.35)
+            assert as_sorted_sets(got) == as_sorted_sets(want)
+            assert len(session._results) <= 4
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_edit_sequences_match_scratch(self, seed, backend):
+        rng = random.Random(seed)
+        g = make_random_attr_graph(seed, n=12, p=0.4)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        session = KRCoreSession(g, backend=backend)
+        vocab = ["a", "b", "c", "d", "e", "f"]
+        for _ in range(8):
+            action = rng.random()
+            u = rng.randrange(12)
+            v = rng.randrange(12)
+            if action < 0.4 and u != v:
+                session.add_edge(u, v)
+            elif action < 0.7 and u != v:
+                session.remove_edge(u, v)
+            else:
+                session.set_attribute(
+                    u, frozenset(rng.sample(vocab, rng.randint(2, 4))),
+                )
+            got = session.enumerate(2, predicate=pred)
+            want = enumerate_maximal_krcores(
+                session.graph, 2, predicate=pred, backend=backend,
+            )
+            assert as_sorted_sets(got) == as_sorted_sets(want)
+            best = session.maximum(2, predicate=pred)
+            scratch = find_maximum_krcore(
+                session.graph, 2, predicate=pred, backend=backend,
+            )
+            assert (best.size if best else 0) == \
+                (scratch.size if scratch else 0)
+
+
+class TestSweep:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_grid_matches_one_shot(self, backend):
+        g = make_random_attr_graph(29, n=12)
+        session = KRCoreSession(g, backend=backend)
+        ks = [3, 2]
+        rs = [0.5, 0.3]
+        rows = session.sweep(ks, rs)
+        assert [(row["k"], row["r"]) for row in rows] == \
+            [(k, r) for k in ks for r in rs]
+        for row in rows:
+            direct = krcore_statistics(
+                g, row["k"], r=row["r"], backend=backend,
+            )
+            assert {key: row[key] for key in direct} == direct
+
+    def test_sweep_with_predicate_overrides_threshold(self, two_triangles):
+        pred = SimilarityPredicate("jaccard", 0.123)  # r replaced per point
+        session = KRCoreSession(two_triangles)
+        rows = session.sweep([2], [0.4, 0.6], predicate=pred)
+        assert [row["count"] for row in rows] == [2, 2]
+
+    def test_sweep_with_stats_reports_reuse(self):
+        g = make_random_attr_graph(31, n=12)
+        session = KRCoreSession(g)
+        rows, stats = session.sweep([2, 3], [0.3, 0.4, 0.5], with_stats=True)
+        assert len(rows) == 6
+        assert stats.reused_filters >= 1   # each r's filter shared across k
+        assert stats.seeded_peels >= 1     # k=3 peels seeded from k=2

@@ -55,6 +55,32 @@ class TestPrepareComponents:
             g, 2, pred, adv_enum_config(), SearchStats(), Budget(None, None)
         ) == []
 
+    def test_order_components_empty(self):
+        from repro.core.solver import order_components
+        assert order_components([]) == []
+
+    @pytest.mark.parametrize("backend", ("python", "csr"))
+    def test_components_ordered_by_max_degree(self, backend):
+        # A dense 5-block and a triangle, attribute-identical: the dense
+        # block must come first (the Section 6.1 seeding rule).
+        g = AttributedGraph(8)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                g.add_edge(i, j)
+        for u, v in [(5, 6), (6, 7), (5, 7)]:
+            g.add_edge(u, v)
+        for u in g.vertices():
+            g.set_attribute(u, frozenset({"s"}))
+        pred = SimilarityPredicate("jaccard", 0.1)
+        ctxs = prepare_components(
+            g, 2, pred, adv_enum_config(backend=backend),
+            SearchStats(), Budget(None, None),
+        )
+        degrees = [
+            max(len(nbrs) for nbrs in ctx.adj.values()) for ctx in ctxs
+        ]
+        assert degrees == sorted(degrees, reverse=True)
+
 
 class TestEnumerateAPI:
     def test_r_and_metric(self, two_triangles):
@@ -193,3 +219,43 @@ class TestStatisticsAPI:
     def test_statistics_empty(self, two_triangles, jaccard_half):
         stats = krcore_statistics(two_triangles, 5, predicate=jaccard_half)
         assert stats["count"] == 0
+
+    @pytest.mark.parametrize("backend", ("python", "csr"))
+    @pytest.mark.parametrize("algorithm", ("basic", "advanced", "naive"))
+    def test_parity_with_sister_entry_points(self, algorithm, backend):
+        # krcore_statistics accepts the same algorithm/backend surface as
+        # enumerate_maximal_krcores and summarises the same cores.
+        from repro.core.results import summarize_cores
+
+        g = make_random_attr_graph(41, n=11)
+        pred = SimilarityPredicate("jaccard", 0.3)
+        summary = krcore_statistics(
+            g, 2, predicate=pred, algorithm=algorithm, backend=backend,
+        )
+        cores = enumerate_maximal_krcores(
+            g, 2, predicate=pred, algorithm=algorithm, backend=backend,
+        )
+        assert summary == summarize_cores(cores)
+
+    def test_with_stats(self, two_triangles, jaccard_half):
+        summary, stats = krcore_statistics(
+            two_triangles, 2, predicate=jaccard_half, with_stats=True,
+        )
+        assert summary["count"] == 2
+        assert isinstance(stats, SearchStats)
+        assert stats.components == 2
+
+    def test_node_limit_partial_mode(self):
+        g = make_random_attr_graph(7, n=14, p=0.8)
+        pred = SimilarityPredicate("jaccard", 0.2)
+        cfg = adv_enum_config(on_budget="partial")
+        summary, stats = krcore_statistics(
+            g, 2, predicate=pred, config=cfg, node_limit=1, with_stats=True,
+        )
+        assert stats.timed_out
+
+    def test_node_limit_raises(self):
+        g = make_random_attr_graph(7, n=14, p=0.8)
+        pred = SimilarityPredicate("jaccard", 0.2)
+        with pytest.raises(SearchBudgetExceeded):
+            krcore_statistics(g, 2, predicate=pred, node_limit=1)
