@@ -21,6 +21,7 @@ equivalence check).
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 import time
@@ -72,6 +73,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--edges", type=int, default=None,
                         help="override the synthetic edge count")
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the measurements as JSON (CI uploads these artifacts)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -119,16 +124,41 @@ def main(argv=None) -> int:
 
     print(f"{'kernel':>20} {'python':>10} {'csr':>10} {'speedup':>9}")
     peel_speedup = None
+    json_rows = []
     for name, t_py, t_csr in rows:
         speedup = t_py / t_csr if t_csr > 0 else float("inf")
         if name == "k-core peel":
             peel_speedup = speedup
+        json_rows.append({
+            "kernel": name, "python_s": t_py, "csr_s": t_csr,
+            "speedup": speedup,
+        })
         print(f"{name:>20} {t_py * 1e3:9.1f}m {t_csr * 1e3:9.1f}m {speedup:8.1f}x")
+
+    gate_failed = (
+        not args.smoke and peel_speedup is not None and peel_speedup < 3.0
+    )
+    if args.json:
+        payload = {
+            "benchmark": "backend_kernels",
+            "mode": "smoke" if args.smoke else "full",
+            "workload": {"vertices": n, "edges": m, "k": k},
+            "csr_construction_s": t_freeze,
+            "rows": json_rows,
+            "gates": {
+                "peel_speedup_min": None if args.smoke else 3.0,
+                "peel_speedup": peel_speedup,
+                "passed": not (failures or gate_failed),
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
 
     if failures:
         print(f"FAIL: {failures} backend disagreement(s)")
         return 1
-    if not args.smoke and peel_speedup is not None and peel_speedup < 3.0:
+    if gate_failed:
         print(f"FAIL: k-core peel speedup {peel_speedup:.1f}x < 3x gate")
         return 1
     print("ok")

@@ -1,0 +1,209 @@
+"""Engine benchmark: set-based (python) vs bitset (csr) search engines.
+
+PR 1 made *preprocessing* array-native; this benchmark measures the
+*search engines* themselves — the branch-and-bound loops of
+:mod:`repro.core.enumerate` and :mod:`repro.core.maximum`, where nearly
+all remaining time goes on hard (k, r) instances.  Preprocessing runs
+once (shared contexts); each engine backend then searches the identical
+components, so the timing isolates pure engine work (for the bitset
+engine that includes the one-off packing of each component into
+bitmask form — the cost a cold solve actually pays).
+
+The workload is a ~50k-edge multi-community graph in the regime the
+paper's figures probe: each community is a small-world block (ring
+lattice + random chords, so component diameters stay social-network
+small) whose members share a keyword profile, except for two planted
+factions that are similar to the block's core profile but dissimilar
+to *each other*.  Every block therefore holds exactly two overlapping
+maximal (k,r)-cores, and the engines must branch over the faction
+vertices to separate them — a search tree of ~1-2k nodes over
+2500-vertex components, which is exactly where per-node set algebra
+dominates.
+
+The benchmark doubles as an equivalence check (both engines must emit
+identical cores) and, in full mode, enforces the >= 2x enumeration
+speedup gate the CI `kernel-speedup` job relies on.
+
+Standalone script (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_backends.py           # full
+    PYTHONPATH=src python benchmarks/bench_engine_backends.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_engine_backends.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.core.config import adv_enum_config, adv_max_config
+from repro.core.context import Budget, ComponentContext
+from repro.core.enumerate import enumerate_component
+from repro.core.maximum import find_maximum_in_component
+from repro.core.solver import prepare_components
+from repro.core.stats import SearchStats
+from repro.graph.attributed_graph import AttributedGraph
+from repro.similarity.threshold import SimilarityPredicate
+
+#: Full-mode workload: 4 blocks x 2500 vertices, ring degree 6 + 2
+#: chords per vertex ≈ 50k edges total, 150-vertex factions.
+FULL = dict(blocks=4, size=2500, half=3, chords=2, faction=150)
+#: Smoke-mode workload: same shape, small enough for the tests job.
+SMOKE = dict(blocks=2, size=300, half=3, chords=2, faction=24)
+
+K = 4
+R = 0.3
+
+
+def make_workload(
+    blocks: int, size: int, half: int, chords: int, faction: int,
+    seed: int = 0,
+) -> AttributedGraph:
+    """Small-world community blocks with two planted factions each.
+
+    Block members carry the block profile ``D`` (20 keywords).  Two
+    disjoint faction groups of ``faction`` vertices carry ``X`` / ``Y``
+    profiles: 10 keywords shared with ``D`` plus 10 private ones, so
+    X–D and Y–D pairs sit at Jaccard 1/3 (similar at r=0.3) while X–Y
+    pairs share nothing (dissimilar).  The maximal (k,r)-cores of each
+    block are the two faction-pure subgraphs D ∪ X and D ∪ Y.
+    """
+    rng = random.Random(seed)
+    g = AttributedGraph(blocks * size)
+    for b in range(blocks):
+        off = b * size
+        block_words = [f"b{b}_w{i}" for i in range(20)]
+        profile_d = frozenset(block_words)
+        profile_x = frozenset(
+            block_words[:10] + [f"b{b}_x{i}" for i in range(10)]
+        )
+        profile_y = frozenset(
+            block_words[10:] + [f"b{b}_y{i}" for i in range(10)]
+        )
+        ids = list(range(off, off + size))
+        for i in range(size):
+            for d in range(1, half + 1):
+                g.add_edge(off + i, off + (i + d) % size)
+            for _ in range(chords):
+                j = rng.randrange(size)
+                if j != i:
+                    g.add_edge(off + i, off + j)
+        special = rng.sample(ids, 2 * faction)
+        xs = set(special[:faction])
+        ys = set(special[faction:])
+        for u in ids:
+            if u in xs:
+                g.set_attribute(u, profile_x)
+            elif u in ys:
+                g.set_attribute(u, profile_y)
+            else:
+                g.set_attribute(u, profile_d)
+    return g
+
+
+def run_engines(contexts, backend: str, maximum: bool):
+    """(result, seconds, nodes) searching the shared contexts."""
+    cfg = (adv_max_config if maximum else adv_enum_config)(backend=backend)
+    stats = SearchStats()
+    best = None
+    cores = []
+    t0 = time.perf_counter()
+    for ctx in contexts:
+        # Fresh context per run: private stats/rng, and no carried-over
+        # packed form, so every backend pays its own cold-start cost.
+        run_ctx = ComponentContext(
+            ctx.vertices, ctx.adj, ctx.index, ctx.k, cfg, stats,
+            Budget(None, None), random.Random(cfg.seed),
+        )
+        if maximum:
+            best = find_maximum_in_component(run_ctx, best)
+        else:
+            cores.extend(enumerate_component(run_ctx))
+    elapsed = time.perf_counter() - t0
+    result = best if maximum else sorted(sorted(c) for c in cores)
+    return result, elapsed, stats.nodes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny instance for CI: validates paths, skips the speed gate",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the measurements as JSON (CI uploads these artifacts)",
+    )
+    args = parser.parse_args(argv)
+
+    params = SMOKE if args.smoke else FULL
+    graph = make_workload(**params)
+    print(
+        f"workload: n={graph.vertex_count}, m={graph.edge_count}, "
+        f"k={K}, r={R}, blocks={params['blocks']}"
+    )
+
+    pred = SimilarityPredicate("jaccard", R)
+    t0 = time.perf_counter()
+    contexts = prepare_components(
+        graph, K, pred, adv_enum_config(backend="csr"),
+        SearchStats(), Budget(None, None),
+    )
+    t_prep = time.perf_counter() - t0
+    print(f"shared preprocessing (csr, once): {t_prep * 1e3:8.1f} ms, "
+          f"{len(contexts)} component(s)")
+
+    failures = 0
+    rows = []
+    for name, maximum in (("enumerate", False), ("maximum", True)):
+        res_py, t_py, nodes = run_engines(contexts, "python", maximum)
+        res_cs, t_cs, _ = run_engines(contexts, "csr", maximum)
+        if res_py != res_cs:
+            failures += 1
+            print(f"FAIL: {name} engines disagree")
+        speedup = t_py / t_cs if t_cs > 0 else float("inf")
+        rows.append({
+            "engine": name, "python_s": t_py, "csr_s": t_cs,
+            "speedup": speedup, "nodes": nodes,
+        })
+        print(f"{name:>10}: python {t_py:7.2f}s  csr {t_cs:7.2f}s  "
+              f"{speedup:5.1f}x  ({nodes} nodes)")
+
+    enum_speedup = rows[0]["speedup"]
+    gate_failed = not args.smoke and enum_speedup < 2.0
+
+    if args.json:
+        payload = {
+            "benchmark": "engine_backends",
+            "mode": "smoke" if args.smoke else "full",
+            "workload": {
+                **params, "k": K, "r": R,
+                "vertices": graph.vertex_count, "edges": graph.edge_count,
+            },
+            "prep_seconds": t_prep,
+            "rows": rows,
+            "gates": {
+                "enumeration_speedup_min": None if args.smoke else 2.0,
+                "enumeration_speedup": enum_speedup,
+                "passed": not (failures or gate_failed),
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    if failures:
+        print(f"FAIL: {failures} engine disagreement(s)")
+        return 1
+    if gate_failed:
+        print(f"FAIL: enumeration speedup {enum_speedup:.1f}x < 2x gate")
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

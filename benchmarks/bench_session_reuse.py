@@ -26,6 +26,7 @@ Standalone script (no pytest-benchmark needed)::
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 import time
@@ -94,6 +95,10 @@ def main(argv=None) -> int:
         help="smaller instance for CI (the 2x gate still applies)",
     )
     parser.add_argument("--backend", default="csr", choices=("csr", "python"))
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the measurements as JSON (CI uploads these artifacts)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -111,6 +116,7 @@ def main(argv=None) -> int:
 
     failures = 0
     gate_failed = False
+    json_rows = []
     print(f"{'workload':>10} {'one-shot':>10} {'session':>10} {'speedup':>9}")
     for name, points in (("r-sweep", r_sweep), ("k-sweep", k_sweep)):
         one_shot, t_one, amortised, t_sess = run_workload(
@@ -119,10 +125,33 @@ def main(argv=None) -> int:
         if one_shot != amortised:
             failures += 1
         speedup = t_one / t_sess if t_sess > 0 else float("inf")
+        json_rows.append({
+            "workload": name, "one_shot_s": t_one, "session_s": t_sess,
+            "speedup": speedup,
+        })
         print(f"{name:>10} {t_one * 1e3:9.1f}m {t_sess * 1e3:9.1f}m "
               f"{speedup:8.1f}x")
         if name == "r-sweep" and speedup < 2.0:
             gate_failed = True
+
+    if args.json:
+        payload = {
+            "benchmark": "session_reuse",
+            "mode": "smoke" if args.smoke else "full",
+            "backend": args.backend,
+            "workload": {
+                "vertices": graph.vertex_count, "edges": graph.edge_count,
+            },
+            "rows": json_rows,
+            "gates": {
+                "r_sweep_speedup_min": 2.0,
+                "r_sweep_speedup": json_rows[0]["speedup"],
+                "passed": not (failures or gate_failed),
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
 
     if failures:
         print(f"FAIL: {failures} workload(s) disagree with the one-shot API")

@@ -9,14 +9,13 @@ EXPERIMENTS.md for paper-vs-measured shapes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List
 
 from repro.bench import workloads as wl
 from repro.bench.harness import RunRecord, run_enum_timed, run_max_timed
 from repro.core.config import (
     adv_enum_config,
     adv_max_config,
-    resolve_enum_config,
 )
 from repro.core.results import summarize_cores
 from repro.core.api import enumerate_maximal_krcores

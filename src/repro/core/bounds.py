@@ -22,7 +22,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
-from repro.core.context import ComponentContext
+import numpy as np
+
+from repro.core import bitops
+from repro.core.context import BitsetComponentContext, ComponentContext
 from repro.graph.coloring import color_count
 from repro.graph.kcore import max_core_number
 
@@ -141,6 +144,177 @@ _BOUND_FNS = {
     "color-kcore": color_kcore_bound,
     "kkprime": kk_prime_bound,
 }
+
+
+# ----------------------------------------------------------------------
+# Bitset counterparts (the csr engine backend; see core/bitops.py)
+#
+# Bound *values* are pure functions of the node's vertex set: the peels
+# are order-independent decompositions and the greedy colouring order is
+# canonical (degree desc, id asc), so the set-based and bitset engines
+# compute identical bounds and therefore prune identical subtrees.
+# ----------------------------------------------------------------------
+
+def _test_bit(mask: np.ndarray, i: int) -> bool:
+    return bool((int(mask[i >> 6]) >> (i & 63)) & 1)
+
+
+def color_kcore_bound_bits(
+    b: BitsetComponentContext, ctx: ComponentContext, vertices: np.ndarray
+) -> int:
+    """Packed Color+Kcore: greedy colouring + core peel of ``J'``."""
+    mem = bitops.members(vertices)
+    n_m = int(mem.size)
+    if n_m == 0:
+        return 0
+    sim_rows = b.sim[mem] & vertices
+    simdeg = bitops.row_popcounts(sim_rows)
+
+    # Greedy colouring in (degree desc, id asc) order — the canonical
+    # order of repro.graph.coloring.greedy_coloring.
+    order = np.lexsort((mem, -simdeg))
+    colors = np.full(b.n, -1, dtype=np.int64)
+    n_colors = 0
+    for pos in order:
+        nb = bitops.members(sim_rows[pos])
+        used = colors[nb]
+        used = set(used[used >= 0].tolist())
+        c = 0
+        while c in used:
+            c += 1
+        colors[mem[pos]] = c
+        if c + 1 > n_colors:
+            n_colors = c + 1
+
+    kcore = _max_core_bits(b, vertices, mem, simdeg.copy()) + 1
+    return min(n_colors, kcore, n_m)
+
+
+def _max_core_bits(
+    b: BitsetComponentContext,
+    vertices: np.ndarray,
+    mem: np.ndarray,
+    deg: np.ndarray,
+) -> int:
+    """Largest ``k`` with a non-empty k-core of ``J'`` (bucket peeling)."""
+    n_m = int(mem.size)
+    degree = np.full(b.n, -1, dtype=np.int64)
+    degree[mem] = deg
+    max_deg = int(deg.max())
+    bins: List[List[int]] = [[] for _ in range(max_deg + 1)]
+    for i, u in enumerate(mem.tolist()):
+        bins[int(deg[i])].append(u)
+    processed = np.zeros(b.n, dtype=bool)
+    done = 0
+    current = 0
+    d = 0
+    while done < n_m:
+        while d <= max_deg and not bins[d]:
+            d += 1
+        u = bins[d].pop()
+        if processed[u] or degree[u] != d:
+            continue
+        if d > current:
+            current = d
+        processed[u] = True
+        done += 1
+        nb = bitops.members(b.sim[u] & vertices)
+        nb = nb[~processed[nb] & (degree[nb] > current)]
+        if nb.size:
+            degree[nb] -= 1
+            for v in nb.tolist():
+                bins[int(degree[v])].append(v)
+            low = int(degree[nb].min())
+            if low < d:
+                d = low
+    return current
+
+
+def kk_prime_bound_bits(
+    b: BitsetComponentContext, ctx: ComponentContext, vertices: np.ndarray
+) -> int:
+    """Packed Algorithm 6: the simultaneous (k, k')-core peel.
+
+    Same structure as :func:`kk_prime_bound` with the per-removal
+    neighbourhood walks replaced by masked row gathers; ``k'max`` is the
+    (order-independent) largest ``k'`` whose (k, k')-core is non-empty,
+    so both implementations return the same bound.
+    """
+    n = bitops.popcount(vertices)
+    if n == 0:
+        return 0
+    k = ctx.k
+    alive = vertices.copy()
+    mem = bitops.members(alive)
+    deg = np.zeros(b.n, dtype=np.int64)
+    degsim = np.zeros(b.n, dtype=np.int64)
+    deg[mem] = bitops.row_popcounts(b.nbr[mem] & alive)
+    degsim[mem] = bitops.row_popcounts(b.sim[mem] & alive)
+
+    buckets: List[List[int]] = [[] for _ in range(n)]
+    for u in mem.tolist():
+        buckets[int(degsim[u])].append(u)
+
+    kprime = 0
+    d = 0
+    remaining = n
+    while remaining:
+        while d < n and not buckets[d]:
+            d += 1
+        if d >= n:
+            break
+        u = buckets[d].pop()
+        if not _test_bit(alive, u) or degsim[u] != d:
+            continue  # stale bucket entry
+        if d > kprime:
+            kprime = d
+
+        bitops.clear_bits(alive, np.array([u], dtype=np.int64))
+        remaining -= 1
+        queue = [u]
+        while queue:
+            w = queue.pop()
+            sim_nbrs = bitops.members(b.sim[w] & alive)
+            upd = sim_nbrs[degsim[sim_nbrs] > kprime]
+            if upd.size:
+                degsim[upd] -= 1
+                for v in upd.tolist():
+                    buckets[int(degsim[v])].append(v)
+                low = int(degsim[upd].min())
+                if low < d:
+                    d = low
+            struct_nbrs = bitops.members(b.nbr[w] & alive)
+            if struct_nbrs.size:
+                deg[struct_nbrs] -= 1
+                evict = struct_nbrs[deg[struct_nbrs] < k]
+                if evict.size:
+                    bitops.clear_bits(alive, evict)
+                    remaining -= int(evict.size)
+                    queue.extend(evict.tolist())
+    return min(kprime + 1, n)
+
+
+_BOUND_FNS_BITS = {
+    "color-kcore": color_kcore_bound_bits,
+    "kkprime": kk_prime_bound_bits,
+}
+
+
+def compute_bound_bits(
+    b: BitsetComponentContext,
+    ctx: ComponentContext,
+    M: np.ndarray,
+    C: np.ndarray,
+) -> int:
+    """Mask-space :func:`compute_bound` — same values, same stats."""
+    vertices = M | C
+    cheap = bitops.popcount(vertices)
+    name = ctx.config.bound
+    if name == "naive" or cheap == 0:
+        return cheap
+    ctx.stats.bound_calls += 1
+    tight = _BOUND_FNS_BITS[name](b, ctx, vertices)
+    return min(cheap, tight)
 
 
 def compute_bound(ctx: ComponentContext, M: Set[int], C: Set[int]) -> int:

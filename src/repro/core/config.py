@@ -19,7 +19,7 @@ Every technique of the paper is a flag here, so the benchmark ablations
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.exceptions import InvalidParameterError

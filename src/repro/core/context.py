@@ -4,13 +4,26 @@ A :class:`ComponentContext` bundles everything the branch-and-bound
 engines need about one connected k-core component: the similar-edge
 adjacency, the dissimilarity index, ``k``, the configuration, the stats
 sink, and the time/node budget shared across components.
+
+:class:`BitsetComponentContext` is the packed companion the bitset
+engine backend (``SearchConfig.backend == "csr"``) searches over: the
+component's vertices renumbered to dense local ids and its similar /
+dissimilar neighbourhoods packed into ``uint64`` bitmask matrices, so
+the engines replace Python set algebra with vectorised AND + popcount
+kernels (see :mod:`repro.core.bitops`).  It is built lazily once per
+component via :func:`bitset_context` and cached — on the
+:class:`ComponentContext` for one-shot solves and on the session's
+prepared components across queries.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, FrozenSet, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Set
 
+import numpy as np
+
+from repro.core import bitops
 from repro.core.config import SearchConfig
 from repro.core.stats import SearchStats
 from repro.exceptions import SearchBudgetExceeded
@@ -60,7 +73,7 @@ class ComponentContext:
 
     __slots__ = (
         "vertices", "adj", "index", "k", "config", "stats", "budget", "rng",
-        "csr",
+        "csr", "bitset",
     )
 
     def __init__(
@@ -74,6 +87,7 @@ class ComponentContext:
         budget: Budget,
         rng,
         csr=None,
+        bitset: Optional["BitsetComponentContext"] = None,
     ):
         self.vertices = vertices
         self.adj = adj
@@ -84,6 +98,7 @@ class ComponentContext:
         self.budget = budget
         self.rng = rng
         self.csr = csr
+        self.bitset = bitset
 
     def enter_node(self) -> None:
         """Account one search-tree node against stats and budget."""
@@ -101,3 +116,114 @@ class ComponentContext:
         for u in within:
             total += len(self.adj[u] & within)
         return total // 2
+
+
+#: Largest component the engines will pack into bitmask form.  The
+#: packed state costs three dense ``(n, ceil(n/64))`` uint64 matrices
+#: (~``3 n^2 / 8`` bytes): at this cap that is ~150 MB, beyond it the
+#: quadratic memory would dwarf the O(m) set engines' footprint, so the
+#: dispatch falls back to the (result-identical) set-based engines.
+BITSET_VERTEX_LIMIT = 20_000
+
+
+class BitsetComponentContext:
+    """One component packed into ``uint64`` bitmask form.
+
+    Attributes
+    ----------
+    verts:
+        Sorted original vertex ids; local id ``i`` is ``verts[i]``, so
+        ascending local order equals ascending original order (the
+        tie-break every deterministic vertex choice relies on).
+    nbr:
+        ``(n, words)`` mask matrix; row ``i`` packs the *similar-edge*
+        neighbours of local vertex ``i``.
+    dis:
+        ``(n, words)`` mask matrix; row ``i`` packs the vertices
+        dissimilar to local vertex ``i`` (the packed
+        :class:`~repro.similarity.index.DissimilarityIndex`).
+    sim:
+        ``(n, words)`` mask matrix of the similarity graph ``J'`` —
+        ``full & ~dis & ~self`` — used by the Section 6 bounds.
+    full:
+        The component mask (all ``n`` bits set).
+    """
+
+    __slots__ = ("n", "words", "verts", "local", "nbr", "dis", "sim", "full")
+
+    def __init__(
+        self,
+        vertices: FrozenSet[int],
+        adj: Dict[int, Set[int]],
+        index: DissimilarityIndex,
+    ):
+        verts = np.array(sorted(vertices), dtype=np.int64)
+        n = int(verts.size)
+        words = bitops.word_count(n)
+        local = {int(v): i for i, v in enumerate(verts.tolist())}
+        nbr = np.zeros((n, words), dtype=np.uint64)
+        dis = np.zeros((n, words), dtype=np.uint64)
+        for i, u in enumerate(verts.tolist()):
+            row = np.fromiter(
+                (local[v] for v in adj[u]), dtype=np.int64,
+                count=len(adj[u]),
+            )
+            if row.size:
+                nbr[i] = bitops.mask_from_indices(row, words)
+            dpartners = index.dissimilar_to(u) & vertices
+            row = np.fromiter(
+                (local[v] for v in dpartners), dtype=np.int64,
+                count=len(dpartners),
+            )
+            if row.size:
+                dis[i] = bitops.mask_from_indices(row, words)
+        self.n = n
+        self.words = words
+        self.verts = verts
+        self.local = local
+        self.nbr = nbr
+        self.dis = dis
+        self.full = bitops.mask_from_indices(np.arange(n, dtype=np.int64), words)
+        sim = (~dis) & self.full
+        for i in range(n):
+            sim[i, i >> 6] &= ~(np.uint64(1) << np.uint64(i & 63))
+        self.sim = sim
+
+    # -- conversions ----------------------------------------------------
+    def zeros(self) -> np.ndarray:
+        """A fresh empty mask of this component's width."""
+        return bitops.zeros(self.words)
+
+    def mask_of(self, vertices) -> np.ndarray:
+        """Pack an iterable of *original* vertex ids into a mask."""
+        local = self.local
+        idx = np.fromiter((local[v] for v in vertices), dtype=np.int64)
+        return bitops.mask_from_indices(idx, self.words)
+
+    def to_vertices(self, mask: np.ndarray) -> FrozenSet[int]:
+        """Unpack a mask back to a frozenset of original vertex ids."""
+        return frozenset(self.verts[bitops.members(mask)].tolist())
+
+    def original_ids(self, mask: np.ndarray) -> List[int]:
+        """Ascending original ids of a mask's members."""
+        return self.verts[bitops.members(mask)].tolist()
+
+
+def bitset_context(ctx: ComponentContext) -> BitsetComponentContext:
+    """The (lazily built, cached) packed form of ``ctx``'s component."""
+    if ctx.bitset is None:
+        ctx.bitset = BitsetComponentContext(ctx.vertices, ctx.adj, ctx.index)
+    return ctx.bitset
+
+
+def use_bitset_engine(ctx: ComponentContext) -> bool:
+    """Whether this component should run on the bitset engine.
+
+    True on the ``"csr"`` backend for components within
+    :data:`BITSET_VERTEX_LIMIT` (both engines return identical results;
+    only the representation — and its memory/speed profile — differs).
+    """
+    return (
+        ctx.config.backend == "csr"
+        and len(ctx.vertices) <= BITSET_VERTEX_LIMIT
+    )

@@ -6,6 +6,20 @@ which techniques fire (see Table 2).  Frames on the explicit DFS stack
 carry private ``(M, C, E)`` copies plus the vertex just expanded (so
 pruning knows which similarity evictions to run).
 
+Two interchangeable implementations exist, selected by
+``SearchConfig.backend``:
+
+* ``"python"`` — the original set-based reference engine
+  (:func:`_enumerate_component_sets`), kept as the readable spec;
+* ``"csr"`` — the bitset engine (:func:`_enumerate_component_bits`):
+  ``M``/``C``/``E`` are packed ``uint64`` masks over component-local ids
+  and every per-node operation (Theorem 2/3 pruning, ``SF(C)``, the
+  Theorem 5/6 checks, the Δ orders) runs as vectorised AND + popcount
+  kernels (:mod:`repro.core.bitops`).  The bitset engine mirrors the
+  reference decision-for-decision — same branching vertices, same
+  traversal, same stats counters, same emissions — it only represents
+  the state differently.
+
 Leaf / emission semantics
 -------------------------
 * with candidate retention (Theorem 4): a node where ``C == SF(C)``
@@ -23,16 +37,29 @@ from __future__ import annotations
 
 from typing import FrozenSet, List, Optional, Set, Tuple
 
-from repro.core.context import ComponentContext
-from repro.core.maximal_check import is_maximal
-from repro.core.orders import make_order
+import numpy as np
+
+from repro.core import bitops
+from repro.core.context import (
+    ComponentContext,
+    bitset_context,
+    use_bitset_engine,
+)
+from repro.core.maximal_check import is_maximal, is_maximal_bits
+from repro.core.orders import make_order, make_order_bits
 from repro.core.pruning import (
     apply_pruning,
+    apply_pruning_bits,
     move_similarity_free_into_m,
+    move_similarity_free_into_m_bits,
+    similarity_free_bits,
     similarity_free_set,
 )
 from repro.core.results import filter_maximal
-from repro.core.termination import should_terminate_early
+from repro.core.termination import (
+    should_terminate_early,
+    should_terminate_early_bits,
+)
 from repro.graph.components import connected_components
 
 Frame = Tuple[Set[int], Set[int], Set[int], Optional[int]]
@@ -41,10 +68,21 @@ Frame = Tuple[Set[int], Set[int], Set[int], Optional[int]]
 def enumerate_component(ctx: ComponentContext) -> List[FrozenSet[int]]:
     """All maximal (k,r)-cores inside one k-core component.
 
-    Returns frozensets of vertex ids.  May raise
+    Dispatches on ``ctx.config.backend`` (``"csr"`` → bitset engine,
+    ``"python"`` → set-based reference); components beyond
+    :data:`~repro.core.context.BITSET_VERTEX_LIMIT` stay on the set
+    engine, whose memory is O(m) rather than O(n²/8).  Returns
+    frozensets of vertex ids.  May raise
     :class:`~repro.exceptions.SearchBudgetExceeded`; the solver layer
     handles the ``on_budget="partial"`` policy.
     """
+    if use_bitset_engine(ctx):
+        return _enumerate_component_bits(ctx)
+    return _enumerate_component_sets(ctx)
+
+
+def _enumerate_component_sets(ctx: ComponentContext) -> List[FrozenSet[int]]:
+    """The set-based reference engine."""
     cfg = ctx.config
     order = make_order(cfg.order, cfg.lam, ctx.rng)
     track_e = cfg.needs_excluded_set
@@ -114,3 +152,90 @@ def _emit(
                 confirmed.append(frozenset(piece))
         else:
             candidates.append(frozenset(piece))
+
+
+# ----------------------------------------------------------------------
+# Bitset engine
+# ----------------------------------------------------------------------
+
+BitFrame = Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[int]]
+
+
+def _enumerate_component_bits(ctx: ComponentContext) -> List[FrozenSet[int]]:
+    """The packed-bitmask engine (same traversal as the reference)."""
+    b = bitset_context(ctx)
+    cfg = ctx.config
+    order = make_order_bits(cfg.order, cfg.lam, ctx.rng)
+    track_e = cfg.needs_excluded_set
+    search_check = cfg.maximal_check == "search"
+
+    confirmed: List[FrozenSet[int]] = []
+    candidates: List[FrozenSet[int]] = []
+
+    stack: List[BitFrame] = [(b.zeros(), b.full.copy(), b.zeros(), None)]
+    while stack:
+        M, C, E, expanded = stack.pop()
+        ctx.enter_node()
+
+        if not apply_pruning_bits(b, ctx, M, C, E, expanded, track_e):
+            continue
+        if cfg.early_termination and should_terminate_early_bits(
+            b, ctx, M, C, E
+        ):
+            continue
+
+        if cfg.retain_candidates:
+            sf = similarity_free_bits(b, C)
+            if cfg.move_similarity_free and sf.any():
+                move_similarity_free_into_m_bits(b, ctx, M, C, E, sf, track_e)
+            n_sf = bitops.popcount(sf)  # after Remark-1 moves, like the spec
+            if n_sf:
+                ctx.stats.retained += n_sf
+            if bitops.equal(C, sf):
+                _emit_bits(
+                    ctx, b, M | C, E, search_check, confirmed, candidates
+                )
+                continue
+            pool = C & ~sf
+        else:
+            if not C.any():
+                if M.any():
+                    _emit_bits(
+                        ctx, b, M.copy(), E, search_check,
+                        confirmed, candidates,
+                    )
+                continue
+            pool = C
+
+        u, _branch = order.choose(b, ctx, M, C, pool)
+        ubit = bitops.single_bit(u, b.words)
+        stack.append(
+            (M.copy(), C & ~ubit, (E | ubit) if track_e else E, None)
+        )
+        stack.append((M | ubit, C & ~ubit, E.copy(), u))
+
+    if search_check:
+        return confirmed
+    return filter_maximal(candidates)
+
+
+def _emit_bits(
+    ctx: ComponentContext,
+    b,
+    core_mask: np.ndarray,
+    E: np.ndarray,
+    search_check: bool,
+    confirmed: List[FrozenSet[int]],
+    candidates: List[FrozenSet[int]],
+) -> None:
+    """Mask-space :func:`_emit`: same pieces, same order, same checks."""
+    if not core_mask.any():
+        return
+    for piece in bitops.component_masks(b.nbr, core_mask):
+        ctx.stats.cores_emitted += 1
+        if search_check:
+            pool = E | (core_mask & ~piece)
+            if is_maximal_bits(b, ctx, piece, pool):
+                confirmed.append(b.to_vertices(piece))
+        else:
+            candidates.append(b.to_vertices(piece))

@@ -24,10 +24,13 @@ short-sighted greedy of Section 7.4).
 
 from __future__ import annotations
 
-from typing import List, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
-from repro.core.context import ComponentContext
-from repro.core.orders import choose_check_vertex
+import numpy as np
+
+from repro.core import bitops
+from repro.core.context import BitsetComponentContext, ComponentContext
+from repro.core.orders import choose_check_vertex, choose_check_vertex_bits
 from repro.graph.components import component_of, is_connected
 from repro.graph.kcore import anchored_k_core
 
@@ -144,3 +147,108 @@ def _is_valid_extension(
         if len(adj[u] & full) < k:
             return False
     return is_connected({u: adj[u] & full for u in full})
+
+
+# ----------------------------------------------------------------------
+# Bitset counterparts (the csr engine backend; see core/bitops.py)
+# ----------------------------------------------------------------------
+
+def is_maximal_bits(
+    b: BitsetComponentContext,
+    ctx: ComponentContext,
+    core: np.ndarray,
+    excluded: np.ndarray,
+) -> bool:
+    """Mask-space :func:`is_maximal` — the same extension search.
+
+    ``core`` and ``excluded`` are masks; frames carry mask copies.  The
+    traversal mirrors the set-based check decision-for-decision, so both
+    engines confirm exactly the same emissions.
+    """
+    ctx.stats.maximal_checks += 1
+
+    # Only vertices similar to every member of R can join a superset core.
+    mem = bitops.members(excluded)
+    if mem.size:
+        clean = bitops.row_popcounts(b.dis[mem] & core) == 0
+        pool = bitops.mask_from_indices(mem[clean], b.words)
+    else:
+        pool = b.zeros()
+    if not pool.any():
+        return True
+
+    stack: List[Tuple[np.ndarray, np.ndarray]] = [(b.zeros(), pool)]
+    while stack:
+        added, cands = stack.pop()
+        ctx.enter_check_node()
+
+        state = _prune_check_node_bits(b, ctx, core, added, cands)
+        if state is None:
+            continue  # dead branch
+        cands = state
+
+        cmem = bitops.members(cands)
+        if cmem.size:
+            clean = bitops.row_popcounts(b.dis[cmem] & cands) == 0
+            sf = bitops.mask_from_indices(cmem[clean], b.words)
+        else:
+            sf = b.zeros()
+        if bitops.equal(cands, sf):
+            if added.any() or cands.any():
+                return False  # strictly larger (k,r)-core exists
+            continue
+
+        if added.any() and _is_valid_extension_bits(b, ctx, core, added):
+            return False
+
+        u = choose_check_vertex_bits(b, ctx, core | added, cands & ~sf)
+        ubit = bitops.single_bit(u, b.words)
+        # Shrink branch (explored second — pushed first).
+        stack.append((added.copy(), cands & ~ubit))
+        # Expand branch: adding u evicts candidates dissimilar to it.
+        stack.append((added | ubit, (cands & ~ubit) & ~b.dis[u]))
+    return True
+
+
+def _prune_check_node_bits(
+    b: BitsetComponentContext,
+    ctx: ComponentContext,
+    core: np.ndarray,
+    added: np.ndarray,
+    cands: np.ndarray,
+) -> Optional[np.ndarray]:
+    """Peel + connectivity-restrict a check node (mask space)."""
+    k = ctx.k
+    seed = bitops.first_member(core)
+    while True:
+        survivors = bitops.anchored_kcore_mask(b.nbr, k, cands | added, core)
+        if not bitops.is_subset(added, survivors):
+            return None
+        cands = survivors & ~added
+        full = core | added | cands
+        comp = bitops.reach_mask(
+            b.nbr, bitops.single_bit(seed, b.words), full
+        )
+        if not bitops.is_subset(added, comp):
+            return None
+        outside = cands & ~comp
+        if not outside.any():
+            return cands
+        cands = cands & comp
+
+
+def _is_valid_extension_bits(
+    b: BitsetComponentContext,
+    ctx: ComponentContext,
+    core: np.ndarray,
+    added: np.ndarray,
+) -> bool:
+    """Whether ``core ∪ added`` is a (k,r)-core (mask space)."""
+    full = core | added
+    mem = bitops.members(added)
+    if np.any(bitops.row_popcounts(b.nbr[mem] & full) < ctx.k):
+        return False
+    comp = bitops.reach_mask(
+        b.nbr, bitops.single_bit(bitops.first_member(full), b.words), full
+    )
+    return bitops.equal(comp, full)

@@ -7,6 +7,12 @@ and an *adaptive branch order* — the preferred branch of the chosen
 vertex (per the λΔ1−Δ2 score) is explored first so a large core is found
 early and the bound starts cutting.
 
+Like the enumeration engine, two interchangeable implementations exist,
+selected by ``SearchConfig.backend``: the set-based reference
+(``"python"``) and the packed-bitmask engine (``"csr"``), which mirrors
+it decision-for-decision — the bounds are order-independent peels and
+the orders break ties canonically, so both return the same core.
+
 The engine processes components largest-max-degree first (the paper
 starts "from the subgraph which holds the vertex with the highest
 degree") and skips any component no larger than the best core found.
@@ -16,16 +22,29 @@ from __future__ import annotations
 
 from typing import FrozenSet, List, Optional, Set, Tuple
 
-from repro.core.bounds import compute_bound
-from repro.core.context import ComponentContext
+import numpy as np
+
+from repro.core import bitops
+from repro.core.bounds import compute_bound, compute_bound_bits
+from repro.core.context import (
+    ComponentContext,
+    bitset_context,
+    use_bitset_engine,
+)
 from repro.core.heuristics import greedy_core_in_component
-from repro.core.orders import EXPAND, make_order
+from repro.core.orders import EXPAND, make_order, make_order_bits
 from repro.core.pruning import (
     apply_pruning,
+    apply_pruning_bits,
     move_similarity_free_into_m,
+    move_similarity_free_into_m_bits,
+    similarity_free_bits,
     similarity_free_set,
 )
-from repro.core.termination import should_terminate_early
+from repro.core.termination import (
+    should_terminate_early,
+    should_terminate_early_bits,
+)
 from repro.graph.components import connected_components
 
 Frame = Tuple[Set[int], Set[int], Set[int], Optional[int]]
@@ -37,10 +56,23 @@ def find_maximum_in_component(
 ) -> Optional[FrozenSet[int]]:
     """Largest (k,r)-core in one component, seeded with a global best.
 
-    Returns the best core found (which may be the seed itself) or
-    ``None`` when the component holds no (k,r)-core and no seed was
-    given.
+    Dispatches on ``ctx.config.backend`` (``"csr"`` → bitset engine,
+    ``"python"`` → set-based reference); components beyond
+    :data:`~repro.core.context.BITSET_VERTEX_LIMIT` stay on the set
+    engine, whose memory is O(m) rather than O(n²/8).  Returns the best
+    core found (which may be the seed itself) or ``None`` when the
+    component holds no (k,r)-core and no seed was given.
     """
+    if use_bitset_engine(ctx):
+        return _find_maximum_bits(ctx, best_so_far)
+    return _find_maximum_sets(ctx, best_so_far)
+
+
+def _find_maximum_sets(
+    ctx: ComponentContext,
+    best_so_far: Optional[FrozenSet[int]] = None,
+) -> Optional[FrozenSet[int]]:
+    """The set-based reference engine."""
     cfg = ctx.config
     order = make_order(cfg.order, cfg.lam, ctx.rng)
     track_e = cfg.needs_excluded_set
@@ -104,6 +136,95 @@ def find_maximum_in_component(
         expand_frame: Frame = (M | {u}, C - {u}, set(E), u)
         shrink_frame: Frame = (
             set(M), C - {u}, (E | {u}) if track_e else E, None,
+        )
+        # LIFO: push the non-preferred branch first.
+        if preferred == EXPAND:
+            stack.append(shrink_frame)
+            stack.append(expand_frame)
+        else:
+            stack.append(expand_frame)
+            stack.append(shrink_frame)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Bitset engine
+# ----------------------------------------------------------------------
+
+BitFrame = Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[int]]
+
+
+def _find_maximum_bits(
+    ctx: ComponentContext,
+    best_so_far: Optional[FrozenSet[int]] = None,
+) -> Optional[FrozenSet[int]]:
+    """The packed-bitmask engine (same traversal as the reference)."""
+    b = bitset_context(ctx)
+    cfg = ctx.config
+    order = make_order_bits(cfg.order, cfg.lam, ctx.rng)
+    track_e = cfg.needs_excluded_set
+    branch_mode = cfg.branch
+
+    best: Optional[FrozenSet[int]] = best_so_far
+    best_size = len(best) if best else 0
+
+    if cfg.warm_start and best_size < len(ctx.vertices):
+        # The greedy warm start runs once per component and is already
+        # deterministic; its result seeds the bound identically.
+        seed_core = greedy_core_in_component(ctx)
+        if seed_core is not None and len(seed_core) > best_size:
+            best = seed_core
+            best_size = len(seed_core)
+
+    stack: List[BitFrame] = [(b.zeros(), b.full.copy(), b.zeros(), None)]
+    while stack:
+        M, C, E, expanded = stack.pop()
+        ctx.enter_node()
+
+        if bitops.popcount(M | C) <= best_size:
+            ctx.stats.bound_pruned += 1
+            continue
+
+        if not apply_pruning_bits(b, ctx, M, C, E, expanded, track_e):
+            continue
+        if cfg.early_termination and should_terminate_early_bits(
+            b, ctx, M, C, E
+        ):
+            continue
+
+        if bitops.popcount(M | C) <= best_size:
+            ctx.stats.bound_pruned += 1
+            continue
+        if cfg.bound != "naive":
+            if compute_bound_bits(b, ctx, M, C) <= best_size:
+                ctx.stats.bound_pruned += 1
+                continue
+
+        sf = similarity_free_bits(b, C)
+        if cfg.move_similarity_free and sf.any():
+            move_similarity_free_into_m_bits(b, ctx, M, C, E, sf, track_e)
+        n_sf = bitops.popcount(sf)  # after Remark-1 moves, like the spec
+        if n_sf:
+            ctx.stats.retained += n_sf
+        if bitops.equal(C, sf):
+            for piece in bitops.component_masks(b.nbr, M | C):
+                ctx.stats.cores_emitted += 1
+                size = bitops.popcount(piece)
+                if size > best_size:
+                    best = b.to_vertices(piece)
+                    best_size = size
+            continue
+
+        u, preferred = order.choose(b, ctx, M, C, C & ~sf)
+        if branch_mode == "expand":
+            preferred = EXPAND
+        elif branch_mode == "shrink":
+            preferred = "shrink"
+
+        ubit = bitops.single_bit(u, b.words)
+        expand_frame: BitFrame = (M | ubit, C & ~ubit, E.copy(), u)
+        shrink_frame: BitFrame = (
+            M.copy(), C & ~ubit, (E | ubit) if track_e else E, None,
         )
         # LIFO: push the non-preferred branch first.
         if preferred == EXPAND:

@@ -30,9 +30,12 @@ recursive prune would cost a full child evaluation per candidate.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Set, Tuple
+from typing import Set, Tuple
 
-from repro.core.context import ComponentContext
+import numpy as np
+
+from repro.core import bitops
+from repro.core.context import BitsetComponentContext, ComponentContext
 from repro.exceptions import InvalidParameterError
 
 EXPAND = "expand"
@@ -229,6 +232,210 @@ def make_order(
     if name == "weighted-delta":
         return WeightedDeltaOrder(lam)
     raise InvalidParameterError(f"unknown order {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Bitset counterparts (the csr engine backend; see core/bitops.py)
+#
+# Every strategy reproduces the set-based choice *exactly*: scores are
+# the same integers divided/combined with the same float64 operations,
+# candidates are scanned in ascending original-id order (local ids are
+# ascending original ids by construction), and ties keep the first
+# maximum — the behaviour of the reference's strictly-greater scan.
+# ----------------------------------------------------------------------
+
+#: Pool-row expansions above this many byte cells are chunked.
+_DELTA_CHUNK_CELLS = 8_000_000
+
+
+class BitsetNodeMeasures:
+    """Packed :class:`NodeMeasures`: per-vertex DP / degree vectors."""
+
+    __slots__ = ("mc", "dp_vec", "deg_vec", "dp_c", "edges_mc")
+
+    def __init__(self, b: BitsetComponentContext, M: np.ndarray, C: np.ndarray):
+        self.mc = M | C
+        dp_vec = np.zeros(b.n, dtype=np.float64)
+        deg_vec = np.zeros(b.n, dtype=np.float64)
+        mem_c = bitops.members(C)
+        if mem_c.size:
+            dp_vec[mem_c] = bitops.row_popcounts(b.dis[mem_c] & C)
+        mem_mc = bitops.members(self.mc)
+        if mem_mc.size:
+            deg_vec[mem_mc] = bitops.row_popcounts(b.nbr[mem_mc] & self.mc)
+        self.dp_vec = dp_vec
+        self.deg_vec = deg_vec
+        self.dp_c = int(dp_vec.sum()) // 2
+        self.edges_mc = int(deg_vec.sum()) // 2
+
+
+def _deltas_bits(
+    b: BitsetComponentContext,
+    C: np.ndarray,
+    meas: BitsetNodeMeasures,
+    pool_mem: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Δ arrays for every pool member (ascending local-id order).
+
+    The per-candidate eviction sums become one ``(pool, n)`` bit
+    expansion matmul against the stacked DP/degree vectors — integers
+    throughout, so the float divisions below match the scalar path
+    bit-for-bit.
+    """
+    dp = float(meas.dp_c)
+    em = float(meas.edges_mc)
+    scores = np.stack([meas.dp_vec, meas.deg_vec], axis=1)
+    P = pool_mem.size
+    ep = np.empty(P, dtype=np.float64)
+    ee = np.empty(P, dtype=np.float64)
+    chunk = max(1, _DELTA_CHUNK_CELLS // max(1, b.n))
+    for start in range(0, P, chunk):
+        block = pool_mem[start:start + chunk]
+        rows = bitops.bit_rows(b.dis[block] & C, b.n).astype(np.float64)
+        sums = rows @ scores
+        ep[start:start + block.size] = sums[:, 0]
+        ee[start:start + block.size] = sums[:, 1]
+    sp = meas.dp_vec[pool_mem]
+    se = meas.deg_vec[pool_mem]
+    if dp:
+        d1e, d1s = ep / dp, sp / dp
+    else:
+        d1e = np.zeros(P)
+        d1s = np.zeros(P)
+    if em:
+        d2e, d2s = ee / em, se / em
+    else:
+        d2e = np.zeros(P)
+        d2s = np.zeros(P)
+    return d1e, d2e, d1s, d2s
+
+
+def _first_lexmax(a: np.ndarray, b_arr: np.ndarray) -> int:
+    """Index of the first lexicographic maximum of ``(a, b)`` pairs."""
+    idxs = np.nonzero(a == a.max())[0]
+    return int(idxs[np.argmax(b_arr[idxs])])
+
+
+class BitsetVertexOrder:
+    """Strategy interface over masks; returns a *local* id + branch."""
+
+    def choose(
+        self,
+        b: BitsetComponentContext,
+        ctx: ComponentContext,
+        M: np.ndarray,
+        C: np.ndarray,
+        pool: np.ndarray,
+    ) -> Tuple[int, str]:
+        raise NotImplementedError
+
+
+class BitsetRandomOrder(BitsetVertexOrder):
+    """Uniform random — consumes the rng exactly like :class:`RandomOrder`."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+
+    def choose(self, b, ctx, M, C, pool):
+        pool_orig = b.verts[bitops.members(pool)].tolist()
+        return b.local[self._rng.choice(pool_orig)], EXPAND
+
+
+class BitsetDegreeOrder(BitsetVertexOrder):
+    """Highest degree in ``M ∪ C``; ties to the smallest vertex id."""
+
+    def choose(self, b, ctx, M, C, pool):
+        mc = M | C
+        mem = bitops.members(pool)
+        deg = bitops.row_popcounts(b.nbr[mem] & mc)
+        return int(mem[np.argmax(deg)]), EXPAND
+
+
+class BitsetDelta1Order(BitsetVertexOrder):
+    def choose(self, b, ctx, M, C, pool):
+        mem = bitops.members(pool)
+        meas = BitsetNodeMeasures(b, M, C)
+        d1e, _, d1s, _ = _deltas_bits(b, C, meas, mem)
+        return int(mem[np.argmax(d1e + d1s)]), EXPAND
+
+
+class BitsetDelta2Order(BitsetVertexOrder):
+    def choose(self, b, ctx, M, C, pool):
+        mem = bitops.members(pool)
+        meas = BitsetNodeMeasures(b, M, C)
+        _, d2e, _, d2s = _deltas_bits(b, C, meas, mem)
+        return int(mem[np.argmax(-(d2e + d2s))]), EXPAND
+
+
+class BitsetDelta1ThenDelta2Order(BitsetVertexOrder):
+    def choose(self, b, ctx, M, C, pool):
+        mem = bitops.members(pool)
+        meas = BitsetNodeMeasures(b, M, C)
+        d1e, d2e, d1s, d2s = _deltas_bits(b, C, meas, mem)
+        return int(mem[_first_lexmax(d1e + d1s, -(d2e + d2s))]), EXPAND
+
+
+class BitsetWeightedDeltaOrder(BitsetVertexOrder):
+    def __init__(self, lam: float):
+        if lam < 0:
+            raise InvalidParameterError(f"lambda must be >= 0, got {lam}")
+        self._lam = lam
+
+    def choose(self, b, ctx, M, C, pool):
+        mem = bitops.members(pool)
+        meas = BitsetNodeMeasures(b, M, C)
+        d1e, d2e, d1s, d2s = _deltas_bits(b, C, meas, mem)
+        score_e = self._lam * d1e - d2e
+        score_s = self._lam * d1s - d2s
+        j = int(np.argmax(np.maximum(score_e, score_s)))
+        branch = EXPAND if score_e[j] >= score_s[j] else SHRINK
+        return int(mem[j]), branch
+
+
+def make_order_bits(
+    name: str, lam: float, rng: random.Random
+) -> BitsetVertexOrder:
+    """Bitset twin of :func:`make_order` (same spellings, same rng use)."""
+    if name == "random":
+        return BitsetRandomOrder(rng)
+    if name == "degree":
+        return BitsetDegreeOrder()
+    if name == "delta1":
+        return BitsetDelta1Order()
+    if name == "delta2":
+        return BitsetDelta2Order()
+    if name == "delta1-then-delta2":
+        return BitsetDelta1ThenDelta2Order()
+    if name == "weighted-delta":
+        return BitsetWeightedDeltaOrder(lam)
+    raise InvalidParameterError(f"unknown order {name!r}")
+
+
+def choose_check_vertex_bits(
+    b: BitsetComponentContext,
+    ctx: ComponentContext,
+    base: np.ndarray,
+    cands: np.ndarray,
+) -> int:
+    """Mask-space :func:`choose_check_vertex` (returns a local id)."""
+    name = ctx.config.check_order
+    mem = bitops.members(cands)
+    if name == "random":
+        return b.local[ctx.rng.choice(b.verts[mem].tolist())]
+    if name in ("delta1", "delta1-then-delta2"):
+        dp = bitops.row_popcounts(b.dis[mem] & cands)
+        return int(mem[np.argmax(dp)])
+    full = base | cands
+    deg = bitops.row_popcounts(b.nbr[mem] & full)
+    if name == "degree":
+        return int(mem[np.argmax(deg)])
+    if name == "delta2":
+        return int(mem[np.argmin(deg)])
+    if name == "weighted-delta":
+        lam = ctx.config.lam
+        dp = bitops.row_popcounts(b.dis[mem] & cands)
+        return int(mem[np.argmax(lam * dp.astype(np.float64) - deg)])
+    raise InvalidParameterError(f"unknown check order {name!r}")
 
 
 def choose_check_vertex(

@@ -25,7 +25,10 @@ from __future__ import annotations
 
 from typing import Optional, Set
 
-from repro.core.context import ComponentContext
+import numpy as np
+
+from repro.core import bitops
+from repro.core.context import BitsetComponentContext, ComponentContext
 from repro.graph.components import component_containing_all
 from repro.graph.kcore import k_core_vertices
 
@@ -147,3 +150,114 @@ def move_similarity_free_into_m(
                     E -= index.dissimilar_to(u)
                 ctx.stats.moved_similarity_free += 1
                 moved_any = True
+
+
+# ----------------------------------------------------------------------
+# Bitset counterparts (the csr engine backend; see core/bitops.py)
+# ----------------------------------------------------------------------
+
+def apply_pruning_bits(
+    b: BitsetComponentContext,
+    ctx: ComponentContext,
+    M: np.ndarray,
+    C: np.ndarray,
+    E: np.ndarray,
+    expanded: Optional[int] = None,
+    track_excluded: bool = True,
+) -> bool:
+    """Mask-space :func:`apply_pruning` — identical decisions and stats.
+
+    ``M``/``C``/``E`` are mutated in place (each frame owns its copies,
+    exactly like the set-based engine); ``expanded`` is a *local* id.
+    """
+    stats = ctx.stats
+
+    if expanded is not None:
+        # Theorem 3: evict candidates dissimilar to the chosen vertex.
+        dissim_u = b.dis[expanded]
+        drop = bitops.popcount(C & dissim_u)
+        if drop:
+            np.bitwise_and(C, ~dissim_u, out=C)
+            stats.similarity_pruned += drop
+        if track_excluded and E.any():
+            np.bitwise_and(E, ~dissim_u, out=E)
+
+    # Theorem 2: peel M ∪ C down to its k-core.
+    mc = M | C
+    survivors = bitops.kcore_mask(b.nbr, ctx.k, mc)
+    removed = mc & ~survivors
+    n_removed = bitops.popcount(removed)
+    if n_removed:
+        stats.structure_pruned += n_removed
+        if (removed & M).any():
+            stats.dead_branches += 1
+            return False
+        np.bitwise_and(C, ~removed, out=C)
+        if track_excluded:
+            np.bitwise_or(E, removed, out=E)
+
+    # Connectivity restriction: keep M's component of the survivors.
+    if M.any():
+        seed = bitops.first_member(M)
+        comp = bitops.reach_mask(
+            b.nbr, bitops.single_bit(seed, b.words), survivors
+        )
+        if (M & ~comp).any():
+            stats.dead_branches += 1
+            return False
+        out = survivors & ~comp
+        n_out = bitops.popcount(out)
+        if n_out:
+            np.bitwise_and(C, ~out, out=C)
+            if track_excluded:
+                np.bitwise_or(E, out, out=E)
+            stats.connectivity_pruned += n_out
+    return True
+
+
+def similarity_free_bits(
+    b: BitsetComponentContext, C: np.ndarray
+) -> np.ndarray:
+    """``SF(C)`` as a fresh mask: members of ``C`` with no dissimilar
+    partner inside ``C`` (one row gather + popcount)."""
+    mem = bitops.members(C)
+    if mem.size == 0:
+        return b.zeros()
+    clean = bitops.row_popcounts(b.dis[mem] & C) == 0
+    return bitops.mask_from_indices(mem[clean], b.words)
+
+
+def move_similarity_free_into_m_bits(
+    b: BitsetComponentContext,
+    ctx: ComponentContext,
+    M: np.ndarray,
+    C: np.ndarray,
+    E: np.ndarray,
+    sf: np.ndarray,
+    track_excluded: bool,
+) -> None:
+    """Mask-space Remark 1 — same fixpoint, same counters.
+
+    The set-based version moves one vertex at a time; moving every
+    currently-qualified SF vertex per round reaches the same (least)
+    fixpoint because each move only raises ``deg(·, M)``.
+    """
+    if not M.any():
+        return
+    k = ctx.k
+    while True:
+        mem = bitops.members(sf)
+        if mem.size == 0:
+            return
+        movers = mem[bitops.row_popcounts(b.nbr[mem] & M) >= k]
+        if movers.size == 0:
+            return
+        move_mask = bitops.mask_from_indices(movers, b.words)
+        np.bitwise_and(sf, ~move_mask, out=sf)
+        np.bitwise_and(C, ~move_mask, out=C)
+        np.bitwise_or(M, move_mask, out=M)
+        if track_excluded and E.any():
+            np.bitwise_and(
+                E, ~bitops.or_reduce_rows(b.dis[movers]), out=E
+            )
+        ctx.stats.moved_similarity_free += int(movers.size)

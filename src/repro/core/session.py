@@ -106,9 +106,18 @@ def resolve_enumeration_setup(
 
 
 class _PreparedComponent:
-    """One component's cached preprocessing output (query-independent)."""
+    """One component's cached preprocessing output (query-independent).
 
-    __slots__ = ("vertices", "adj", "index", "signature", "max_degree", "csr")
+    ``bitset`` caches the packed
+    :class:`~repro.core.context.BitsetComponentContext` the bitset
+    engines build on first use, so repeated queries (and sweep points
+    sharing a component) skip the packing pass.
+    """
+
+    __slots__ = (
+        "vertices", "adj", "index", "signature", "max_degree", "csr",
+        "bitset",
+    )
 
     def __init__(self, vertices, adj, index, signature, max_degree, csr):
         self.vertices = vertices
@@ -117,6 +126,7 @@ class _PreparedComponent:
         self.signature = signature
         self.max_degree = max_degree
         self.csr = csr
+        self.bitset = None
 
 
 class KRCoreSession:
@@ -503,6 +513,7 @@ class KRCoreSession:
                 else:
                     ctx = self._context(part, k, cfg, stats, budget)
                     found = component_fn(ctx)
+                    part.bitset = ctx.bitset  # keep the packed form warm
                     stats.cache_misses += 1
                     self._result_put(key, found)
                 for vs in found:
@@ -552,6 +563,7 @@ class KRCoreSession:
                         continue
                 ctx = self._context(part, k, cfg, stats, budget)
                 found = find_maximum_in_component(ctx, best)
+                part.bitset = ctx.bitset  # keep the packed form warm
                 stats.cache_misses += 1
                 if found is not None and (best is None or len(found) > len(best)):
                     self._result_put(key, ("exact", found))
@@ -594,6 +606,7 @@ class KRCoreSession:
             budget=budget,
             rng=random.Random(cfg.seed),
             csr=part.csr,
+            bitset=part.bitset,
         )
 
     # ------------------------------------------------------------------

@@ -208,6 +208,14 @@ def prepare_components(
     array kernels end to end; ``"python"`` is the original set-based
     reference path.  Both produce identical contexts.
 
+    The same switch also selects the *search engine* implementation the
+    contexts will be run through: on ``"csr"`` the engines pack each
+    component into a
+    :class:`~repro.core.context.BitsetComponentContext` (lazily, on
+    first search; sessions cache the packed form across queries) and
+    search in bitmask space, on ``"python"`` they use the set-based
+    reference loops.  Results are identical either way.
+
     Components are returned largest-max-degree first (the seeding rule of
     Section 6.1; harmless for enumeration).
     """

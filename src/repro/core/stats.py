@@ -7,7 +7,7 @@ these deterministic counters (search-tree nodes, prunes by rule).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 

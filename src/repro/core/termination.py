@@ -26,7 +26,10 @@ from __future__ import annotations
 
 from typing import Set
 
-from repro.core.context import ComponentContext
+import numpy as np
+
+from repro.core import bitops
+from repro.core.context import BitsetComponentContext, ComponentContext
 from repro.graph.components import connected_components
 from repro.graph.kcore import anchored_k_core
 
@@ -71,4 +74,52 @@ def should_terminate_early(
             ctx.stats.early_term_ii += 1
             return True
         U = anchored_k_core(adj, k, U - islands, M)
+    return False
+
+
+def should_terminate_early_bits(
+    b: BitsetComponentContext,
+    ctx: ComponentContext,
+    M: np.ndarray,
+    C: np.ndarray,
+    E: np.ndarray,
+) -> bool:
+    """Mask-space Theorem 5 — both conditions as popcount scans.
+
+    Identical verdicts (and counter increments) to
+    :func:`should_terminate_early`; existence checks are
+    order-insensitive, so vectorising the per-vertex scans is lossless.
+    """
+    if not M.any() or not E.any():
+        return False
+    k = ctx.k
+
+    # Condition (i): one vectorised scan of E.
+    mem_e = bitops.members(E)
+    rows_dis = b.dis[mem_e]
+    sim_all_c = bitops.row_popcounts(rows_dis & C) == 0
+    if sim_all_c.any():
+        deg_m = bitops.row_popcounts(b.nbr[mem_e[sim_all_c]] & M)
+        if (deg_m >= k).any():
+            ctx.stats.early_term_i += 1
+            return True
+
+    # Condition (ii): E vertices similar to everything in C ∪ E.
+    ce = C | E
+    sf_flags = bitops.row_popcounts(rows_dis & ce) == 0
+    if not sf_flags.any():
+        return False
+    U = bitops.anchored_kcore_mask(
+        b.nbr, k, bitops.mask_from_indices(mem_e[sf_flags], b.words), M
+    )
+    while U.any():
+        mu = M | U
+        # Union of the components of M ∪ U touching M: islands are what
+        # remains of U outside it.
+        touching = bitops.reach_mask(b.nbr, M, mu)
+        islands = U & ~touching
+        if not islands.any():
+            ctx.stats.early_term_ii += 1
+            return True
+        U = bitops.anchored_kcore_mask(b.nbr, k, U & ~islands, M)
     return False

@@ -180,7 +180,10 @@ def _publication_profile(
         chosen.add(rng.choices(candidates, weights=weights)[0])
     mean = max(1.0, papers_per_author / max(1, count))
     profile: Dict[str, float] = {}
-    for venue in chosen:
+    # Sorted: iterating the set directly would consume the rng in
+    # PYTHONHASHSEED-dependent order, making the generated attributes
+    # differ between processes despite a fixed seed.
+    for venue in sorted(chosen):
         # Geometric counts with the requested mean (>= 1 paper each).
         c = 1
         while rng.random() > 1.0 / mean and c < 50:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.attributed_graph import AttributedGraph

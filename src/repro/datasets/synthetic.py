@@ -11,7 +11,7 @@ on them.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.attributed_graph import AttributedGraph

@@ -10,7 +10,7 @@ degeneracy ordering, which is the standard in-memory approach.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Set, Union
+from typing import Dict, Iterator, Mapping, Set, Union
 
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.kcore import degeneracy_order

@@ -32,7 +32,10 @@ def greedy_coloring(graph: GraphLike) -> Dict[int, int]:
     clique number on the dense similarity subgraphs the bound is used on.
     """
     adj = _adjacency_view(graph)
-    order = sorted(adj, key=lambda u: len(adj[u]), reverse=True)
+    # Ties broken by ascending vertex id: the order (hence the colour
+    # count) is then a pure function of the graph, so the set-based and
+    # bitset bound computations agree exactly.
+    order = sorted(adj, key=lambda u: (-len(adj[u]), u))
     colors: Dict[int, int] = {}
     for u in order:
         used = {colors[v] for v in adj[u] if v in colors}

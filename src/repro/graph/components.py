@@ -9,7 +9,7 @@ trivial termination of Section 5.2), so these helpers accept both
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Union
+from typing import Iterable, List, Mapping, Optional, Set, Union
 
 import numpy as np
 

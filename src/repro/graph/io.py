@@ -20,7 +20,7 @@ Attributes, three flavours selected by ``kind``:
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, Hashable, Iterable, Iterator, Optional, TextIO, Tuple, Union
+from typing import Any, Dict, Iterator, Optional, TextIO, Tuple, Union
 
 from repro.exceptions import GraphError
 from repro.graph.attributed_graph import AttributedGraph

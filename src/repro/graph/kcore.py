@@ -36,7 +36,9 @@ def _vertex_mask(csr: CSRGraph, vertices: Optional[Iterable[int]]) -> Optional[n
     return _csr.vertex_mask(csr, vertices)
 
 
-def _as_adjacency(graph: GraphLike, vertices: Optional[Iterable[int]] = None) -> Dict[int, Set[int]]:
+def _as_adjacency(
+    graph: GraphLike, vertices: Optional[Iterable[int]] = None
+) -> Dict[int, Set[int]]:
     """Materialise a ``vertex -> neighbour set`` view of ``graph``.
 
     When ``vertices`` is given, the view is the induced subgraph on those

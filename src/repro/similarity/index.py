@@ -27,7 +27,6 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Uni
 
 import numpy as np
 
-from repro.exceptions import MissingAttributeError
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.csr import CSRGraph
 from repro.similarity.metrics import (

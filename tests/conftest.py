@@ -14,7 +14,7 @@ The test suite validates the solvers three independent ways:
 from __future__ import annotations
 
 import random
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import FrozenSet, List, Optional
 
 import pytest
 

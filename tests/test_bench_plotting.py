@@ -30,10 +30,10 @@ class TestRenderTimeChart:
 
     def test_log_scaling_monotone(self, rows):
         chart = render_time_chart(rows, "r_km")
-        lines = [l for l in chart.splitlines() if "█" in l]
+        lines = [ln for ln in chart.splitlines() if "█" in ln]
         # The slower finite run gets a longer bar than the faster one.
-        fast = next(l for l in lines if "AdvEnum" in l and "0.10s" in l)
-        slow = next(l for l in lines if "BasicEnum" in l and "3.00s" in l)
+        fast = next(ln for ln in lines if "AdvEnum" in ln and "0.10s" in ln)
+        slow = next(ln for ln in lines if "BasicEnum" in ln and "3.00s" in ln)
         assert slow.count("█") > fast.count("█")
 
     def test_all_inf_or_empty(self):

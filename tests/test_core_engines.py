@@ -3,6 +3,7 @@
 import pytest
 
 from conftest import (
+    BACKENDS,
     as_sorted_sets,
     make_random_attr_graph,
     oracle_maximal_cores,
@@ -30,22 +31,28 @@ def uniform(edges, n=None):
 
 
 class TestEnumerateComponent:
-    def test_all_similar_component_collapses_to_one_node(self):
+    # Both engine backends run the same white-box scenarios: the bitset
+    # engine must reproduce the reference's traversal and counters.
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_all_similar_component_collapses_to_one_node(self, backend):
         # With retention, a fully similar component is one leaf: the
         # whole component is SF(C) at the root.
         g = uniform([(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3)])
         pred = SimilarityPredicate("jaccard", 0.1)
-        ctx = single_component_context(g, 2, pred, adv_enum_config())[0]
+        ctx = single_component_context(
+            g, 2, pred, adv_enum_config(backend=backend),
+        )[0]
         cores = enumerate_component(ctx)
         assert as_sorted_sets(cores) == [[0, 1, 2, 3]]
         assert ctx.stats.nodes == 1
         assert ctx.stats.retained >= 4
 
-    def test_basic_enum_visits_exponentially_more(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_basic_enum_visits_exponentially_more(self, backend):
         g = uniform([(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3)])
         pred = SimilarityPredicate("jaccard", 0.1)
         ctx_basic = single_component_context(
-            g, 2, pred, basic_enum_config(),
+            g, 2, pred, basic_enum_config(backend=backend),
         )[0]
         cores = enumerate_component(ctx_basic)
         assert as_sorted_sets(cores) == [[0, 1, 2, 3]]
@@ -63,28 +70,37 @@ class TestEnumerateComponent:
             )
             assert as_sorted_sets(with_cr) == as_sorted_sets(without)
 
-    def test_emitted_counter(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_emitted_counter(self, backend):
         g = uniform([(0, 1), (1, 2), (0, 2)])
         pred = SimilarityPredicate("jaccard", 0.1)
-        ctx = single_component_context(g, 2, pred, adv_enum_config())[0]
+        ctx = single_component_context(
+            g, 2, pred, adv_enum_config(backend=backend),
+        )[0]
         enumerate_component(ctx)
         assert ctx.stats.cores_emitted >= 1
 
 
 class TestFindMaximumInComponent:
-    def test_seeded_best_prunes_whole_component(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_seeded_best_prunes_whole_component(self, backend):
         g = uniform([(0, 1), (1, 2), (0, 2)])
         pred = SimilarityPredicate("jaccard", 0.1)
-        ctx = single_component_context(g, 2, pred, adv_max_config())[0]
+        ctx = single_component_context(
+            g, 2, pred, adv_max_config(backend=backend),
+        )[0]
         seed = frozenset({10, 11, 12, 13})  # pretend a bigger core exists
         best = find_maximum_in_component(ctx, seed)
         assert best == seed
         assert ctx.stats.bound_pruned >= 1
 
-    def test_finds_core_without_seed(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_finds_core_without_seed(self, backend):
         g = uniform([(0, 1), (1, 2), (0, 2)])
         pred = SimilarityPredicate("jaccard", 0.1)
-        ctx = single_component_context(g, 2, pred, adv_max_config())[0]
+        ctx = single_component_context(
+            g, 2, pred, adv_max_config(backend=backend),
+        )[0]
         best = find_maximum_in_component(ctx, None)
         assert best == frozenset({0, 1, 2})
 
@@ -129,3 +145,105 @@ class TestStats:
         )
         assert stats.nodes >= stats.components >= 0
         assert stats.elapsed >= 0
+
+
+class TestEngineBackendMatrix:
+    """python vs csr (bitset) engines across the technique matrix.
+
+    The bitset engines must be drop-in replacements: identical cores,
+    identical deterministic work counters, for every combination of
+    pruning / bounds / orders / maximal-check the config exposes.
+    """
+
+    PRUNING_CONFIGS = [
+        dict(retain_candidates=False, move_similarity_free=False,
+             early_termination=False, maximal_check="pairwise"),
+        dict(retain_candidates=True, move_similarity_free=False,
+             early_termination=False, maximal_check="pairwise"),
+        dict(retain_candidates=True, move_similarity_free=True,
+             early_termination=True, maximal_check="pairwise"),
+        dict(retain_candidates=True, move_similarity_free=True,
+             early_termination=True, maximal_check="search"),
+    ]
+
+    COUNTER_KEYS = (
+        "nodes", "check_nodes", "similarity_pruned", "structure_pruned",
+        "connectivity_pruned", "retained", "moved_similarity_free",
+        "early_term_i", "early_term_ii", "bound_pruned", "bound_calls",
+        "dead_branches", "cores_emitted", "maximal_checks",
+    )
+
+    def assert_counters_equal(self, sp, sc, label):
+        dp, dc = sp.to_dict(), sc.to_dict()
+        for key in self.COUNTER_KEYS:
+            assert dp[key] == dc[key], (label, key, dp[key], dc[key])
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("knobs", range(len(PRUNING_CONFIGS)))
+    def test_enumeration_pruning_matrix(self, seed, knobs):
+        g = make_random_attr_graph(seed, n=10)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        cfg = adv_enum_config(**self.PRUNING_CONFIGS[knobs])
+        expected = oracle_maximal_cores(g, 2, pred)
+        py, sp = enumerate_maximal_krcores(
+            g, 2, predicate=pred, config=cfg.evolve(backend="python"),
+            with_stats=True,
+        )
+        cs, sc = enumerate_maximal_krcores(
+            g, 2, predicate=pred, config=cfg.evolve(backend="csr"),
+            with_stats=True,
+        )
+        assert as_sorted_sets(py) == expected
+        assert as_sorted_sets(cs) == expected
+        self.assert_counters_equal(sp, sc, ("enum", seed, knobs))
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("order", [
+        "random", "degree", "delta1", "delta2", "delta1-then-delta2",
+        "weighted-delta",
+    ])
+    def test_enumeration_order_matrix(self, seed, order):
+        g = make_random_attr_graph(seed + 20, n=10)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        cfg = adv_enum_config(order=order, check_order=order)
+        py, sp = enumerate_maximal_krcores(
+            g, 2, predicate=pred, config=cfg.evolve(backend="python"),
+            with_stats=True,
+        )
+        cs, sc = enumerate_maximal_krcores(
+            g, 2, predicate=pred, config=cfg.evolve(backend="csr"),
+            with_stats=True,
+        )
+        assert as_sorted_sets(py) == as_sorted_sets(cs)
+        self.assert_counters_equal(sp, sc, ("enum-order", seed, order))
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("bound", ["naive", "color-kcore", "kkprime"])
+    @pytest.mark.parametrize("branch", ["adaptive", "expand", "shrink"])
+    def test_maximum_bound_branch_matrix(self, seed, bound, branch):
+        g = make_random_attr_graph(seed, n=10)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        cfg = adv_max_config(bound=bound, branch=branch)
+        py, sp = find_maximum_krcore(
+            g, 2, predicate=pred, config=cfg.evolve(backend="python"),
+            with_stats=True,
+        )
+        cs, sc = find_maximum_krcore(
+            g, 2, predicate=pred, config=cfg.evolve(backend="csr"),
+            with_stats=True,
+        )
+        assert (py.vertices if py else None) == (cs.vertices if cs else None)
+        self.assert_counters_equal(sp, sc, ("max", seed, bound, branch))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_maximum_warm_start_matrix(self, seed):
+        g = make_random_attr_graph(seed + 7, n=11)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        cfg = adv_max_config(warm_start=True)
+        py = find_maximum_krcore(
+            g, 2, predicate=pred, config=cfg.evolve(backend="python"),
+        )
+        cs = find_maximum_krcore(
+            g, 2, predicate=pred, config=cfg.evolve(backend="csr"),
+        )
+        assert (py.vertices if py else None) == (cs.vertices if cs else None)

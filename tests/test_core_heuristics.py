@@ -4,7 +4,6 @@ import pytest
 
 from conftest import (
     make_random_attr_graph,
-    oracle_maximal_cores,
     single_component_context,
 )
 from repro.core.api import find_maximum_krcore

@@ -1,8 +1,6 @@
 """Maximal checking (Theorem 6 / Algorithm 4): white-box tests."""
 
-import random
 
-import pytest
 
 from conftest import (
     make_random_attr_graph,

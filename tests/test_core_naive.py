@@ -1,6 +1,5 @@
 """Naive enumeration (Algorithms 1–2) and the brute-force oracle."""
 
-import pytest
 
 from conftest import single_component_context
 from repro.core.naive import (

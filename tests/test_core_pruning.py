@@ -5,7 +5,6 @@ contexts and assert the two invariants of Section 5.1 (Equations 1–2)
 plus the E-set maintenance rules.
 """
 
-import pytest
 
 from conftest import single_component_context
 from repro.core.pruning import (

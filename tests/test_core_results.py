@@ -1,6 +1,5 @@
 """KRCore result type: verification and maximal filtering."""
 
-import pytest
 
 from repro.core.results import (
     KRCore,

@@ -10,7 +10,7 @@ from repro.core.api import (
     find_maximum_krcore,
     krcore_statistics,
 )
-from repro.core.config import adv_enum_config, basic_enum_config
+from repro.core.config import basic_enum_config
 from repro.core.decomposition import krcore_vertex_memberships
 from repro.core.session import KRCoreSession
 from repro.datasets.planted import planted_communities

@@ -1,6 +1,5 @@
 """Early termination (Theorem 5): white-box condition tests."""
 
-import pytest
 
 from conftest import single_component_context
 from repro.graph.attributed_graph import AttributedGraph

@@ -85,3 +85,33 @@ class TestDatasetStatistics:
         rows = {n: dataset_statistics(n) for n in DATASETS}
         assert rows["gowalla"]["davg"] < rows["brightkite"]["davg"]
         assert rows["dblp"]["davg"] < rows["pokec"]["davg"]
+
+
+class TestHashSeedIndependence:
+    """Generation must be a pure function of --seed, not PYTHONHASHSEED.
+
+    Regression guard for the bug where the DBLP attribute generator
+    iterated a set of venue strings while consuming the rng, so two
+    processes produced identical edges but different keyword attributes.
+    The same check runs CI-wide via scripts/dataset_fingerprint.py.
+    """
+
+    def test_fingerprints_stable_across_hash_seeds(self):
+        import os
+        import subprocess
+        import sys
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        script = os.path.join(root, "scripts", "dataset_fingerprint.py")
+        outputs = []
+        for hash_seed in ("0", "424242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = os.path.join(root, "src")
+            proc = subprocess.run(
+                [sys.executable, script, "--scale", "0.2"],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            assert proc.stdout.count("\n") == len(DATASETS), proc.stdout
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]

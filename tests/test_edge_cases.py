@@ -15,7 +15,6 @@ from repro.core.config import adv_enum_config, adv_max_config
 from repro.core.dynamic import DynamicKRCoreMiner
 from repro.exceptions import (
     GraphError,
-    InvalidParameterError,
     MissingAttributeError,
     SearchBudgetExceeded,
 )

@@ -150,3 +150,68 @@ class TestOverlappingCores:
             assert as_sorted_sets(got) == sorted(
                 sorted(c) for c in study.communities
             ), alg
+
+
+class TestConfigMatrixAgreement:
+    """Backend × technique matrix against the oracle.
+
+    Every knob combination must produce the oracle's maximal-core set on
+    both engine backends — including the retained-candidate (Theorem 4)
+    and search-based maximal-check paths the bitset engines reimplement.
+    """
+
+    KNOBS = (
+        dict(retain_candidates=False, move_similarity_free=False,
+             early_termination=False, maximal_check="pairwise"),
+        dict(retain_candidates=True, move_similarity_free=False,
+             early_termination=True, maximal_check="search"),
+        dict(retain_candidates=True, move_similarity_free=True,
+             early_termination=False, maximal_check="search"),
+        dict(retain_candidates=True, move_similarity_free=True,
+             early_termination=True, maximal_check="pairwise"),
+    )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("knobs", range(len(KNOBS)))
+    @pytest.mark.parametrize("seed", range(6))
+    def test_enumeration_knob_matrix(self, seed, knobs, backend):
+        from repro.core.config import adv_enum_config
+
+        g = make_random_attr_graph(seed + 40, n=10)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        expected = oracle_maximal_cores(g, 2, pred)
+        cfg = adv_enum_config(**self.KNOBS[knobs]).evolve(backend=backend)
+        got = enumerate_maximal_krcores(g, 2, predicate=pred, config=cfg)
+        assert as_sorted_sets(got) == expected, (seed, knobs, backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("order", (
+        "random", "degree", "delta1", "delta2", "delta1-then-delta2",
+        "weighted-delta",
+    ))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_enumeration_order_matrix(self, seed, order, backend):
+        from repro.core.config import adv_enum_config
+
+        g = make_random_attr_graph(seed + 60, n=9)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        expected = oracle_maximal_cores(g, 2, pred)
+        cfg = adv_enum_config(order=order, check_order=order).evolve(
+            backend=backend
+        )
+        got = enumerate_maximal_krcores(g, 2, predicate=pred, config=cfg)
+        assert as_sorted_sets(got) == expected, (seed, order, backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("bound", ("naive", "color-kcore", "kkprime"))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_maximum_bound_matrix(self, seed, bound, backend):
+        from repro.core.config import adv_max_config
+
+        g = make_random_attr_graph(seed + 80, n=10)
+        pred = SimilarityPredicate("jaccard", 0.35)
+        expected = oracle_maximal_cores(g, 2, pred)
+        want = max((len(c) for c in expected), default=0)
+        cfg = adv_max_config(bound=bound).evolve(backend=backend)
+        best = find_maximum_krcore(g, 2, predicate=pred, config=cfg)
+        assert (best.size if best else 0) == want, (seed, bound, backend)
