@@ -1,10 +1,15 @@
-"""Stable fingerprint of every registry dataset's edges and attributes.
+"""Stable fingerprint of every generated dataset's edges and attributes.
 
 CI runs this twice under different ``PYTHONHASHSEED`` values and diffs
-the output: dataset generation must be a pure function of ``--seed``,
-never of the interpreter's hash randomisation (the bug this guards
-against was a set iteration inside the DBLP attribute generator that
-consumed the rng in hash order).
+the output: dataset generation must be a pure function of its seed and
+parameters, never of the interpreter's hash randomisation (the bug this
+guards against was a set iteration inside the DBLP attribute generator
+that consumed the rng in hash order).
+
+Coverage: the four Table 3 registry analogs *and* every adversarial
+family of :mod:`repro.datasets.adversarial` — once at the family's
+default parameters and once per sampled size class, so the fuzz
+harness's instance space is fingerprinted too.
 
 Usage::
 
@@ -14,31 +19,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import hashlib
+import random
 import sys
 
+from repro.datasets.adversarial import FAMILIES, sample_instance
 from repro.datasets.registry import DATASETS, load_dataset
-
-
-def graph_fingerprint(graph) -> str:
-    """SHA-256 over a canonical serialisation of edges + attributes."""
-    h = hashlib.sha256()
-    for u, v in sorted(tuple(sorted(e)) for e in graph.edges()):
-        h.update(f"e {u} {v}\n".encode())
-    for u in sorted(graph.vertices()):
-        if not graph.has_attribute(u):
-            continue
-        attr = graph.attribute(u)
-        if isinstance(attr, (frozenset, set)):
-            canon = "s:" + ",".join(sorted(map(str, attr)))
-        elif isinstance(attr, dict):
-            canon = "d:" + ",".join(
-                f"{key}={attr[key]!r}" for key in sorted(attr)
-            )
-        else:
-            canon = f"v:{attr!r}"
-        h.update(f"a {u} {canon}\n".encode())
-    return h.hexdigest()
+from repro.graph.io import graph_fingerprint
 
 
 def main(argv=None) -> int:
@@ -50,6 +36,22 @@ def main(argv=None) -> int:
     for name in sorted(DATASETS):
         g = load_dataset(name, scale=args.scale, seed=args.seed)
         print(f"{name} {g.vertex_count} {g.edge_count} {graph_fingerprint(g)}")
+
+    for name in sorted(FAMILIES):
+        family = FAMILIES[name]
+        inst = family.build()
+        g = inst.graph
+        print(
+            f"adversarial/{name} {g.vertex_count} {g.edge_count} "
+            f"k={inst.k} r={inst.r:.6f} {graph_fingerprint(g)}"
+        )
+        for size in sorted(family.samplers):
+            inst = sample_instance(name, random.Random(args.seed), size)
+            g = inst.graph
+            print(
+                f"adversarial/{name}/{size} {g.vertex_count} {g.edge_count} "
+                f"k={inst.k} r={inst.r:.6f} {graph_fingerprint(g)}"
+            )
     return 0
 
 

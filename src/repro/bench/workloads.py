@@ -18,6 +18,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Tuple
 
+from repro.datasets.adversarial import FAMILIES, build_instance
 from repro.datasets.registry import default_predicate, load_dataset
 from repro.graph.attributed_graph import AttributedGraph
 from repro.similarity.threshold import SimilarityPredicate
@@ -91,3 +92,42 @@ def workload(
         )
         pred = permille_predicate(name, permille, scale, seed)
     return g, k, pred
+
+
+# ----------------------------------------------------------------------
+# Adversarial workloads (repro.datasets.adversarial)
+# ----------------------------------------------------------------------
+
+#: Family names usable with :func:`adversarial_workload` — the engineered
+#: hard instances (deep maximum trees, high-diameter rings, loose-bound
+#: interleavings, threshold-exact borderlines) for sweeps and sessions.
+ADVERSARIAL_NAMES = tuple(sorted(FAMILIES))
+
+
+@lru_cache(maxsize=None)
+def _adversarial_instance(name: str, seed: int, overrides: Tuple):
+    return build_instance(name, seed=seed, **dict(overrides))
+
+
+def adversarial_workload(
+    name: str,
+    *,
+    k: int | None = None,
+    r: float | None = None,
+    seed: int = 0,
+    **params,
+) -> Tuple[AttributedGraph, int, SimilarityPredicate]:
+    """(graph, k, predicate) for a named adversarial family.
+
+    Unlike the Table 3 analogs, ``k`` and ``r`` default to the *family's*
+    engineered values (the constructions only bite at their designed
+    thresholds); overriding them deliberately detunes the instance.
+    Results are cached per (name, seed, params) like the dataset graphs.
+    """
+    inst = _adversarial_instance(name, seed, tuple(sorted(params.items())))
+    k = k if k is not None else inst.k
+    pred = (
+        inst.predicate() if r is None
+        else SimilarityPredicate(inst.metric, r)
+    )
+    return inst.graph, k, pred

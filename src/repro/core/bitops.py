@@ -133,14 +133,28 @@ def or_reduce_rows(rows: np.ndarray) -> np.ndarray:
     return np.bitwise_or.reduce(rows, axis=0)
 
 
-def kcore_mask(nbr: np.ndarray, k: int, within: np.ndarray) -> np.ndarray:
-    """k-core of the subgraph induced by ``within`` (fresh mask).
+def kcore_mask(
+    nbr: np.ndarray,
+    k: int,
+    within: np.ndarray,
+    out: np.ndarray = None,
+) -> np.ndarray:
+    """k-core of the subgraph induced by ``within``.
 
     Frontier peeling: the first pass computes every member's degree;
     later passes re-examine only live neighbours of freshly removed
     vertices, so cascades cost what they touch.
+
+    ``out``, when given, is used as the peel buffer and returned (the
+    engines pass a per-node scratch row so the hot loop does not
+    allocate); it must not alias ``within``.  Without it a fresh mask is
+    returned.
     """
-    alive = within.copy()
+    if out is None:
+        alive = within.copy()
+    else:
+        alive = out
+        np.copyto(alive, within)
     mem = members(alive)
     if mem.size == 0:
         return alive
@@ -162,14 +176,19 @@ def anchored_kcore_mask(
     k: int,
     candidates: np.ndarray,
     anchors: np.ndarray,
+    out: np.ndarray = None,
 ) -> np.ndarray:
     """Maximal ``U ⊆ candidates`` with ``deg(u, anchors ∪ U) >= k``.
 
     The bitset counterpart of
     :func:`repro.graph.kcore.anchored_k_core`: anchors contribute degree
-    but are never peeled.
+    but are never peeled.  ``out`` works as in :func:`kcore_mask`.
     """
-    alive = candidates.copy()
+    if out is None:
+        alive = candidates.copy()
+    else:
+        alive = out
+        np.copyto(alive, candidates)
     mem = members(alive)
     if mem.size == 0:
         return alive

@@ -149,7 +149,19 @@ class BitsetComponentContext:
         The component mask (all ``n`` bits set).
     """
 
-    __slots__ = ("n", "words", "verts", "local", "nbr", "dis", "sim", "full")
+    __slots__ = (
+        "n", "words", "verts", "local", "nbr", "dis", "sim", "full",
+        "_scratch",
+    )
+
+    #: Scratch-row assignment (see :meth:`scratch`).  One row per
+    #: distinct per-node temporary so no two live uses ever alias:
+    #: 0 — the engines' branch-vertex singleton mask;
+    #: 1 — ``M ∪ C`` / the removed set inside ``apply_pruning_bits``
+    #:     (also the maximal check's anchored-peel buffer);
+    #: 2 — the Theorem-2 peel survivors inside ``apply_pruning_bits``;
+    #: 3 — the engines' ``M ∪ C`` cardinality probe.
+    SCRATCH_ROWS = 4
 
     def __init__(
         self,
@@ -188,6 +200,18 @@ class BitsetComponentContext:
         for i in range(n):
             sim[i, i >> 6] &= ~(np.uint64(1) << np.uint64(i & 63))
         self.sim = sim
+        self._scratch = np.zeros((self.SCRATCH_ROWS, words), dtype=np.uint64)
+
+    def scratch(self, row: int) -> np.ndarray:
+        """A pooled per-node mask buffer (see :data:`SCRATCH_ROWS`).
+
+        The branch-and-bound engines burn through thousands of nodes and
+        each node needs a handful of mask-sized temporaries; pooling them
+        here keeps the hot loop allocation-free.  Contents are only valid
+        between two uses of the same row — callers must never store a
+        scratch row in a stack frame or any longer-lived structure.
+        """
+        return self._scratch[row]
 
     # -- conversions ----------------------------------------------------
     def zeros(self) -> np.ndarray:

@@ -208,7 +208,9 @@ def _enumerate_component_bits(ctx: ComponentContext) -> List[FrozenSet[int]]:
             pool = C
 
         u, _branch = order.choose(b, ctx, M, C, pool)
-        ubit = bitops.single_bit(u, b.words)
+        ubit = b.scratch(0)
+        ubit.fill(0)
+        bitops.set_bit(ubit, u)
         stack.append(
             (M.copy(), C & ~ubit, (E | ubit) if track_e else E, None)
         )

@@ -221,7 +221,9 @@ def _prune_check_node_bits(
     k = ctx.k
     seed = bitops.first_member(core)
     while True:
-        survivors = bitops.anchored_kcore_mask(b.nbr, k, cands | added, core)
+        survivors = bitops.anchored_kcore_mask(
+            b.nbr, k, cands | added, core, out=b.scratch(1)
+        )
         if not bitops.is_subset(added, survivors):
             return None
         cands = survivors & ~added

@@ -181,7 +181,10 @@ def _find_maximum_bits(
         M, C, E, expanded = stack.pop()
         ctx.enter_node()
 
-        if bitops.popcount(M | C) <= best_size:
+        # mc lives in a pooled scratch row (recomputed after pruning
+        # mutates C); frames own their masks, temporaries never do.
+        mc = np.bitwise_or(M, C, out=b.scratch(3))
+        if bitops.popcount(mc) <= best_size:
             ctx.stats.bound_pruned += 1
             continue
 
@@ -192,7 +195,8 @@ def _find_maximum_bits(
         ):
             continue
 
-        if bitops.popcount(M | C) <= best_size:
+        mc = np.bitwise_or(M, C, out=b.scratch(3))
+        if bitops.popcount(mc) <= best_size:
             ctx.stats.bound_pruned += 1
             continue
         if cfg.bound != "naive":
@@ -221,7 +225,9 @@ def _find_maximum_bits(
         elif branch_mode == "shrink":
             preferred = "shrink"
 
-        ubit = bitops.single_bit(u, b.words)
+        ubit = b.scratch(0)
+        ubit.fill(0)
+        bitops.set_bit(ubit, u)
         expand_frame: BitFrame = (M | ubit, C & ~ubit, E.copy(), u)
         shrink_frame: BitFrame = (
             M.copy(), C & ~ubit, (E | ubit) if track_e else E, None,

@@ -182,10 +182,12 @@ def apply_pruning_bits(
         if track_excluded and E.any():
             np.bitwise_and(E, ~dissim_u, out=E)
 
-    # Theorem 2: peel M ∪ C down to its k-core.
-    mc = M | C
-    survivors = bitops.kcore_mask(b.nbr, ctx.k, mc)
-    removed = mc & ~survivors
+    # Theorem 2: peel M ∪ C down to its k-core.  The node temporaries
+    # live in pooled scratch rows (mc's row is recycled for the removed
+    # set once the peel no longer needs it).
+    mc = np.bitwise_or(M, C, out=b.scratch(1))
+    survivors = bitops.kcore_mask(b.nbr, ctx.k, mc, out=b.scratch(2))
+    removed = np.bitwise_and(mc, ~survivors, out=mc)
     n_removed = bitops.popcount(removed)
     if n_removed:
         stats.structure_pruned += n_removed
@@ -205,7 +207,7 @@ def apply_pruning_bits(
         if (M & ~comp).any():
             stats.dead_branches += 1
             return False
-        out = survivors & ~comp
+        out = np.bitwise_and(survivors, ~comp, out=survivors)
         n_out = bitops.popcount(out)
         if n_out:
             np.bitwise_and(C, ~out, out=C)

@@ -17,6 +17,17 @@ See DESIGN.md §3 for the substitution rationale.  All generators are
 deterministic given a seed.
 """
 
+from repro.datasets.adversarial import (
+    FAMILIES as ADVERSARIAL_FAMILIES,
+    AdversarialInstance,
+    borderline_r,
+    build_instance,
+    hardness_score,
+    interleaved_profiles,
+    onion_graph,
+    ring_of_cliques,
+    sample_instance,
+)
 from repro.datasets.coauthor import coauthor_network
 from repro.datasets.geosocial import geosocial_network
 from repro.datasets.interests import interest_network
@@ -38,6 +49,15 @@ from repro.datasets.synthetic import (
 )
 
 __all__ = [
+    "ADVERSARIAL_FAMILIES",
+    "AdversarialInstance",
+    "borderline_r",
+    "build_instance",
+    "hardness_score",
+    "interleaved_profiles",
+    "onion_graph",
+    "ring_of_cliques",
+    "sample_instance",
     "coauthor_network",
     "geosocial_network",
     "interest_network",

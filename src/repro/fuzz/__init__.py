@@ -1,0 +1,40 @@
+"""Differential fuzzing of the (k,r)-core engines.
+
+The package follows the classic fuzzing-harness shape (generator
+families → driver → triage/minimisation → serialized repros, cf.
+FuzzBench): :mod:`repro.fuzz.space` samples concrete cases — an
+adversarial instance (:mod:`repro.datasets.adversarial`) plus a full
+solver configuration — :mod:`repro.fuzz.differential` cross-checks the
+set-based and bitset engines against each other (results *and* the
+documented stats-counter parity) and, on small instances, against the
+independent brute-force oracle; :mod:`repro.fuzz.shrink` delta-debugs a
+failing case down over vertices, edges and attribute tokens; and
+:mod:`repro.fuzz.repro_io` serialises the shrunk instance as a
+standalone JSON file that ``tests/test_fuzz_regression.py`` auto-loads.
+
+``scripts/fuzz_krcore.py`` is the driver CLI (sweeps, hardness reports,
+and the injected-fault self-test).
+"""
+
+from repro.fuzz.differential import CaseResult, Disagreement, run_case
+from repro.fuzz.repro_io import (
+    case_from_dict,
+    case_to_dict,
+    load_repro,
+    save_repro,
+)
+from repro.fuzz.shrink import shrink_case
+from repro.fuzz.space import FuzzCase, sample_case
+
+__all__ = [
+    "CaseResult",
+    "Disagreement",
+    "FuzzCase",
+    "case_from_dict",
+    "case_to_dict",
+    "load_repro",
+    "run_case",
+    "sample_case",
+    "save_repro",
+    "shrink_case",
+]

@@ -1,0 +1,207 @@
+"""Differential execution: python engine vs csr engine vs oracle.
+
+Three independent implementations must agree on every case:
+
+1. the set-based reference engines (``backend="python"``);
+2. the packed-bitset engines (``backend="csr"``) — documented to mirror
+   the reference *decision for decision*, so beyond result equality the
+   deterministic :class:`~repro.core.stats.SearchStats` counters must
+   match exactly;
+3. on small instances, the brute-force oracle of
+   :mod:`repro.core.naive` (a structurally different algorithm — two
+   independently wrong implementations rarely agree).
+
+Any mismatch (or an engine crash) is reported as a
+:class:`Disagreement`; the driver shrinks the case and serialises a
+repro file.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import adv_enum_config
+from repro.core.context import Budget
+from repro.core.naive import _is_krcore_vertexset, brute_force_maximal_krcores
+from repro.core.solver import prepare_components, run_enumeration, run_maximum
+from repro.core.stats import SearchStats
+from repro.fuzz.space import FuzzCase
+
+#: SearchStats counters both engine backends must agree on exactly (the
+#: decision-for-decision parity contract of PR 3; elapsed/cache fields
+#: are excluded).
+PARITY_COUNTERS = (
+    "nodes",
+    "check_nodes",
+    "similarity_pruned",
+    "structure_pruned",
+    "connectivity_pruned",
+    "retained",
+    "moved_similarity_free",
+    "early_term_i",
+    "early_term_ii",
+    "bound_pruned",
+    "bound_calls",
+    "dead_branches",
+    "cores_emitted",
+    "maximal_checks",
+    "components",
+)
+
+#: Largest per-component vertex count the brute-force oracle is asked to
+#: sweep (2^n subsets — keep it honest).
+DEFAULT_ORACLE_LIMIT = 12
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One observed divergence between implementations."""
+
+    kind: str     # backend-result | backend-stats | oracle-* | engine-error
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one differential run.
+
+    ``stats`` is the csr run's full counter dict (empty when an engine
+    crashed before producing stats) — the single source the driver's
+    hardness tables read from.
+    """
+
+    disagreement: Optional[Disagreement] = None
+    oracle_used: bool = False
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.disagreement is None
+
+
+def _run_backend(case: FuzzCase, backend: str):
+    """(canonical result, stats) of one engine backend on the case."""
+    cfg = case.config(backend)
+    if case.mode == "maximum":
+        best, stats = run_maximum(case.graph, case.k, case.predicate(), cfg)
+        result = frozenset(best.vertices) if best is not None else None
+        return result, stats
+    cores, stats = run_enumeration(case.graph, case.k, case.predicate(), cfg)
+    return sorted(sorted(c.vertices) for c in cores), stats
+
+
+def _oracle_components(case: FuzzCase, limit: int):
+    """Per-component contexts for the oracle, or ``None`` when too big."""
+    contexts = prepare_components(
+        case.graph,
+        case.k,
+        case.predicate(),
+        adv_enum_config(backend="python"),
+        SearchStats(),
+        Budget(None, None),
+    )
+    if any(len(ctx.vertices) > limit for ctx in contexts):
+        return None
+    return contexts
+
+
+def run_case(
+    case: FuzzCase, oracle_limit: int = DEFAULT_ORACLE_LIMIT
+) -> CaseResult:
+    """Cross-check one case; the first divergence found wins.
+
+    Order of checks: engine crashes, python-vs-csr result equality,
+    python-vs-csr stats parity, then (small instances only) both
+    engines against the brute-force oracle.
+    """
+    out = CaseResult()
+    runs = {}
+    for backend in ("python", "csr"):
+        try:
+            runs[backend] = _run_backend(case, backend)
+        except Exception:
+            out.disagreement = Disagreement(
+                "engine-error",
+                f"{backend} backend raised:\n{traceback.format_exc()}",
+            )
+            return out
+
+    (res_py, stats_py), (res_cs, stats_cs) = runs["python"], runs["csr"]
+    out.stats = stats_cs.to_dict()
+
+    if res_py != res_cs:
+        out.disagreement = Disagreement(
+            "backend-result",
+            f"python={_fmt(res_py)} csr={_fmt(res_cs)}",
+        )
+        return out
+    diffs = [
+        f"{name}: python={getattr(stats_py, name)} csr={getattr(stats_cs, name)}"
+        for name in PARITY_COUNTERS
+        if getattr(stats_py, name) != getattr(stats_cs, name)
+    ]
+    if diffs:
+        out.disagreement = Disagreement(
+            "backend-stats", "; ".join(diffs)
+        )
+        return out
+
+    try:
+        contexts = _oracle_components(case, oracle_limit)
+    except Exception:
+        out.disagreement = Disagreement(
+            "engine-error",
+            f"oracle preprocessing raised:\n{traceback.format_exc()}",
+        )
+        return out
+    if contexts is None:
+        return out
+    out.oracle_used = True
+
+    truth: List = []
+    for ctx in contexts:
+        truth.extend(brute_force_maximal_krcores(ctx))
+    truth_sorted = sorted(sorted(c) for c in truth)
+
+    if case.mode == "enumerate":
+        if res_py != truth_sorted:
+            out.disagreement = Disagreement(
+                "oracle-enum",
+                f"engines={_fmt(res_py)} oracle={_fmt(truth_sorted)}",
+            )
+        return out
+
+    # Maximum mode: sizes must match the oracle's best, and the returned
+    # set must itself be a valid (k,r)-core of its component.
+    best_truth = max((len(c) for c in truth), default=0)
+    best_engine = len(res_py) if res_py is not None else 0
+    if best_engine != best_truth:
+        out.disagreement = Disagreement(
+            "oracle-max",
+            f"engine best size={best_engine} oracle best size={best_truth} "
+            f"(engine core={_fmt(res_py)})",
+        )
+        return out
+    if res_py:
+        home = next(
+            (ctx for ctx in contexts if res_py <= ctx.vertices), None
+        )
+        if home is None or not _is_krcore_vertexset(home, set(res_py)):
+            out.disagreement = Disagreement(
+                "oracle-max",
+                f"engine core {_fmt(res_py)} is not a valid (k,r)-core",
+            )
+    return out
+
+
+def _fmt(result) -> str:
+    if result is None:
+        return "None"
+    if isinstance(result, frozenset):
+        return str(sorted(result))
+    return str(result)

@@ -1,0 +1,131 @@
+"""Standalone JSON repro files for shrunk fuzz failures.
+
+A repro file carries everything needed to replay a disagreement with no
+reference to the generator that produced it: the full (shrunk) graph —
+edges plus typed attributes — the ``(k, metric, r)`` query, the solver
+mode and knobs, and the disagreement that was observed when it was
+recorded.  ``tests/test_fuzz_regression.py`` globs
+``tests/fuzz_repros/*.json`` and re-runs every file through the
+differential checker, so a shrunk failure dropped there becomes a
+permanent regression test the moment it is committed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import InvalidParameterError
+from repro.fuzz.differential import Disagreement
+from repro.fuzz.space import FuzzCase
+from repro.graph.attributed_graph import AttributedGraph
+
+FORMAT = "krcore-fuzz-repro"
+VERSION = 1
+
+
+def _attr_to_json(value: Any) -> Dict[str, Any]:
+    if isinstance(value, (set, frozenset)):
+        return {"kind": "set", "value": sorted(map(str, value))}
+    if isinstance(value, dict):
+        return {
+            "kind": "counter",
+            "value": {str(k): float(v) for k, v in sorted(value.items())},
+        }
+    if isinstance(value, (tuple, list)) and len(value) == 2:
+        return {"kind": "point", "value": [float(value[0]), float(value[1])]}
+    raise InvalidParameterError(
+        f"unserialisable attribute value {value!r}"
+    )
+
+
+def _attr_from_json(payload: Dict[str, Any]) -> Any:
+    kind = payload.get("kind")
+    if kind == "set":
+        return frozenset(payload["value"])
+    if kind == "counter":
+        return dict(payload["value"])
+    if kind == "point":
+        x, y = payload["value"]
+        return (float(x), float(y))
+    raise InvalidParameterError(f"unknown attribute kind {kind!r}")
+
+
+def case_to_dict(
+    case: FuzzCase, disagreement: Optional[Disagreement] = None
+) -> Dict[str, Any]:
+    """JSON-ready dict of a case (plus the disagreement it reproduces)."""
+    g = case.graph
+    payload: Dict[str, Any] = {
+        "format": FORMAT,
+        "version": VERSION,
+        "family": case.family,
+        "params": {k: v for k, v in sorted(case.params.items())},
+        "mode": case.mode,
+        "k": case.k,
+        "metric": case.metric,
+        "r": case.r,
+        "search": {k: v for k, v in sorted(case.search.items())},
+        "graph": {
+            "n": g.vertex_count,
+            "edges": sorted(tuple(sorted(e)) for e in g.edges()),
+            "attributes": {
+                str(u): _attr_to_json(g.attribute(u))
+                for u in g.vertices()
+                if g.has_attribute(u)
+            },
+        },
+    }
+    if disagreement is not None:
+        payload["disagreement"] = {
+            "kind": disagreement.kind,
+            "detail": disagreement.detail,
+        }
+    return payload
+
+
+def case_from_dict(payload: Dict[str, Any]) -> FuzzCase:
+    """Rebuild a :class:`FuzzCase` from a repro payload."""
+    if payload.get("format") != FORMAT:
+        raise InvalidParameterError(
+            f"not a {FORMAT} payload: format={payload.get('format')!r}"
+        )
+    gspec = payload["graph"]
+    graph = AttributedGraph(
+        int(gspec["n"]),
+        edges=[(int(u), int(v)) for u, v in gspec["edges"]],
+    )
+    for key, attr in gspec.get("attributes", {}).items():
+        graph.set_attribute(int(key), _attr_from_json(attr))
+    return FuzzCase(
+        graph=graph,
+        k=int(payload["k"]),
+        metric=payload["metric"],
+        r=float(payload["r"]),
+        mode=payload["mode"],
+        search=dict(payload.get("search", {})),
+        family=payload.get("family", "repro"),
+        params=dict(payload.get("params", {})),
+    )
+
+
+def save_repro(
+    path: str,
+    case: FuzzCase,
+    disagreement: Optional[Disagreement] = None,
+) -> str:
+    """Write a standalone repro file; returns the path written."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(case_to_dict(case, disagreement), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_repro(path: str) -> Tuple[FuzzCase, Dict[str, Any]]:
+    """(case, raw payload) from a repro file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return case_from_dict(payload), payload

@@ -1,0 +1,148 @@
+"""Delta-debugging minimisation of a failing fuzz case.
+
+Greedy ddmin-style reduction over three structure levels, repeated to a
+fixpoint: vertex chunks (halves, quarters, then singletons), individual
+edges, then individual attribute tokens (keyword-set and counter
+attributes; a fully drained set becomes the empty attribute).  Each
+candidate reduction is kept only when the case *still fails* the
+supplied predicate, so the minimised instance reproduces the original
+disagreement (or a strictly simpler one) with far fewer moving parts.
+
+Vertex removal re-indexes the graph (the repro file is standalone — it
+no longer corresponds to any generator's parameters), which is why
+:class:`~repro.fuzz.space.FuzzCase` carries a concrete graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterable, List
+
+from repro.fuzz.space import FuzzCase
+from repro.graph.attributed_graph import AttributedGraph
+
+
+def _without_vertices(graph: AttributedGraph, drop: Iterable[int]) -> AttributedGraph:
+    dropped = set(drop)
+    keep = [v for v in graph.vertices() if v not in dropped]
+    return graph.induced_subgraph(keep)
+
+
+def _with_graph(case: FuzzCase, graph: AttributedGraph) -> FuzzCase:
+    return replace(case, graph=graph)
+
+
+def _chunks(items: List[int], size: int) -> List[List[int]]:
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def _shrink_vertices(
+    case: FuzzCase, failing: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """Drop vertex chunks (halves → quarters → singles) while failing."""
+    size = max(1, case.graph.vertex_count // 2)
+    while True:
+        progressed = False
+        for chunk in _chunks(list(case.graph.vertices()), size):
+            if len(chunk) >= case.graph.vertex_count:
+                continue
+            candidate = _with_graph(case, _without_vertices(case.graph, chunk))
+            if candidate.graph.vertex_count and failing(candidate):
+                case = candidate
+                progressed = True
+                break  # vertex ids shifted; restart this granularity
+        if not progressed:
+            if size == 1:
+                return case
+            size = max(1, size // 2)
+
+
+def _shrink_edges(
+    case: FuzzCase, failing: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """Drop individual edges while the case still fails."""
+    changed = True
+    while changed:
+        changed = False
+        for u, v in list(case.graph.edges()):
+            candidate_graph = case.graph.copy()
+            candidate_graph.remove_edge(u, v)
+            candidate = _with_graph(case, candidate_graph)
+            if failing(candidate):
+                case = candidate
+                changed = True
+    return case
+
+
+def _shrink_attributes(
+    case: FuzzCase, failing: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """Drop attribute tokens (set members / counter keys) one at a time."""
+    changed = True
+    while changed:
+        changed = False
+        for u in case.graph.vertices():
+            if not case.graph.has_attribute(u):
+                continue
+            attr = case.graph.attribute(u)
+            if isinstance(attr, (set, frozenset)):
+                reductions = [frozenset(attr - {tok}) for tok in sorted(attr)]
+            elif isinstance(attr, dict):
+                reductions = [
+                    {k: v for k, v in attr.items() if k != key}
+                    for key in sorted(attr)
+                ]
+            else:
+                continue  # points and scalars are atomic
+            for smaller in reductions:
+                candidate_graph = case.graph.copy()
+                candidate_graph.set_attribute(u, smaller)
+                candidate = _with_graph(case, candidate_graph)
+                if failing(candidate):
+                    case = candidate
+                    changed = True
+                    break
+    return case
+
+
+def shrink_case(
+    case: FuzzCase,
+    failing: Callable[[FuzzCase], bool],
+    max_passes: int = 4,
+) -> FuzzCase:
+    """Minimise ``case`` while ``failing(case)`` stays true.
+
+    ``failing`` must be deterministic (re-run the differential check and
+    report whether *any* disagreement remains).  The original case is
+    returned untouched if it does not fail to begin with.
+    """
+    if not failing(case):
+        return case
+    for _ in range(max_passes):
+        before = (
+            case.graph.vertex_count,
+            case.graph.edge_count,
+            _attr_weight(case.graph),
+        )
+        case = _shrink_vertices(case, failing)
+        case = _shrink_edges(case, failing)
+        case = _shrink_attributes(case, failing)
+        after = (
+            case.graph.vertex_count,
+            case.graph.edge_count,
+            _attr_weight(case.graph),
+        )
+        if after == before:
+            break
+    return case
+
+
+def _attr_weight(graph: AttributedGraph) -> int:
+    total = 0
+    for u in graph.vertices():
+        if not graph.has_attribute(u):
+            continue
+        attr = graph.attribute(u)
+        if isinstance(attr, (set, frozenset, dict)):
+            total += len(attr)
+    return total

@@ -19,6 +19,7 @@ Attributes, three flavours selected by ``kind``:
 
 from __future__ import annotations
 
+import hashlib
 import os
 from typing import Any, Dict, Iterator, Optional, TextIO, Tuple, Union
 
@@ -144,6 +145,35 @@ def read_attributed_graph(
     for label, value in read_attributes(attr_source, kind).items():
         builder.set_attribute(label, value)
     return builder.build()
+
+
+def graph_fingerprint(graph: AttributedGraph) -> str:
+    """SHA-256 over a canonical serialisation of edges + attributes.
+
+    The serialisation sorts everything (edges, vertices, set members,
+    dict keys), so the fingerprint is a pure function of the graph's
+    content — independent of adjacency-set iteration order and of
+    ``PYTHONHASHSEED``.  The dataset-determinism CI job diffs these
+    across hash seeds for every registry dataset and adversarial family;
+    tests use it for seed-stability assertions.
+    """
+    h = hashlib.sha256()
+    for u, v in sorted(tuple(sorted(e)) for e in graph.edges()):
+        h.update(f"e {u} {v}\n".encode())
+    for u in sorted(graph.vertices()):
+        if not graph.has_attribute(u):
+            continue
+        attr = graph.attribute(u)
+        if isinstance(attr, (frozenset, set)):
+            canon = "s:" + ",".join(sorted(map(str, attr)))
+        elif isinstance(attr, dict):
+            canon = "d:" + ",".join(
+                f"{key}={attr[key]!r}" for key in sorted(attr)
+            )
+        else:
+            canon = f"v:{attr!r}"
+        h.update(f"a {u} {canon}\n".encode())
+    return h.hexdigest()
 
 
 def write_edge_list(graph: AttributedGraph, target: PathOrFile) -> None:

@@ -1,0 +1,187 @@
+"""Theorem-6 maximal checking and SF(C) retention on adversarial families.
+
+The borderline and interleaved constructions put many pairs exactly on
+the similarity threshold, which is where the maximal check (extensions
+from the excluded set) and candidate retention (``SF(C)`` never branched
+on) earn their correctness: one misjudged pair silently turns a maximal
+core non-maximal or vice versa.  Everything here runs on both engine
+backends and, where instances are small enough, against the brute-force
+oracle.  Edge cases demanded by the families: empty-attribute vertices,
+single-vertex / isolated components, and ``k = 1``.
+"""
+
+import pytest
+
+from conftest import BACKENDS, oracle_maximal_cores
+from repro.core.api import enumerate_maximal_krcores, find_maximum_krcore
+from repro.core.config import adv_enum_config, adv_max_config
+from repro.datasets.adversarial import build_instance
+from repro.graph.attributed_graph import AttributedGraph
+
+
+def _canon(cores):
+    return sorted(sorted(c.vertices) for c in cores)
+
+
+def _enumerate(inst, backend, k=None, **overrides):
+    cfg = adv_enum_config(backend=backend, **overrides)
+    cores, stats = enumerate_maximal_krcores(
+        inst.graph, k if k is not None else inst.k,
+        predicate=inst.predicate(), config=cfg, with_stats=True,
+    )
+    return _canon(cores), stats
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestMaximalCheckOnBorderline:
+    """Theorem 6 (search check) vs Algorithm 1 (pairwise filter)."""
+
+    @pytest.mark.parametrize("n,empty_every", [(9, 0), (12, 4), (12, 5)])
+    def test_search_equals_pairwise(self, backend, n, empty_every):
+        inst = build_instance(
+            "borderline", n=n, chords=0, empty_every=empty_every
+        )
+        search, s_stats = _enumerate(inst, backend, maximal_check="search")
+        pairwise, _ = _enumerate(inst, backend, maximal_check="pairwise")
+        assert search == pairwise
+        if search:
+            assert s_stats.maximal_checks > 0
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_matches_oracle(self, backend, k):
+        inst = build_instance("borderline", n=12, chords=2, empty_every=4)
+        got, _ = _enumerate(inst, backend, k=k, maximal_check="search")
+        want = oracle_maximal_cores(inst.graph, k, inst.predicate())
+        assert got == want
+
+    def test_empty_attribute_vertices_never_in_cores(self, backend):
+        inst = build_instance("borderline", n=12, chords=0, empty_every=3)
+        empties = {
+            u for u in inst.graph.vertices()
+            if inst.graph.attribute(u) == frozenset()
+        }
+        cores, _ = _enumerate(inst, backend)
+        assert empties
+        for core in cores:
+            assert not (set(core) & empties)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestMaximalCheckOnInterleavedAndOnion:
+    def test_interleaved_search_equals_pairwise_and_oracle(self, backend):
+        inst = build_instance(
+            "interleaved", n=12, vocab=6, window=3, half=2, chords=0
+        )
+        search, _ = _enumerate(inst, backend, maximal_check="search")
+        pairwise, _ = _enumerate(inst, backend, maximal_check="pairwise")
+        assert search == pairwise
+        want = oracle_maximal_cores(inst.graph, inst.k, inst.predicate())
+        assert search == want
+
+    def test_onion_sibling_components_checked(self, backend):
+        # Multi-component leaves (pure-shrink paths) must feed sibling
+        # pieces into the Theorem 6 pool; the onion's near-tied
+        # selections make any such mistake visible as a duplicate or a
+        # non-maximal emission.
+        inst = build_instance(
+            "onion", layers=2, options=2, group=3, half=1, core_tokens=6
+        )
+        search, _ = _enumerate(inst, backend, maximal_check="search")
+        assert len(search) == 4
+        assert search == oracle_maximal_cores(
+            inst.graph, inst.k, inst.predicate()
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestRetentionEdgeCases:
+    """SF(C) on threshold-exact instances, with and without Remark 1."""
+
+    def test_all_similar_component_retained_without_branching(self, backend):
+        inst = build_instance(
+            "ring-of-cliques", cliques=4, clique_size=4, cut_cliques=0
+        )
+        cores, stats = _enumerate(inst, backend)
+        assert len(cores) == 1
+        # C == SF(C) at the root: a single leaf, nothing branched.
+        assert stats.retained >= inst.graph.vertex_count
+        assert stats.nodes == 1
+
+    @pytest.mark.parametrize("move", [False, True])
+    def test_retention_toggle_agrees_on_borderline(self, backend, move):
+        inst = build_instance("borderline", n=12, chords=2)
+        baseline, _ = _enumerate(
+            inst, backend, retain_candidates=False,
+            move_similarity_free=False, maximal_check="pairwise",
+        )
+        retained, _ = _enumerate(
+            inst, backend, retain_candidates=True,
+            move_similarity_free=move, maximal_check="pairwise",
+        )
+        assert baseline == retained
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestDegenerateComponents:
+    """k=1, isolated vertices, single-edge components."""
+
+    def _with_isolated_vertices(self, inst):
+        g = inst.graph
+        grown = AttributedGraph(g.vertex_count + 3)
+        for u, v in g.edges():
+            grown.add_edge(u, v)
+        for u in g.vertices():
+            if g.has_attribute(u):
+                grown.set_attribute(u, g.attribute(u))
+        # Two attributed isolates and one attributeless isolate: all must
+        # be peeled (degree < k) without tripping either backend.
+        grown.set_attribute(g.vertex_count, frozenset(["b0"]))
+        grown.set_attribute(g.vertex_count + 1, frozenset())
+        return grown
+
+    def test_isolated_vertices_are_harmless(self, backend):
+        inst = build_instance("borderline", n=9, chords=0)
+        grown = self._with_isolated_vertices(inst)
+        cfg = adv_enum_config(backend=backend)
+        cores = enumerate_maximal_krcores(
+            grown, inst.k, predicate=inst.predicate(), config=cfg
+        )
+        base = enumerate_maximal_krcores(
+            inst.graph, inst.k, predicate=inst.predicate(),
+            config=adv_enum_config(backend=backend),
+        )
+        assert _canon(cores) == _canon(base)
+
+    def test_k1_single_edge_components(self, backend):
+        # Three 2-cliques with pairwise-dissimilar, internally-identical
+        # profiles: at k=1 each surviving edge is its own maximal core.
+        g = AttributedGraph(6, edges=[(0, 1), (2, 3), (4, 5)])
+        for i, token in enumerate(("x", "y", "z")):
+            profile = frozenset({f"{token}0", f"{token}1"})
+            g.set_attribute(2 * i, profile)
+            g.set_attribute(2 * i + 1, profile)
+        from repro.similarity.threshold import SimilarityPredicate
+        pred = SimilarityPredicate("jaccard", 0.5)
+        cores = enumerate_maximal_krcores(
+            g, 1, predicate=pred, config=adv_enum_config(backend=backend)
+        )
+        assert _canon(cores) == [[0, 1], [2, 3], [4, 5]]
+        best = find_maximum_krcore(
+            g, 1, predicate=pred, config=adv_max_config(backend=backend)
+        )
+        assert len(best.vertices) == 2
+
+    def test_maximum_on_empty_survivors(self, backend):
+        # Every vertex dissimilar to every other: no (k,r)-core exists.
+        g = AttributedGraph(4, edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        for u in g.vertices():
+            g.set_attribute(u, frozenset({f"only{u}"}))
+        from repro.similarity.threshold import SimilarityPredicate
+        pred = SimilarityPredicate("jaccard", 0.5)
+        cores = enumerate_maximal_krcores(
+            g, 1, predicate=pred, config=adv_enum_config(backend=backend)
+        )
+        assert cores == []
+        assert find_maximum_krcore(
+            g, 1, predicate=pred, config=adv_max_config(backend=backend)
+        ) is None

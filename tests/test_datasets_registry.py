@@ -112,6 +112,12 @@ class TestHashSeedIndependence:
                 [sys.executable, script, "--scale", "0.2"],
                 capture_output=True, text=True, env=env, check=True,
             )
-            assert proc.stdout.count("\n") == len(DATASETS), proc.stdout
+            # One line per registry dataset, plus one per adversarial
+            # family default and one per sampled size class.
+            from repro.datasets.adversarial import FAMILIES
+            expected = len(DATASETS) + sum(
+                1 + len(f.samplers) for f in FAMILIES.values()
+            )
+            assert proc.stdout.count("\n") == expected, proc.stdout
             outputs.append(proc.stdout)
         assert outputs[0] == outputs[1]

@@ -1,0 +1,63 @@
+"""Auto-loaded regression tests from serialized fuzz repros.
+
+Every ``tests/fuzz_repros/*.json`` file is a standalone instance the
+fuzz harness once shrank out of a disagreement (see
+``scripts/fuzz_krcore.py``).  Committing a repro here pins it forever:
+each file is replayed through the full differential check — python
+engine vs csr engine (results and stats parity) vs the brute-force
+oracle — and must come back clean.
+
+The checked-in ``injected-bound-shave-onion.json`` was produced by the
+harness's self-test: it is the minimal witness of the *deliberately*
+injected invalid-bound fault (``KRCORE_FUZZ_INJECT=bound-shave``), so it
+must disagree with the fault flipped on and agree with it off — both
+directions are asserted below.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.core.bounds import FAULT_ENV
+from repro.fuzz.differential import run_case
+from repro.fuzz.repro_io import load_repro
+
+REPRO_DIR = os.path.join(os.path.dirname(__file__), "fuzz_repros")
+REPRO_FILES = sorted(glob.glob(os.path.join(REPRO_DIR, "*.json")))
+
+
+def _ids(paths):
+    return [os.path.basename(p) for p in paths]
+
+
+def test_repro_directory_is_populated():
+    # The self-test witness ships with the repo; an empty directory means
+    # the auto-load machinery is silently testing nothing.
+    assert REPRO_FILES, f"no repro files found under {REPRO_DIR}"
+
+
+@pytest.mark.parametrize("path", REPRO_FILES, ids=_ids(REPRO_FILES))
+def test_repro_replays_clean(path):
+    case, payload = load_repro(path)
+    assert payload["format"] == "krcore-fuzz-repro"
+    result = run_case(case)
+    assert result.ok, (
+        f"{os.path.basename(path)} regressed: {result.disagreement}"
+    )
+
+
+@pytest.mark.parametrize(
+    "path",
+    [p for p in REPRO_FILES if "injected" in os.path.basename(p)],
+    ids=_ids([p for p in REPRO_FILES if "injected" in os.path.basename(p)]),
+)
+def test_injected_fault_witness_still_detects(path, monkeypatch):
+    """The shrunk witness must keep catching the fault it was minimised for."""
+    case, _ = load_repro(path)
+    monkeypatch.setenv(FAULT_ENV, "bound-shave")
+    result = run_case(case)
+    assert result.disagreement is not None, (
+        "the injected-fault witness no longer detects the shaved bound — "
+        "the differential harness has lost sensitivity"
+    )
