@@ -1,0 +1,249 @@
+"""Parallel component execution benchmark: serial vs process pool.
+
+The preprocessing theorem splits every instance into independent k-core
+components; :mod:`repro.core.executor` fans their searches over a
+process pool.  This benchmark measures that fan-out on a workload built
+to *have* component-level parallelism — many same-shaped components,
+each with a non-trivial search tree:
+
+* **enumeration** — a disjoint union of deep-tree onion instances
+  (:mod:`repro.datasets.adversarial`) with *mixed* group sizes, so the
+  hardness-aware scheduler has real long poles to start first.  Each
+  component is a ~2k-node branch-and-bound tree over a small vertex set
+  — high compute per payload byte, which is exactly the regime where a
+  process pool pays off.  Components are independent, so the speedup is
+  bounded only by worker count and pickling overhead.
+
+* **maximum** — a disjoint union of ``onions`` deep-maximum-tree onion
+  instances.  The two-phase schedule solves them in
+  :data:`~repro.core.executor.MAXIMUM_BATCH`-wide batches (each batch
+  seeded with the best core of the previous ones), so parallelism is
+  capped at the batch width — the measured number reported here is the
+  honest one for the maximum engine.
+
+Both modes double as an equivalence check: the process run must emit
+exactly the serial results.  In full mode the enumeration speedup at
+``--workers`` (default 4) is gated at >= 1.8x — the CI
+``kernel-speedup`` job relies on it.  The worker pool is created and
+warmed before timing: interpreter spawn is a one-off cost an actual
+deployment pays once per process lifetime, not once per query.
+
+Standalone script (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_components.py           # full
+    PYTHONPATH=src python benchmarks/bench_parallel_components.py --smoke   # CI tests job
+    PYTHONPATH=src python benchmarks/bench_parallel_components.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.config import adv_enum_config, adv_max_config
+from repro.core.executor import shutdown_pools
+from repro.core.solver import run_enumeration, run_maximum
+from repro.datasets.adversarial import build_instance
+from repro.graph.attributed_graph import AttributedGraph
+from repro.similarity.threshold import SimilarityPredicate
+
+#: Full-mode enumeration workload: 12 onion components with mixed group
+#: sizes (the 2^layers near-tied maximal cores per component give each
+#: one a ~2k-node enumeration tree over only ~150-180 vertices).
+FULL = dict(count=12, layers=5, options=2, groups=(18, 16, 14), half=3)
+#: Smoke-mode workload: same shape, small enough for the tests job.
+SMOKE = dict(count=4, layers=3, options=2, groups=(6, 7), half=2)
+
+#: Maximum workload: same-size onions, so no component is skipped and
+#: the two-phase schedule's batch width is the only parallelism cap.
+ONIONS_FULL = dict(count=8, layers=4, options=2, groups=(18,), half=3)
+ONIONS_SMOKE = dict(count=4, layers=3, options=2, groups=(6,), half=2)
+
+#: Full-mode gate: enumeration speedup at the benchmark worker count.
+PARALLEL_GATE = 1.8
+
+
+def onion_union(count: int, groups=(18,), **params) -> tuple:
+    """Disjoint union of ``count`` onion instances (one component each).
+
+    ``groups`` cycles per instance, so a multi-value tuple yields a
+    mixed-size workload (bigger components are hardness-scheduled
+    first).
+    """
+    insts = [
+        build_instance(
+            "onion", seed=i, group=groups[i % len(groups)], **params
+        )
+        for i in range(count)
+    ]
+    total = sum(inst.graph.vertex_count for inst in insts)
+    g = AttributedGraph(total)
+    off = 0
+    for inst in insts:
+        for u, v in inst.graph.edges():
+            g.add_edge(off + u, off + v)
+        for u in inst.graph.vertices():
+            if inst.graph.has_attribute(u):
+                g.set_attribute(off + u, inst.graph.attribute(u))
+        off += inst.graph.vertex_count
+    return g, insts[0].k, insts[0].predicate()
+
+
+def warm_pool(workers: int) -> float:
+    """Spawn and warm the worker pool; returns the one-off cost (s)."""
+    g = AttributedGraph(4)
+    for u, v in ((0, 1), (1, 2), (0, 2), (2, 3), (1, 3)):
+        g.add_edge(u, v)
+    for u in g.vertices():
+        g.set_attribute(u, frozenset({"w"}))
+    cfg = adv_enum_config(executor="process", workers=workers)
+    t0 = time.perf_counter()
+    run_enumeration(g, 2, SimilarityPredicate("jaccard", 0.5), cfg)
+    return time.perf_counter() - t0
+
+
+def timed(fn, *args):
+    t0 = time.perf_counter()
+    out = fn(*args)
+    return out, time.perf_counter() - t0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny instance for CI: validates paths, skips the speed gate",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="process-pool size measured against serial (default 4)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help=f"enumeration speedup gate (default {PARALLEL_GATE} in full "
+             "mode, disabled in --smoke)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the measurements as JSON (CI uploads these artifacts)",
+    )
+    args = parser.parse_args(argv)
+    gate = args.min_speedup
+    if gate is None:
+        gate = None if args.smoke else PARALLEL_GATE
+
+    params = SMOKE if args.smoke else FULL
+    onion_params = ONIONS_SMOKE if args.smoke else ONIONS_FULL
+    enum_g, enum_k, enum_pred = onion_union(**params)
+    union, union_k, union_pred = onion_union(**onion_params)
+    print(
+        f"enumeration workload: {params['count']} onion components "
+        f"(groups {params['groups']}), n={enum_g.vertex_count}, "
+        f"m={enum_g.edge_count}, k={enum_k}"
+    )
+    print(
+        f"maximum workload: {onion_params['count']} onion components, "
+        f"n={union.vertex_count}, m={union.edge_count}, k={union_k}"
+    )
+
+    spawn_s = warm_pool(args.workers)
+    print(f"pool spawn + warmup ({args.workers} workers, one-off): "
+          f"{spawn_s:6.2f}s")
+
+    serial_enum = adv_enum_config()
+    par_enum = adv_enum_config(executor="process", workers=args.workers)
+    serial_max = adv_max_config()
+    par_max = adv_max_config(executor="process", workers=args.workers)
+
+    rows = []
+    failures = 0
+    speedups = {}
+    runs = (
+        ("enumerate", run_enumeration, (enum_g, enum_k, enum_pred),
+         serial_enum, par_enum),
+        ("maximum", run_maximum, (union, union_k, union_pred),
+         serial_max, par_max),
+    )
+    for name, fn, wl, cfg_s, cfg_p in runs:
+        (res_s, stats_s), t_s = timed(fn, *wl, cfg_s)
+        (res_p, stats_p), t_p = timed(fn, *wl, cfg_p)
+        if name == "enumerate":
+            same = (
+                sorted(sorted(c.vertices) for c in res_s)
+                == sorted(sorted(c.vertices) for c in res_p)
+            )
+        else:
+            same = (res_s is None) == (res_p is None) and (
+                res_s is None or set(res_s.vertices) == set(res_p.vertices)
+            )
+        if not same:
+            failures += 1
+            print(f"FAIL: {name} serial and process results disagree")
+        if stats_s.nodes != stats_p.nodes:
+            failures += 1
+            print(f"FAIL: {name} stats diverged "
+                  f"(serial {stats_s.nodes} vs process {stats_p.nodes} nodes)")
+        speedup = t_s / t_p if t_p > 0 else float("inf")
+        speedups[name] = speedup
+        rows.append({
+            "mode": name,
+            "components": stats_s.components,
+            "serial_s": t_s, "process_s": t_p,
+            "workers": args.workers,
+            "speedup": speedup,
+            "nodes": stats_s.nodes,
+        })
+        print(f"{name:>10}: serial {t_s:7.2f}s  process({args.workers}) "
+              f"{t_p:7.2f}s  {speedup:5.2f}x  "
+              f"({stats_s.components} components, {stats_s.nodes} nodes)")
+
+    gate_failed = gate is not None and speedups["enumerate"] < gate
+    if args.json:
+        payload = {
+            "benchmark": "parallel_components",
+            "mode": "smoke" if args.smoke else "full",
+            "workers": args.workers,
+            "pool_spawn_seconds": spawn_s,
+            "workloads": {
+                "onion_enum": {
+                    **{k_: list(v) if isinstance(v, tuple) else v
+                       for k_, v in params.items()},
+                    "k": enum_k,
+                    "vertices": enum_g.vertex_count,
+                    "edges": enum_g.edge_count,
+                },
+                "onion_max": {
+                    **{k_: list(v) if isinstance(v, tuple) else v
+                       for k_, v in onion_params.items()},
+                    "k": union_k,
+                    "vertices": union.vertex_count,
+                    "edges": union.edge_count,
+                },
+            },
+            "rows": rows,
+            "gates": {
+                "parallel_speedup_min": gate,
+                "parallel_speedup": speedups["enumerate"],
+                "passed": not (failures or gate_failed),
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    shutdown_pools()
+    if failures:
+        print(f"FAIL: {failures} serial/process disagreement(s)")
+        return 1
+    if gate_failed:
+        print(f"FAIL: enumeration speedup {speedups['enumerate']:.2f}x "
+              f"< {gate:.1f}x gate at {args.workers} workers")
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

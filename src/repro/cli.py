@@ -79,6 +79,10 @@ def _add_graph_args(p: argparse.ArgumentParser, require_k: bool = True) -> None:
     p.add_argument("--backend", choices=("csr", "python"), default=None,
                    help="preprocessing kernels: array-native CSR (default) "
                         "or the set-based python reference")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="solve independent k-core components on a process "
+                        "pool of N workers (results identical to serial; "
+                        "default: serial in-process execution)")
     p.add_argument("--time-limit", type=float, default=None,
                    help="seconds before the solver stops with partial results")
     p.add_argument("--max-print", type=int, default=10,
@@ -115,11 +119,19 @@ def _load_graph(args) -> Tuple[AttributedGraph, SimilarityPredicate]:
     raise ReproError("pass a threshold: --r, --km or --permille")
 
 
+def _executor_overrides(args) -> dict:
+    """``--workers N`` maps to the process executor with N workers."""
+    if args.workers is None:
+        return {}
+    return {"executor": "process", "workers": args.workers}
+
+
 def _cmd_mine(args) -> int:
     graph, pred = _load_graph(args)
     cores, stats = enumerate_maximal_krcores(
         graph, args.k, predicate=pred, algorithm=args.algorithm,
         backend=args.backend, time_limit=args.time_limit, with_stats=True,
+        **_executor_overrides(args),
     )
     print(f"maximal ({args.k},{pred.r:g})-cores: {len(cores)} "
           f"[{stats.elapsed:.2f}s, {stats.nodes} nodes]")
@@ -137,6 +149,7 @@ def _cmd_maximum(args) -> int:
     best, stats = find_maximum_krcore(
         graph, args.k, predicate=pred, algorithm=args.algorithm,
         backend=args.backend, time_limit=args.time_limit, with_stats=True,
+        **_executor_overrides(args),
     )
     if best is None:
         print(f"no ({args.k},{pred.r:g})-core exists "
@@ -166,6 +179,7 @@ def _cmd_stats(args) -> int:
     stats = krcore_statistics(
         graph, args.k, predicate=pred, algorithm=args.algorithm,
         backend=args.backend, time_limit=args.time_limit,
+        **_executor_overrides(args),
     )
     print(f"count={stats['count']} max_size={stats['max_size']} "
           f"avg_size={stats['avg_size']:.2f}")
@@ -187,6 +201,7 @@ def _print_sweep(args, ks: List[int], rs: Optional[List[float]]) -> int:
     rows, stats = session.sweep(
         ks, rs, predicate=pred, algorithm=args.algorithm,
         time_limit=args.time_limit, with_stats=True,
+        **_executor_overrides(args),
     )
     for row in rows:
         print(f"k={row['k']} r={row['r']:g} count={row['count']} "

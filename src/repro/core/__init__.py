@@ -19,6 +19,7 @@ from repro.core.decomposition import (
     threshold_profile,
 )
 from repro.core.dynamic import DynamicKRCoreMiner
+from repro.core.executor import shutdown_pools
 from repro.core.heuristics import greedy_maximum_krcore
 from repro.core.config import (
     SearchConfig,
@@ -47,6 +48,7 @@ __all__ = [
     "krcore_vertex_memberships",
     "DynamicKRCoreMiner",
     "greedy_maximum_krcore",
+    "shutdown_pools",
     "SearchConfig",
     "KRCore",
     "SearchStats",

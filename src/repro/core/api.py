@@ -41,6 +41,8 @@ def enumerate_maximal_krcores(
     algorithm: str = "advanced",
     config: Optional[SearchConfig] = None,
     backend: Optional[str] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
     time_limit: Optional[float] = None,
     node_limit: Optional[int] = None,
     with_stats: bool = False,
@@ -69,6 +71,12 @@ def enumerate_maximal_krcores(
         Preprocessing kernel selection: ``"csr"`` (array-native, the
         config default) or ``"python"`` (set-based reference).  Overrides
         the config's/preset's ``backend`` when given.
+    executor / workers:
+        Component execution: ``"serial"`` (the default) or ``"process"``
+        (independent k-core components fanned out over a worker pool of
+        ``workers`` processes; ``None`` = ``os.cpu_count()``).  Results
+        and merged stats are identical either way; override the
+        config's/preset's settings when given.
     time_limit / node_limit:
         Optional budget; exceeded budgets raise
         :class:`~repro.exceptions.SearchBudgetExceeded` carrying partial
@@ -88,8 +96,8 @@ def enumerate_maximal_krcores(
     session = KRCoreSession(graph, copy=False)
     return session.enumerate(
         k, r, metric=metric, predicate=predicate, algorithm=algorithm,
-        config=config, backend=backend, time_limit=time_limit,
-        node_limit=node_limit, with_stats=with_stats,
+        config=config, backend=backend, executor=executor, workers=workers,
+        time_limit=time_limit, node_limit=node_limit, with_stats=with_stats,
     )
 
 
@@ -103,6 +111,8 @@ def find_maximum_krcore(
     algorithm: str = "advanced",
     config: Optional[SearchConfig] = None,
     backend: Optional[str] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
     time_limit: Optional[float] = None,
     node_limit: Optional[int] = None,
     with_stats: bool = False,
@@ -119,8 +129,8 @@ def find_maximum_krcore(
     session = KRCoreSession(graph, copy=False)
     return session.maximum(
         k, r, metric=metric, predicate=predicate, algorithm=algorithm,
-        config=config, backend=backend, time_limit=time_limit,
-        node_limit=node_limit, with_stats=with_stats,
+        config=config, backend=backend, executor=executor, workers=workers,
+        time_limit=time_limit, node_limit=node_limit, with_stats=with_stats,
     )
 
 
@@ -134,6 +144,8 @@ def krcore_statistics(
     algorithm: str = "advanced",
     config: Optional[SearchConfig] = None,
     backend: Optional[str] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
     time_limit: Optional[float] = None,
     node_limit: Optional[int] = None,
     with_stats: bool = False,
@@ -150,6 +162,6 @@ KRCoreSession.sweep>` (README "Sessions and repeated queries").
     session = KRCoreSession(graph, copy=False)
     return session.statistics(
         k, r, metric=metric, predicate=predicate, algorithm=algorithm,
-        config=config, backend=backend, time_limit=time_limit,
-        node_limit=node_limit, with_stats=with_stats,
+        config=config, backend=backend, executor=executor, workers=workers,
+        time_limit=time_limit, node_limit=node_limit, with_stats=with_stats,
     )

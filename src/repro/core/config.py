@@ -14,7 +14,11 @@ Every technique of the paper is a flag here, so the benchmark ablations
 * ``order`` / ``branch`` / ``lam`` — the Section 7 search orders;
 * ``backend``            — preprocessing kernels: ``"csr"`` (array-native
   CSR adjacency + vectorised peeling, the default) or ``"python"`` (the
-  original set-based code, kept as a reference fallback).
+  original set-based code, kept as a reference fallback);
+* ``executor`` / ``workers`` — component execution: ``"serial"`` (one
+  core, the default) or ``"process"`` (independent k-core components
+  fanned out over a process pool; see :mod:`repro.core.executor`).
+  Results and merged stats are identical either way.
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ BRANCH_ORDERS = ("adaptive", "expand", "shrink")
 MAXIMAL_CHECKS = ("search", "pairwise", "none")
 BOUNDS = ("naive", "color-kcore", "kkprime")
 BACKENDS = ("csr", "python")
+EXECUTORS = ("serial", "process")
 
 
 @dataclass(frozen=True)
@@ -57,6 +62,8 @@ class SearchConfig:
     bound: str = "kkprime"              # size upper bound (§6.2)
     warm_start: bool = False            # greedy lower bound before searching
     backend: str = "csr"                # preprocessing kernels: "csr" or "python"
+    executor: str = "serial"            # component execution: "serial" or "process"
+    workers: Optional[int] = None       # process-pool size; None = os.cpu_count()
     seed: int = 0                       # RNG seed for the random order
     time_limit: Optional[float] = None  # seconds; None = unlimited
     node_limit: Optional[int] = None    # search-tree nodes; None = unlimited
@@ -88,6 +95,14 @@ class SearchConfig:
         if self.backend not in BACKENDS:
             raise InvalidParameterError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.executor not in EXECUTORS:
+            raise InvalidParameterError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise InvalidParameterError(
+                f"workers must be a positive integer, got {self.workers}"
             )
         if self.on_budget not in ("raise", "partial"):
             raise InvalidParameterError(

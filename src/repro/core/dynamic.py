@@ -45,7 +45,12 @@ class DynamicKRCoreMiner:
         The usual (k,r)-core parameters, fixed for the miner's lifetime.
     config:
         Solver configuration for the per-component searches (defaults to
-        AdvEnum; its ``backend`` selects the preprocessing kernels).
+        AdvEnum; its ``backend`` selects the preprocessing kernels and
+        its ``executor``/``workers`` the execution layer).
+    executor / workers:
+        Component execution overrides (``"process"`` re-solves the dirty
+        components of each refresh over a worker pool — results are
+        identical to serial); applied on top of ``config``.
 
     Usage
     -----
@@ -61,11 +66,18 @@ class DynamicKRCoreMiner:
         k: int,
         predicate: SimilarityPredicate,
         config: Optional[SearchConfig] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
     ):
         if k < 1:
             raise InvalidParameterError(f"k must be positive, got {k}")
+        cfg = config or adv_enum_config()
+        if executor is not None:
+            cfg = cfg.evolve(executor=executor)
+        if workers is not None:
+            cfg = cfg.evolve(workers=workers)
         self._session = KRCoreSession(
-            graph, config=config or adv_enum_config(), copy=True,
+            graph, config=cfg, copy=True,
         )
         self._k = k
         self._predicate = predicate

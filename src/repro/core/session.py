@@ -61,6 +61,14 @@ from repro.core.config import (
     resolve_max_config,
 )
 from repro.core.context import Budget, ComponentContext
+from repro.core.executor import (
+    component_sort_key,
+    component_task,
+    make_executor,
+    merge_outcome,
+    raise_for_outcome,
+    remaining_time,
+)
 from repro.core.maximum import find_maximum_in_component
 from repro.core.results import KRCore, summarize_cores
 from repro.core.solver import (
@@ -68,8 +76,11 @@ from repro.core.solver import (
     component_index,
     component_sets,
     freeze_graph,
+    improves,
+    iter_maximum_batches,
     kcore_survivors,
     max_component_degree,
+    maximum_schedule,
     resolve_engine,
 )
 from repro.core.stats import SearchStats
@@ -295,6 +306,8 @@ class KRCoreSession:
         algorithm: str = "advanced",
         config: Optional[SearchConfig] = None,
         backend: Optional[str] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
         time_limit: Optional[float] = None,
         node_limit: Optional[int] = None,
         with_stats: bool = False,
@@ -309,7 +322,9 @@ class KRCoreSession:
         engine, cfg = resolve_enumeration_setup(
             algorithm, config if config is not None else self._default_config
         )
-        cfg = self._apply_overrides(cfg, backend, time_limit, node_limit)
+        cfg = self._apply_overrides(
+            cfg, backend, time_limit, node_limit, executor, workers
+        )
         cores, stats = self._run_enumeration(k, predicate, cfg, engine)
         cores.sort(key=lambda c: (-c.size, sorted(c.vertices)))
         self.total_stats.merge(stats)
@@ -327,6 +342,8 @@ class KRCoreSession:
         algorithm: str = "advanced",
         config: Optional[SearchConfig] = None,
         backend: Optional[str] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
         time_limit: Optional[float] = None,
         node_limit: Optional[int] = None,
         with_stats: bool = False,
@@ -339,7 +356,9 @@ class KRCoreSession:
             cfg = self._default_config
         else:
             cfg = resolve_max_config(algorithm)
-        cfg = self._apply_overrides(cfg, backend, time_limit, node_limit)
+        cfg = self._apply_overrides(
+            cfg, backend, time_limit, node_limit, executor, workers
+        )
         core, stats = self._run_maximum(k, predicate, cfg)
         self.total_stats.merge(stats)
         if with_stats:
@@ -356,6 +375,8 @@ class KRCoreSession:
         algorithm: str = "advanced",
         config: Optional[SearchConfig] = None,
         backend: Optional[str] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
         time_limit: Optional[float] = None,
         node_limit: Optional[int] = None,
         with_stats: bool = False,
@@ -363,7 +384,8 @@ class KRCoreSession:
         """Count / max size / average size of all maximal (k,r)-cores."""
         cores, stats = self.enumerate(
             k, r, metric=metric, predicate=predicate, algorithm=algorithm,
-            config=config, backend=backend, time_limit=time_limit,
+            config=config, backend=backend, executor=executor,
+            workers=workers, time_limit=time_limit,
             node_limit=node_limit, with_stats=True,
         )
         summary = summarize_cores(cores)
@@ -381,6 +403,8 @@ class KRCoreSession:
         algorithm: str = "advanced",
         config: Optional[SearchConfig] = None,
         backend: Optional[str] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
         time_limit: Optional[float] = None,
         node_limit: Optional[int] = None,
     ) -> Dict[int, int]:
@@ -390,7 +414,8 @@ class KRCoreSession:
         """
         cores = self.enumerate(
             k, r, metric=metric, predicate=predicate, algorithm=algorithm,
-            config=config, backend=backend, time_limit=time_limit,
+            config=config, backend=backend, executor=executor,
+            workers=workers, time_limit=time_limit,
             node_limit=node_limit,
         )
         counts: Dict[int, int] = {}
@@ -409,6 +434,8 @@ class KRCoreSession:
         algorithm: str = "advanced",
         config: Optional[SearchConfig] = None,
         backend: Optional[str] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
         time_limit: Optional[float] = None,
         with_stats: bool = False,
     ):
@@ -418,10 +445,24 @@ class KRCoreSession:
         but computed threshold-major with ``k`` ascending so the
         monotone-peel and pairwise-value layers see their best case.
         Each row is ``{"k", "r", "count", "max_size", "avg_size"}``.
+
+        On the process executor the whole grid's uncached component
+        searches are collected up front, de-duplicated by their exact
+        engine-input signature, and fanned into **one** hardness-ordered
+        pool pass; the per-point statistics loop then runs entirely from
+        the result cache.  Rows are identical to the serial sweep.
         """
         ks = list(ks)
         rs = list(rs)
         agg = SearchStats()
+        engine, cfg = resolve_enumeration_setup(
+            algorithm, config if config is not None else self._default_config
+        )
+        cfg = self._apply_overrides(
+            cfg, backend, time_limit, None, executor, workers
+        )
+        if make_executor(cfg) is not None:
+            self._sweep_prefill(ks, rs, metric, predicate, engine, cfg, agg)
         rows_by: Dict[Tuple[int, float], Dict[str, float]] = {}
         for r_ in rs:
             for k_ in sorted(set(ks)):
@@ -434,6 +475,7 @@ class KRCoreSession:
                         else None
                     ),
                     algorithm=algorithm, config=config, backend=backend,
+                    executor=executor, workers=workers,
                     time_limit=time_limit, with_stats=True,
                 )
                 rows_by[(k_, r_)] = {"k": k_, "r": r_, **summary}
@@ -442,6 +484,82 @@ class KRCoreSession:
         if with_stats:
             return rows, agg
         return rows
+
+    def _sweep_point_predicate(
+        self,
+        r_: float,
+        metric: Union[str, Callable, None],
+        predicate: Optional[SimilarityPredicate],
+    ) -> SimilarityPredicate:
+        """The predicate one sweep grid point resolves to."""
+        if predicate is not None:
+            return predicate.with_threshold(r_)
+        return SimilarityPredicate(metric or self._default_metric, r_)
+
+    def _sweep_prefill(
+        self,
+        ks: Sequence[int],
+        rs: Sequence[float],
+        metric: Union[str, Callable, None],
+        predicate: Optional[SimilarityPredicate],
+        engine: str,
+        cfg: SearchConfig,
+        agg: SearchStats,
+    ) -> None:
+        """Solve every uncached component of a sweep grid in one pool pass.
+
+        Walks the grid in the sweep's computation order, preparing each
+        point through the layered caches, and collects the component
+        searches whose results are not yet cached — keyed by the exact
+        engine-input signature, so a component shared by several grid
+        points (or several points inducing the same similarity
+        structure) is solved exactly once.  Tasks are submitted
+        hardest-estimated first; results land in the session result
+        cache, from which the per-point statistics loop then serves the
+        whole grid.
+        """
+        executor = make_executor(cfg)
+        fp = self._config_fingerprint(cfg)
+        budget = Budget(cfg.time_limit, cfg.node_limit)
+        pending: Dict[Tuple, Tuple[int, Any]] = {}
+        for r_ in rs:
+            pred = self._sweep_point_predicate(r_, metric, predicate)
+            for k_ in sorted(set(ks)):
+                for part in self._prepare(k_, pred, cfg.backend, agg):
+                    key = ("enum", engine, fp, k_, part.signature)
+                    if key in pending or key in self._results:
+                        continue
+                    pending[key] = (k_, part)
+        if not pending:
+            return
+        items = sorted(
+            pending.items(),
+            key=lambda kv: component_sort_key(
+                len(kv[1][1].vertices),
+                kv[1][1].max_degree,
+                min(kv[1][1].vertices),
+            ),
+        )
+        tasks = [
+            component_task(
+                cid, "enumerate", engine, part.vertices, part.adj,
+                part.index, k_, cfg, time_left=remaining_time(budget),
+            )
+            for cid, (_, (k_, part)) in enumerate(items)
+        ]
+        for (key, _), out in zip(items, executor.run(tasks)):
+            agg.merge(out.stats)
+            if out.status == "budget":
+                # The prefill shares ONE budget window across the whole
+                # grid, but the serial sweep gives every point its own —
+                # so a prefill trip must not fail (or constrain) the
+                # sweep.  Stop prefilling; the per-point loop re-solves
+                # whatever is still missing under the exact per-point
+                # budget semantics.
+                break
+            raise_for_outcome(out)  # worker faults are real errors
+            agg.cache_misses += 1
+            self._result_put(key, out.result)
 
     # ------------------------------------------------------------------
     # Query plumbing
@@ -466,10 +584,16 @@ class KRCoreSession:
         backend: Optional[str],
         time_limit: Optional[float],
         node_limit: Optional[int],
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> SearchConfig:
         backend = backend if backend is not None else self._default_backend
         if backend is not None:
             cfg = cfg.evolve(backend=backend)
+        if executor is not None:
+            cfg = cfg.evolve(executor=executor)
+        if workers is not None:
+            cfg = cfg.evolve(workers=workers)
         if time_limit is not None:
             cfg = cfg.evolve(time_limit=time_limit)
         if node_limit is not None:
@@ -478,13 +602,18 @@ class KRCoreSession:
 
     @staticmethod
     def _config_fingerprint(cfg: SearchConfig) -> SearchConfig:
-        """Budget-free view of a config — the result-relevant knobs only.
+        """Budget- and executor-free view of a config — result-relevant knobs only.
 
         Budgets never change a *completed* component's result (results
-        are cached only after a component finishes searching), so
-        budget-limited and unlimited runs share cache entries.
+        are cached only after a component finishes searching), and the
+        execution layer never changes any result at all, so
+        budget-limited/unlimited and serial/parallel runs all share
+        cache entries.
         """
-        return cfg.evolve(time_limit=None, node_limit=None, on_budget="raise")
+        return cfg.evolve(
+            time_limit=None, node_limit=None, on_budget="raise",
+            executor="serial", workers=None,
+        )
 
     def _run_enumeration(
         self,
@@ -494,32 +623,62 @@ class KRCoreSession:
         engine: str,
     ) -> Tuple[List[KRCore], SearchStats]:
         component_fn = resolve_engine(engine)
+        executor = make_executor(cfg)
         fp = self._config_fingerprint(cfg)
         stats = SearchStats()
         budget = Budget(cfg.time_limit, cfg.node_limit)
         start = time.monotonic()
         cores: List[KRCore] = []
+        founds: Dict[int, List[FrozenSet[int]]] = {}
         try:
             parts = self._prepare(k, predicate, cfg.backend, stats)
-            for part in parts:
-                # The engines are pure functions of (vertices, adj,
-                # index, k, config); the signature captures exactly
-                # those, so sweep points that induce the same filtered
-                # component and similarity structure share results.
-                key = ("enum", engine, fp, k, part.signature)
-                found = self._result_get(key)
+            # The engines are pure functions of (vertices, adj, index,
+            # k, config); the signature captures exactly those, so sweep
+            # points that induce the same filtered component and
+            # similarity structure share results.
+            keys = [("enum", engine, fp, k, part.signature) for part in parts]
+            missing: List[int] = []
+            for i, part in enumerate(parts):
+                found = self._result_get(keys[i])
                 if found is not None:
                     stats.cache_hits += 1
+                    founds[i] = found
                 else:
-                    ctx = self._context(part, k, cfg, stats, budget)
+                    missing.append(i)
+            if missing and executor is None:
+                for i in missing:
+                    ctx = self._context(parts[i], k, cfg, stats, budget)
                     found = component_fn(ctx)
-                    part.bitset = ctx.bitset  # keep the packed form warm
+                    parts[i].bitset = ctx.bitset  # keep the packed form warm
                     stats.cache_misses += 1
-                    self._result_put(key, found)
-                for vs in found:
+                    self._result_put(keys[i], found)
+                    founds[i] = found
+            elif missing:
+                tasks = [
+                    component_task(
+                        i, "enumerate", engine, parts[i].vertices,
+                        parts[i].adj, parts[i].index, k, cfg,
+                        time_left=remaining_time(budget),
+                    )
+                    for i in missing
+                ]
+                for i, out in zip(missing, executor.run(tasks)):
+                    merge_outcome(out, stats, cfg.node_limit)
+                    stats.cache_misses += 1
+                    self._result_put(keys[i], out.result)
+                    founds[i] = out.result
+            for i in range(len(parts)):
+                for vs in founds[i]:
                     cores.append(KRCore(vs, k, predicate.r))
         except SearchBudgetExceeded:
             stats.timed_out = True
+            # Partial results: everything the completed components found
+            # (cached entries from this query included), in part order.
+            cores = [
+                KRCore(vs, k, predicate.r)
+                for i in sorted(founds)
+                for vs in founds[i]
+            ]
             if cfg.on_budget == "raise":
                 stats.elapsed = time.monotonic() - start
                 raise SearchBudgetExceeded(
@@ -534,6 +693,7 @@ class KRCoreSession:
         predicate: SimilarityPredicate,
         cfg: SearchConfig,
     ) -> Tuple[Optional[KRCore], SearchStats]:
+        executor = make_executor(cfg)
         fp = self._config_fingerprint(cfg)
         stats = SearchStats()
         budget = Budget(cfg.time_limit, cfg.node_limit)
@@ -541,9 +701,17 @@ class KRCoreSession:
         best: Optional[FrozenSet[int]] = None
         try:
             parts = self._prepare(k, predicate, cfg.backend, stats)
-            for part in parts:
-                if best is not None and len(part.vertices) <= len(best):
-                    continue
+            # The solver's two-phase batch schedule (maximum_schedule +
+            # iter_maximum_batches) with the result cache interposed at
+            # batch-formation time via `admit`: cache hits resolve
+            # immediately (and tighten the between-batch termination);
+            # the surviving members of a batch solve — concurrently on
+            # the process executor — seeded with the best core known
+            # when the batch formed.
+            cache_info: Dict[int, Tuple[Tuple, Any]] = {}
+
+            def admit(part: _PreparedComponent) -> bool:
+                nonlocal best
                 seed_size = len(best) if best is not None else 0
                 key = ("max", fp, k, part.signature)
                 entry = self._result_get(key)
@@ -554,27 +722,70 @@ class KRCoreSession:
                         stats.cache_hits += 1
                         if payload is not None and len(payload) > seed_size:
                             best = payload
-                        continue
+                        return False
                     if payload <= seed_size:
                         # tag == "atmost": the component cannot beat the
                         # current best — skipping matches the engine,
                         # which only ever improves strictly.
                         stats.cache_hits += 1
-                        continue
-                ctx = self._context(part, k, cfg, stats, budget)
-                found = find_maximum_in_component(ctx, best)
-                part.bitset = ctx.bitset  # keep the packed form warm
-                stats.cache_misses += 1
-                if found is not None and (best is None or len(found) > len(best)):
-                    self._result_put(key, ("exact", found))
-                    best = found
-                elif best is None:
-                    self._result_put(key, ("exact", None))  # no core at all
-                else:
-                    bound = len(best)
-                    if entry is not None and entry[0] == "atmost":
-                        bound = min(bound, entry[1])
-                    self._result_put(key, ("atmost", bound))
+                        return False
+                cache_info[id(part)] = (key, entry)
+                return True
+
+            schedule = maximum_schedule(parts)
+            for batch in iter_maximum_batches(schedule, lambda: best, admit):
+                # Cache hits may have grown `best` mid-formation; drop
+                # members that can no longer win before paying a search.
+                seed = best
+                batch = [
+                    part for part in batch
+                    if seed is None or len(part.vertices) > len(seed)
+                ]
+                if not batch:
+                    continue
+                founds: List[Optional[FrozenSet[int]]] = []
+                try:
+                    if executor is None:
+                        for part in batch:
+                            ctx = self._context(part, k, cfg, stats, budget)
+                            founds.append(
+                                find_maximum_in_component(ctx, seed)
+                            )
+                            part.bitset = ctx.bitset  # keep packed form warm
+                            stats.cache_misses += 1
+                    else:
+                        tasks = [
+                            component_task(
+                                i, "maximum", "engine", part.vertices,
+                                part.adj, part.index, k, cfg, seed_best=seed,
+                                time_left=remaining_time(budget),
+                            )
+                            for i, part in enumerate(batch)
+                        ]
+                        for out in executor.run(tasks):
+                            merge_outcome(out, stats, cfg.node_limit)
+                            stats.cache_misses += 1
+                            founds.append(out.result)
+                finally:
+                    # Fold (and cache) completed batch-mates even when a
+                    # later member tripped the budget mid-batch.
+                    for part, found in zip(batch, founds):
+                        key, entry = cache_info[id(part)]
+                        if improves(found, seed):
+                            # A strict improvement over the seed is the
+                            # component's true maximum — cacheable
+                            # exactly even when a batch-mate beats it
+                            # globally.
+                            self._result_put(key, ("exact", found))
+                            if best is None or len(found) > len(best):
+                                best = found
+                        elif seed is None:
+                            self._result_put(key, ("exact", None))  # no core
+                        else:
+                            bound = len(seed)
+                            if entry is not None and entry[0] == "atmost":
+                                bound = min(bound, entry[1])
+                            self._result_put(key, ("atmost", bound))
         except SearchBudgetExceeded:
             stats.timed_out = True
             if cfg.on_budget == "raise":

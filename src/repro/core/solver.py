@@ -10,12 +10,23 @@ stages so both the one-shot path and the prepared-session path
 * :func:`component_sets`      — connected-component split;
 * :func:`component_adjacency` — per-component similar-edge adjacency;
 * :func:`component_index`     — per-component dissimilarity index;
-* :func:`order_components`    — the largest-max-degree-first ordering.
+* :func:`order_components`    — the shared hardest-estimated-first ordering.
 
 :func:`prepare_components` chains them; the session interposes its
 caches between the stages instead.  Budget policy (`on_budget`) is
 applied in :func:`run_enumeration` / :func:`run_maximum` so the engines
 stay exception-transparent.
+
+Per-component execution is pluggable (:mod:`repro.core.executor`):
+``SearchConfig.executor == "serial"`` keeps the classic in-process loops
+(shared budget, warm caches); ``"process"`` fans the independent
+component tasks out over a worker pool, hardness-ordered so the big
+components start first.  The maximum solver runs a two-phase schedule
+either way: components sorted by their ``|V|`` bound are solved in
+fixed-width batches, each batch seeded with the best core of the
+previous batches, with the ``|component| <= |best|`` early termination
+applied between batches — so serial and parallel runs produce identical
+results and identical merged stats.
 """
 
 from __future__ import annotations
@@ -30,6 +41,14 @@ from repro.core.clique_based import clique_based_component
 from repro.core.config import SearchConfig
 from repro.core.context import Budget, ComponentContext
 from repro.core.enumerate import enumerate_component
+from repro.core.executor import (
+    MAXIMUM_BATCH,
+    component_sort_key,
+    make_executor,
+    merge_outcome,
+    remaining_time,
+    task_from_context,
+)
 from repro.core.maximum import find_maximum_in_component
 from repro.core.naive import naive_enumerate_component
 from repro.core.results import KRCore
@@ -173,16 +192,31 @@ def max_component_degree(adj: Dict[int, Set[int]]) -> int:
 
 
 def order_components(contexts: List[ComponentContext]) -> List[ComponentContext]:
-    """Largest-max-degree first (the seeding rule of Section 6.1).
+    """Hardest-estimated first — the single scheduling order.
 
-    The max degree is computed once per context up front instead of
-    being re-derived inside the sort key; the empty list passes through
-    untouched.  The sort is stable, so ties keep their backend order.
+    Serial loops and the parallel executors order components by the same
+    :func:`~repro.core.executor.component_hardness` estimate (size times
+    branching pressure), generalising the old max-degree-only proxy: a
+    large sparse component now outranks a tiny dense one, which is what
+    both the Section 6.1 seeding rule wants (big components first) and
+    what a pool wants (start the long poles immediately).  The key's
+    tie-breaks (size, then smallest vertex id) make the order a pure
+    function of the component set, identical across backends.
     """
     if not contexts:
         return contexts
-    keyed = [(max_component_degree(ctx.adj), ctx) for ctx in contexts]
-    keyed.sort(key=lambda pair: -pair[0])
+    keyed = [
+        (
+            component_sort_key(
+                len(ctx.vertices),
+                max_component_degree(ctx.adj),
+                min(ctx.vertices),
+            ),
+            ctx,
+        )
+        for ctx in contexts
+    ]
+    keyed.sort(key=lambda pair: pair[0])
     return [ctx for _, ctx in keyed]
 
 
@@ -262,15 +296,29 @@ def run_enumeration(
     (the Clique+ baseline).
     """
     component_fn = resolve_engine(engine)
+    executor = make_executor(config)
     stats = SearchStats()
     budget = Budget(config.time_limit, config.node_limit)
     start = time.monotonic()
     cores: List[KRCore] = []
     try:
         contexts = prepare_components(graph, k, predicate, config, stats, budget)
-        for ctx in contexts:
-            for vs in component_fn(ctx):
-                cores.append(KRCore(vs, k, predicate.r))
+        if executor is None:
+            for ctx in contexts:
+                for vs in component_fn(ctx):
+                    cores.append(KRCore(vs, k, predicate.r))
+        else:
+            tasks = [
+                task_from_context(
+                    i, ctx, "enumerate", engine,
+                    time_left=remaining_time(budget),
+                )
+                for i, ctx in enumerate(contexts)
+            ]
+            for out in executor.run(tasks):
+                merge_outcome(out, stats, config.node_limit)
+                for vs in out.result:
+                    cores.append(KRCore(vs, k, predicate.r))
     except SearchBudgetExceeded:
         stats.timed_out = True
         if config.on_budget == "raise":
@@ -282,6 +330,62 @@ def run_enumeration(
     return cores, stats
 
 
+def maximum_schedule(
+    contexts: List[ComponentContext],
+) -> List[ComponentContext]:
+    """Bound-sorted order for the maximum solver's batch schedule.
+
+    ``|V|`` is every component's trivial upper bound on its best core,
+    so processing larger components first maximises how many later
+    components the between-batch ``|component| <= |best|`` termination
+    can skip wholesale.  Ties break on the smallest vertex id — fully
+    deterministic, backend-independent.
+    """
+    return sorted(
+        contexts, key=lambda ctx: (-len(ctx.vertices), min(ctx.vertices))
+    )
+
+
+def iter_maximum_batches(schedule, current_best, admit=None):
+    """Yield :data:`MAXIMUM_BATCH`-wide batches of still-viable components.
+
+    ``current_best`` is a zero-argument callable returning the best core
+    so far; components no larger than it are skipped at batch-formation
+    time (their ``|M|+|C|`` bound could never win).  ``admit`` optionally
+    interposes per-component bookkeeping at formation time (the session
+    hooks its result cache in here): a component it returns ``False``
+    for is resolved without a search and does not occupy batch width.
+    The batch width is fixed — independent of the executor and the
+    worker count — so the seeding schedule, and with it every result
+    and stats counter, is identical on the serial and process paths.
+    """
+    pos = 0
+    while pos < len(schedule):
+        batch = []
+        while pos < len(schedule) and len(batch) < MAXIMUM_BATCH:
+            item = schedule[pos]
+            pos += 1
+            best = current_best()
+            if best is not None and len(item.vertices) <= len(best):
+                continue
+            if admit is not None and not admit(item):
+                continue
+            batch.append(item)
+        if batch:
+            yield batch
+
+
+def improves(found: Optional[FrozenSet[int]], seed: Optional[FrozenSet[int]]) -> bool:
+    """Whether an engine return is a genuine improvement over its seed.
+
+    The engine hands back the seed itself when the component holds
+    nothing larger, so "found a better core" means strictly larger than
+    the seed (any strictly-larger return is the component's true
+    maximum — sound bounds never prune a larger core).
+    """
+    return found is not None and (seed is None or len(found) > len(seed))
+
+
 def run_maximum(
     graph: AttributedGraph,
     k: int,
@@ -290,20 +394,49 @@ def run_maximum(
 ) -> Tuple[Optional[KRCore], SearchStats]:
     """Find the maximum (k,r)-core of ``graph`` (``None`` when none exists).
 
-    Components are visited in decreasing max-degree order; any component
-    no larger than the best core found so far is skipped wholesale (its
-    ``|M|+|C|`` bound could never win).
+    Components run through the two-phase batch schedule: bound-sorted
+    (``|V|`` descending), solved in :data:`MAXIMUM_BATCH`-wide batches
+    where every batch member is seeded with the best core of the
+    *previous* batches, and any component no larger than the current
+    best is skipped wholesale between batches.  On the process executor
+    the members of a batch solve concurrently; results and merged stats
+    are identical to the serial path by construction.
     """
+    executor = make_executor(config)
     stats = SearchStats()
     budget = Budget(config.time_limit, config.node_limit)
     start = time.monotonic()
     best: Optional[FrozenSet[int]] = None
     try:
         contexts = prepare_components(graph, k, predicate, config, stats, budget)
-        for ctx in contexts:
-            if best is not None and len(ctx.vertices) <= len(best):
-                continue
-            best = find_maximum_in_component(ctx, best)
+        schedule = maximum_schedule(contexts)
+        for batch in iter_maximum_batches(schedule, lambda: best):
+            seed = best
+            founds: List[Optional[FrozenSet[int]]] = []
+            try:
+                if executor is None:
+                    for ctx in batch:
+                        founds.append(find_maximum_in_component(ctx, seed))
+                else:
+                    tasks = [
+                        task_from_context(
+                            i, ctx, "maximum", seed_best=seed,
+                            time_left=remaining_time(budget),
+                        )
+                        for i, ctx in enumerate(batch)
+                    ]
+                    for out in executor.run(tasks):
+                        merge_outcome(out, stats, config.node_limit)
+                        founds.append(out.result)
+            finally:
+                # Fold completed batch-mates into the best even when a
+                # later member tripped the budget mid-batch, so partial
+                # results keep everything that actually finished.
+                for found in founds:
+                    if improves(found, seed) and (
+                        best is None or len(found) > len(best)
+                    ):
+                        best = found
     except SearchBudgetExceeded:
         stats.timed_out = True
         if config.on_budget == "raise":

@@ -38,3 +38,19 @@ class SearchBudgetExceeded(ReproError):
     def __init__(self, message: str, partial=None):
         super().__init__(message)
         self.partial = partial
+
+
+class ComponentExecutionError(ReproError):
+    """A component task failed inside the execution layer.
+
+    Raised by the solvers when a worker (process-pool or inline) raised
+    while searching one component.  ``component_id`` identifies the
+    failed task in its schedule; ``error_type`` is the class name of the
+    original exception, whose formatted traceback is part of the
+    message, so a parallel failure is as debuggable as a serial one.
+    """
+
+    def __init__(self, message: str, component_id=None, error_type: str = ""):
+        super().__init__(message)
+        self.component_id = component_id
+        self.error_type = error_type

@@ -11,6 +11,11 @@ Three independent implementations must agree on every case:
    :mod:`repro.core.naive` (a structurally different algorithm — two
    independently wrong implementations rarely agree).
 
+A fourth axis rides along: cases sampled with
+``search["executor"] == "process"`` replay the csr run over the
+process-pool execution layer (:mod:`repro.core.executor`), which must
+match the serial run exactly — results and merged stats counters alike.
+
 Any mismatch (or an engine crash) is reported as a
 :class:`Disagreement`; the driver shrinks the case and serialises a
 repro file.
@@ -84,9 +89,15 @@ class CaseResult:
         return self.disagreement is None
 
 
-def _run_backend(case: FuzzCase, backend: str):
-    """(canonical result, stats) of one engine backend on the case."""
-    cfg = case.config(backend)
+def _run_backend(case: FuzzCase, backend: str, executor: str = "serial"):
+    """(canonical result, stats) of one engine backend on the case.
+
+    The base python-vs-csr differential always runs serial; the sampled
+    executor dimension is exercised by a separate replay (see
+    :func:`run_case`) so every divergence is attributable to exactly one
+    axis.
+    """
+    cfg = case.config(backend, executor=executor)
     if case.mode == "maximum":
         best, stats = run_maximum(case.graph, case.k, case.predicate(), cfg)
         result = frozenset(best.vertices) if best is not None else None
@@ -150,6 +161,37 @@ def run_case(
             "backend-stats", "; ".join(diffs)
         )
         return out
+
+    # Executor dimension: when the sampled knobs ask for the process
+    # executor, the csr run is replayed over the worker pool and must
+    # match the serial run exactly — results AND merged stats counters
+    # (the parallel schedule is worker-count independent by design).
+    if case.search.get("executor") == "process":
+        try:
+            res_pp, stats_pp = _run_backend(case, "csr", executor="process")
+        except Exception:
+            out.disagreement = Disagreement(
+                "engine-error",
+                f"process executor raised:\n{traceback.format_exc()}",
+            )
+            return out
+        if res_pp != res_cs:
+            out.disagreement = Disagreement(
+                "executor-result",
+                f"serial={_fmt(res_cs)} process={_fmt(res_pp)}",
+            )
+            return out
+        diffs = [
+            f"{name}: serial={getattr(stats_cs, name)} "
+            f"process={getattr(stats_pp, name)}"
+            for name in PARITY_COUNTERS
+            if getattr(stats_cs, name) != getattr(stats_pp, name)
+        ]
+        if diffs:
+            out.disagreement = Disagreement(
+                "executor-stats", "; ".join(diffs)
+            )
+            return out
 
     try:
         contexts = _oracle_components(case, oracle_limit)

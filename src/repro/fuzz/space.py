@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.core.config import SearchConfig
 from repro.datasets.adversarial import FAMILIES, sample_instance
@@ -38,6 +38,13 @@ SAMPLED_BOUNDS = ("naive", "color-kcore", "kkprime")
 SAMPLED_BRANCHES = ("adaptive", "expand", "shrink")
 SAMPLED_CHECKS = ("search", "pairwise")
 
+#: Probability a sampled case also gets the process-executor
+#: differential (serial vs pool results AND merged stats parity); the
+#: worker pool is cached across cases, so the marginal cost per process
+#: case is task pickling, not interpreter spawning.
+PROCESS_EXECUTOR_RATE = 0.25
+SAMPLED_WORKERS = (2, 3)
+
 
 @dataclass
 class FuzzCase:
@@ -56,9 +63,18 @@ class FuzzCase:
         """The case's similarity predicate."""
         return SimilarityPredicate(self.metric, self.r)
 
-    def config(self, backend: str) -> SearchConfig:
-        """The case's :class:`SearchConfig` on the given backend."""
-        return SearchConfig(backend=backend, **self.search)
+    def config(self, backend: str, executor: Optional[str] = None) -> SearchConfig:
+        """The case's :class:`SearchConfig` on the given backend.
+
+        ``executor`` overrides the sampled executor dimension: the
+        differential runner forces ``"serial"`` for the base
+        python-vs-csr comparison and replays the case with
+        ``"process"`` when the sampled knobs ask for it.
+        """
+        search = dict(self.search)
+        if executor is not None:
+            search["executor"] = executor
+        return SearchConfig(backend=backend, **search)
 
     def describe(self) -> str:
         """One-line summary for driver logs."""
@@ -95,6 +111,10 @@ def sample_search(rng: random.Random, mode: str) -> Dict[str, Any]:
             "none" if mode == "maximum" else rng.choice(SAMPLED_CHECKS)
         ),
         "warm_start": rng.random() < 0.3,
+        "executor": (
+            "process" if rng.random() < PROCESS_EXECUTOR_RATE else "serial"
+        ),
+        "workers": rng.choice(SAMPLED_WORKERS),
         "seed": rng.randrange(1 << 16),
     }
 
@@ -153,4 +173,7 @@ def sample_bound_stress_case(rng: random.Random) -> FuzzCase:
     case.search["maximal_check"] = "none"
     case.search["bound"] = rng.choice(("color-kcore", "kkprime"))
     case.search["warm_start"] = rng.random() < 0.5
+    # The self-test targets the bound, not the execution layer; keep the
+    # witness minimal (and pool-free) by pinning the serial executor.
+    case.search["executor"] = "serial"
     return case

@@ -117,6 +117,15 @@ class DissimilarityIndex:
             {u: self._dissimilar[u] & vertices for u in vertices}
         )
 
+    def rows(self) -> Dict[int, Set[int]]:
+        """The raw ``u -> dissimilar vertices`` mapping (live; do not mutate).
+
+        The picklable payload of :mod:`repro.core.executor` ships these
+        rows to worker processes, which rebuild an equivalent index with
+        ``DissimilarityIndex(rows)``.
+        """
+        return self._dissimilar
+
     def pair_key(self) -> FrozenSet:
         """Canonical hashable view of the dissimilar-pair set.
 

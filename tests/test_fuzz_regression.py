@@ -12,14 +12,26 @@ harness's self-test: it is the minimal witness of the *deliberately*
 injected invalid-bound fault (``KRCORE_FUZZ_INJECT=bound-shave``), so it
 must disagree with the fault flipped on and agree with it off — both
 directions are asserted below.
+
+``shrunken-pickle-roundtrip.json`` is a delta-debugged (shrunk while
+still holding several maximal cores) instance whose sampled knobs pin
+the process executor: its replay exercises the serial-vs-pool
+differential, and the dedicated test below round-trips its component
+tasks through ``pickle`` — the exact payload path a spawn-started
+worker sees.
 """
 
 import glob
 import os
+import pickle
 
 import pytest
 
 from repro.core.bounds import FAULT_ENV
+from repro.core.context import Budget
+from repro.core.executor import solve_component_task, task_from_context
+from repro.core.solver import prepare_components
+from repro.core.stats import SearchStats
 from repro.fuzz.differential import run_case
 from repro.fuzz.repro_io import load_repro
 
@@ -45,6 +57,36 @@ def test_repro_replays_clean(path):
     assert result.ok, (
         f"{os.path.basename(path)} regressed: {result.disagreement}"
     )
+
+
+@pytest.mark.parametrize("path", REPRO_FILES, ids=_ids(REPRO_FILES))
+def test_repro_component_tasks_pickle_roundtrip(path):
+    """Every repro's component tasks survive the worker payload path.
+
+    Serialise each prepared component to a :class:`ComponentTask`,
+    round-trip it through ``pickle`` (what the process pool does on
+    every submission), and solve both copies in-process: results and
+    stats counters must match exactly.
+    """
+    case, _ = load_repro(path)
+    cfg = case.config("csr", executor="serial")
+    contexts = prepare_components(
+        case.graph, case.k, case.predicate(), cfg,
+        SearchStats(), Budget(None, None),
+    )
+    for i, ctx in enumerate(contexts):
+        task = task_from_context(i, ctx, "enumerate")
+        clone = pickle.loads(pickle.dumps(task))
+        direct = solve_component_task(task)
+        replayed = solve_component_task(clone)
+        assert direct.status == replayed.status == "ok"
+        assert (
+            sorted(sorted(c) for c in direct.result)
+            == sorted(sorted(c) for c in replayed.result)
+        )
+        d_stats, r_stats = direct.stats.to_dict(), replayed.stats.to_dict()
+        d_stats.pop("elapsed"), r_stats.pop("elapsed")
+        assert d_stats == r_stats
 
 
 @pytest.mark.parametrize(
