@@ -1,0 +1,220 @@
+"""Streaming-edit benchmark: bounded-scope maintenance vs recompute.
+
+The maintenance layer's whole point is that a single edge or attribute
+edit between queries stops invalidating the session's preprocessing
+wholesale: edge metric values are re-scored only where the edit touched,
+cached k-core survivor sets are updated by a seeded two-phase peel, and
+only the components containing a touched vertex are rebuilt and
+re-solved.  This benchmark measures exactly that on two churn workloads,
+each interleaving single edits with (statistics + maximum) queries:
+
+* **blocks-churn** — random edge toggles and attribute mutations spread
+  over a many-block graph: each edit lands in one block, so a maintained
+  session re-solves one component per query while the recompute baseline
+  (``maintenance=False`` — the old invalidate-and-recompute path) pays
+  the whole front end every time;
+* **borderline-churn** — adversarial for the maintainer: every edit is
+  an attribute flip that moves all of a vertex's incident edges exactly
+  across the similarity threshold, so the filtered graph, the survivor
+  set, and a component genuinely change on every single edit (the
+  maintenance fast paths never get to skip work).
+
+Both sessions answer the identical query sequence and must agree exactly
+(the benchmark doubles as an equivalence check); both workloads must
+keep a >= 2x maintained-vs-recompute speedup — that gate is enforced in
+CI (including smoke mode).
+
+Standalone script (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_edit_stream.py           # full
+    PYTHONPATH=src python benchmarks/bench_edit_stream.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.core.session import KRCoreSession
+from repro.graph.attributed_graph import AttributedGraph
+
+from bench_session_reuse import make_block_graph
+
+K = 3
+R = 0.5
+
+
+def blocks_churn_edits(graph: AttributedGraph, blocks: int, size: int,
+                       count: int, seed: int = 1):
+    """Random single edits, each local to one block.
+
+    Edge toggles keep the density stationary; attribute mutations
+    resample the personal part of a member's profile.
+    """
+    rng = random.Random(seed)
+    edits = []
+    for _ in range(count):
+        b = rng.randrange(blocks)
+        base = b * size
+        if rng.random() < 0.7:
+            i, j = rng.sample(range(size), 2)
+            u, v = sorted((base + i, base + j))
+            kind = "remove_edge" if graph.has_edge(u, v) else "add_edge"
+            edits.append((kind, u, v))
+            # Track the toggle so later edits see the current graph.
+            (graph.remove_edge if kind == "remove_edge" else graph.add_edge)(u, v)
+        else:
+            u = base + rng.randrange(size)
+            shared = [f"b{b}_{i}" for i in range(6)]
+            personal = [f"x{b}_{i}" for i in range(6)]
+            value = frozenset(shared + rng.sample(personal, 2))
+            edits.append(("set_attribute", u, value))
+            graph.set_attribute(u, value)
+    return edits
+
+
+def borderline_churn_edits(graph: AttributedGraph, blocks: int, size: int,
+                           count: int, seed: int = 2):
+    """Attribute flips that cross the threshold on every incident edge.
+
+    A flipped vertex's profile becomes a singleton disjoint from every
+    neighbour (all incident similarities drop to 0 < r); the next flip
+    of the same vertex restores a block profile (back above r).  Every
+    edit therefore changes filtered-graph membership, survivor sets, and
+    a component — no maintenance step can be skipped.
+    """
+    rng = random.Random(seed)
+    flipped = {}
+    edits = []
+    for _ in range(count):
+        b = rng.randrange(blocks)
+        u = b * size + rng.randrange(size)
+        if flipped.get(u):
+            shared = [f"b{b}_{i}" for i in range(6)]
+            value = frozenset(shared)
+            flipped[u] = False
+        else:
+            value = frozenset({f"z{u}"})
+            flipped[u] = True
+        edits.append(("set_attribute", u, value))
+    return edits
+
+
+def apply_edit(session: KRCoreSession, edit) -> None:
+    kind = edit[0]
+    if kind == "add_edge":
+        session.add_edge(edit[1], edit[2])
+    elif kind == "remove_edge":
+        session.remove_edge(edit[1], edit[2])
+    else:
+        session.set_attribute(edit[1], edit[2])
+
+
+def run_churn(graph, edits, backend, maintenance):
+    """(answers, seconds) for one edit-interleaved query sequence."""
+    session = KRCoreSession(graph, backend=backend, maintenance=maintenance)
+    answers = []
+
+    def query():
+        summary = session.statistics(K, R)
+        best = session.maximum(K, R)
+        answers.append((summary, best.size if best else 0))
+
+    t0 = time.perf_counter()
+    query()  # warm: both sessions pay the full first build
+    for edit in edits:
+        apply_edit(session, edit)
+        query()
+    elapsed = time.perf_counter() - t0
+    return answers, elapsed, session
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smaller instance for CI (the 2x gates still apply)",
+    )
+    parser.add_argument("--backend", default="csr", choices=("csr", "python"))
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the measurements as JSON (CI uploads these artifacts)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        blocks, size, count = 8, 40, 12
+    else:
+        blocks, size, count = 12, 80, 40
+    base = make_block_graph(blocks, size)
+    print(f"block graph: n={base.vertex_count}, m={base.edge_count}, "
+          f"backend={args.backend}, edits per workload={count}")
+
+    workloads = (
+        ("blocks-churn",
+         blocks_churn_edits(base.copy(), blocks, size, count)),
+        ("borderline-churn",
+         borderline_churn_edits(base.copy(), blocks, size, count)),
+    )
+
+    failures = 0
+    gate_rows = []
+    json_rows = []
+    print(f"{'workload':>18} {'recompute':>11} {'maintained':>11} "
+          f"{'speedup':>9} {'maintained/fallback':>20}")
+    for name, edits in workloads:
+        maintained, t_m, session = run_churn(base, edits, args.backend, True)
+        recomputed, t_r, _ = run_churn(base, edits, args.backend, False)
+        if maintained != recomputed:
+            failures += 1
+            print(f"FAIL: {name}: maintained answers diverge from recompute")
+        speedup = t_r / t_m if t_m > 0 else float("inf")
+        ms = session.maintenance_stats
+        json_rows.append({
+            "workload": name, "recompute_s": t_r, "maintained_s": t_m,
+            "speedup": speedup, "maintenance": ms.to_dict(),
+        })
+        gate_rows.append((name, speedup))
+        print(f"{name:>18} {t_r * 1e3:10.1f}m {t_m * 1e3:10.1f}m "
+              f"{speedup:8.1f}x {ms.maintained:>9}/{ms.fallbacks}")
+        if ms.errors:
+            failures += 1
+            print(f"FAIL: {name}: maintenance layer swallowed "
+                  f"{ms.errors} error(s)")
+
+    gate_failed = [name for name, speedup in gate_rows if speedup < 2.0]
+
+    if args.json:
+        payload = {
+            "benchmark": "edit_stream",
+            "mode": "smoke" if args.smoke else "full",
+            "backend": args.backend,
+            "workload": {
+                "vertices": base.vertex_count, "edges": base.edge_count,
+                "edits": count,
+            },
+            "rows": json_rows,
+            "gates": {
+                "churn_speedup_min": 2.0,
+                "speedups": {name: s for name, s in gate_rows},
+                "passed": not (failures or gate_failed),
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    if failures:
+        return 1
+    if gate_failed:
+        print(f"FAIL: speedup below the 2x gate on: {', '.join(gate_failed)}")
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,17 @@ Usage::
 
     PYTHONPATH=src python scripts/fuzz_krcore.py                 # 200-config sweep
     PYTHONPATH=src python scripts/fuzz_krcore.py --configs 1000 --seed 11
+    PYTHONPATH=src python scripts/fuzz_krcore.py --edit-streams  # maintenance sweep
     PYTHONPATH=src python scripts/fuzz_krcore.py --self-test     # harness check
+
+``--edit-streams`` gives every sampled case a 1–8 edit stream
+(edge insert/delete, attribute mutation) and runs the maintained-vs-
+fresh differential of
+:func:`repro.fuzz.differential.run_edit_stream_case` instead of the
+classic python/csr/oracle check: the session that absorbed the edits
+through the bounded-scope maintenance layer must match a fresh session
+on the final graph — results, preprocessing counters, and (when
+sampled) the process-executor replay.
 
 The self-test flips on the deliberate bound fault of
 :mod:`repro.core.bounds` (``KRCORE_FUZZ_INJECT=bound-shave`` — the csr
@@ -41,7 +51,11 @@ from repro.datasets.adversarial import score_from_counters
 from repro.fuzz.differential import run_case
 from repro.fuzz.repro_io import load_repro, save_repro
 from repro.fuzz.shrink import shrink_case
-from repro.fuzz.space import sample_bound_stress_case, sample_case
+from repro.fuzz.space import (
+    sample_bound_stress_case,
+    sample_case,
+    sample_edit_stream_case,
+)
 
 
 def hardness(result) -> float:
@@ -86,7 +100,10 @@ def run_sweep(args) -> int:
         if args.time_budget and time.monotonic() - started > args.time_budget:
             truncated = True
             break
-        case = sample_case(rng)
+        case = (
+            sample_edit_stream_case(rng) if args.edit_streams
+            else sample_case(rng)
+        )
         result = run_case(case, args.oracle_limit)
         completed += 1
         counts[case.family] += 1
@@ -127,7 +144,10 @@ def run_sweep(args) -> int:
             "coverage guarantee not met"
         )
         return 3
-    print("\nok: zero python/csr/oracle disagreements")
+    if args.edit_streams:
+        print("\nok: zero maintained-vs-fresh disagreements")
+    else:
+        print("\nok: zero python/csr/oracle disagreements")
     return 0
 
 
@@ -212,6 +232,12 @@ def main(argv=None) -> int:
         "--out-dir", default="fuzz-repros",
         help="where shrunk repro files are written (default %(default)s); "
         "move a repro into tests/fuzz_repros/ to pin it as a regression test",
+    )
+    parser.add_argument(
+        "--edit-streams", action="store_true",
+        help="give every case a 1-8 edit stream and run the "
+        "maintained-session vs fresh-session differential instead of "
+        "the classic python/csr/oracle check",
     )
     parser.add_argument("--verbose", action="store_true")
     parser.add_argument(

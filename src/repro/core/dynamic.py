@@ -11,14 +11,19 @@ it touches.
 :class:`~repro.core.session.KRCoreSession`: the session keeps an
 editable copy of the graph plus a per-component result cache keyed by a
 component *signature* (vertex set, similar-edge set, attribute
-revisions).  After any sequence of edits, the next query re-runs
-preprocessing (linear, on the configured backend — CSR kernels by
-default) and re-solves **only** the components whose signature changed —
-for local edits on a large graph that is typically one small component.
+revisions).  Each single edit is absorbed by the session's bounded-scope
+maintenance layer (:mod:`repro.core.maintenance`): edge metric values
+are re-scored only where the edit touched, cached k-core survivor sets
+are updated by a seeded two-phase peel, and only the prepared components
+containing a touched vertex are rebuilt — so the next query re-solves
+**only** the components whose signature changed, without even re-running
+the linear preprocessing over the untouched rest.  For local edits on a
+large graph that is typically one small component.
 
-This layer is exact, not approximate: the test suite checks equivalence
-with from-scratch mining after randomized edit sequences on both
-backends.
+This layer is exact, not approximate: the test suite and the
+edit-stream dimension of the differential fuzz harness check
+equivalence with from-scratch mining after randomized edit sequences on
+both backends, down to the search counters.
 """
 
 from __future__ import annotations
@@ -113,10 +118,15 @@ class DynamicKRCoreMiner:
         self._dirty = self._dirty or changed
         return changed
 
-    def set_attribute(self, u: int, value: Any) -> None:
-        """Update a vertex attribute (similarity changes around ``u``)."""
-        self._session.set_attribute(u, value)
-        self._dirty = True
+    def set_attribute(self, u: int, value: Any) -> bool:
+        """Update a vertex attribute; returns whether the graph changed.
+
+        Re-assigning the current value is a no-op (no cache or result
+        invalidation), mirroring :meth:`KRCoreSession.set_attribute`.
+        """
+        changed = self._session.set_attribute(u, value)
+        self._dirty = self._dirty or changed
+        return changed
 
     # ------------------------------------------------------------------
     # Queries

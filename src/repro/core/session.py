@@ -52,8 +52,6 @@ from typing import (
     Union,
 )
 
-import numpy as np
-
 from repro.core.config import (
     SearchConfig,
     adv_enum_config,
@@ -69,10 +67,13 @@ from repro.core.executor import (
     raise_for_outcome,
     remaining_time,
 )
+from repro.core.maintenance import MaintenanceStats, maintain_session
 from repro.core.maximum import find_maximum_in_component
 from repro.core.results import KRCore, summarize_cores
 from repro.core.solver import (
     component_adjacency,
+    component_edges_key,
+    component_edges_key_csr,
     component_index,
     component_sets,
     freeze_graph,
@@ -88,7 +89,6 @@ from repro.exceptions import InvalidParameterError, SearchBudgetExceeded
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.components import connected_components
 from repro.graph.csr import CSRGraph
-from repro.graph.csr import gather_neighbors as _gather_neighbors
 from repro.graph.kcore import k_core_vertices
 from repro.similarity.cache import EdgeSimilarityCache, PairwiseSimilarityCache
 from repro.similarity.threshold import SimilarityPredicate
@@ -168,6 +168,12 @@ class KRCoreSession:
     result_cache_limit:
         Maximum number of cached per-component search results (LRU
         eviction), bounding memory on long edit/re-query loops.
+    maintenance:
+        With ``True`` (the default) single edits patch the preprocessing
+        caches in place with bounded-scope incremental maintenance
+        (:mod:`repro.core.maintenance`); ``False`` restores the old
+        invalidate-and-recompute behaviour (used by the equivalence
+        benchmark).  Results are identical either way.
 
     Usage
     -----
@@ -188,6 +194,7 @@ class KRCoreSession:
         copy: bool = True,
         pairwise_cache_limit: int = 2048,
         result_cache_limit: int = 4096,
+        maintenance: bool = True,
     ):
         if isinstance(graph, CSRGraph):
             self._graph = graph.to_attributed()
@@ -213,8 +220,14 @@ class KRCoreSession:
         self._pairwise: Dict[Tuple, Tuple[PairwiseSimilarityCache, Tuple]] = {}
         self._results: Dict[Tuple, Any] = {}
         self._metric_queries: Dict[MetricKey, int] = {}
+        # Predicates seen per (metric, r) — the maintenance layer needs
+        # them to rebuild component indexes outside a query.
+        self._predicates: Dict[Tuple[MetricKey, float], SimilarityPredicate] = {}
+        self._maintenance = maintenance
         #: Cumulative counters over every query this session served.
         self.total_stats = SearchStats()
+        #: Observable counters of the streaming-edit maintenance layer.
+        self.maintenance_stats = MaintenanceStats()
 
     # ------------------------------------------------------------------
     # Graph access and edits
@@ -228,20 +241,49 @@ class KRCoreSession:
         """Insert an edge; returns whether the graph changed."""
         changed = self._graph.add_edge(u, v)
         if changed:
-            self._touch()
+            self._after_edit("add_edge", u, v)
         return changed
 
     def remove_edge(self, u: int, v: int) -> bool:
         """Delete an edge; returns whether the graph changed."""
         changed = self._graph.remove_edge(u, v)
         if changed:
-            self._touch()
+            self._after_edit("remove_edge", u, v)
         return changed
 
-    def set_attribute(self, u: int, value: Any) -> None:
-        """Update a vertex attribute (similarity changes around ``u``)."""
+    def set_attribute(self, u: int, value: Any) -> bool:
+        """Update a vertex attribute; returns whether the graph changed.
+
+        Re-assigning a vertex's current value is a no-op: every cache is
+        left exactly as a fresh session on the same graph would build it,
+        instead of being invalidated for nothing.
+        """
+        if self._graph.has_attribute(u) and self._same_value(
+            self._graph.attribute(u), value
+        ):
+            return False
         self._graph.set_attribute(u, value)
         self._attr_revs[u] = self._attr_revs.get(u, 0) + 1
+        self._after_edit("attribute", u)
+        return True
+
+    @staticmethod
+    def _same_value(a: Any, b: Any) -> bool:
+        try:
+            return bool(a == b)
+        except Exception:
+            return False  # incomparable (e.g. array-valued): treat as changed
+
+    def _after_edit(self, kind: str, u: int, v: Optional[int] = None) -> None:
+        """Maintain caches in place for one applied edit, or invalidate.
+
+        :func:`~repro.core.maintenance.maintain_session` patches every
+        cache layer with work bounded by the edit's affected region; when
+        it declines (unsupported shape, violated invariant, error), the
+        session falls back to the wholesale version bump.
+        """
+        if self._maintenance and maintain_session(self, kind, u, v):
+            return
         self._touch()
 
     def edit(
@@ -253,9 +295,13 @@ class KRCoreSession:
     ) -> bool:
         """Apply a batch of edits; returns whether anything changed.
 
-        Only components actually touched by the edits are re-solved by
-        the next query — untouched components keep serving from the
-        result cache (their signatures are unchanged).
+        Duplicate edits, edits that cancel out (insert-then-delete of
+        the same edge), and attribute re-assignments of the current
+        value all leave the caches exactly as a fresh session on the
+        final graph would have them.  Only components actually touched
+        by the edits are re-solved by the next query — untouched
+        components keep serving from the result cache (their signatures
+        are unchanged).
         """
         changed = False
         for u, v in add_edges:
@@ -263,9 +309,19 @@ class KRCoreSession:
         for u, v in remove_edges:
             changed = self.remove_edge(u, v) or changed
         for u, value in (attributes or {}).items():
-            self.set_attribute(u, value)
-            changed = True
+            changed = self.set_attribute(u, value) or changed
         return changed
+
+    def drop_results(self) -> None:
+        """Clear only the cached per-component search results.
+
+        Preprocessing caches (filtered graphs, survivor sets, prepared
+        components, pairwise values) stay — the next query repeats the
+        search work but none of the preprocessing.  The differential
+        harness uses this to compare a maintained session's
+        preprocessing, counter for counter, against a fresh session's.
+        """
+        self._results.clear()
 
     def invalidate(self) -> None:
         """Drop every cache, including per-component results.
@@ -854,9 +910,9 @@ class KRCoreSession:
                 mkey, predicate, comp, k, backend, served, stats
             )
             if backend == "csr":
-                edges_key = self._edges_key_csr(comp, filtered, survivors)
+                edges_key = component_edges_key_csr(comp, filtered, survivors)
             else:
-                edges_key = self._edges_key(adj)
+                edges_key = component_edges_key(adj)
             parts.append(
                 _PreparedComponent(
                     vertices=frozenset(comp),
@@ -903,6 +959,7 @@ class KRCoreSession:
         stats: SearchStats,
     ):
         fkey = (mkey, predicate.r, backend)
+        self._predicates[(mkey, predicate.r)] = predicate
         got = self._filtered.get(fkey)
         if got is not None:
             stats.reused_filters += 1
@@ -1031,30 +1088,8 @@ class KRCoreSession:
             sorted((u, revs[u]) for u in vertices if revs.get(u))
         )
 
-    @staticmethod
-    def _edges_key(adj: Dict[int, Set[int]]) -> FrozenSet:
-        """Canonical hashable view of a component's similar-edge set."""
-        return frozenset(
-            (u, v) if u < v else (v, u)
-            for u in adj
-            for v in adj[u]
-        )
-
-    @staticmethod
-    def _edges_key_csr(comp: Set[int], filtered, survivors) -> bytes:
-        """CSR form of :meth:`_edges_key`: one vectorised gather.
-
-        The component's similar-edge list is cut straight from the
-        filtered CSR arrays in canonical (sorted ``u``, then sorted
-        ``v``, ``u < v``) order and keyed as its raw bytes — the same
-        edge set always yields the same key, a different edge set never
-        does.
-        """
-        members = np.fromiter(comp, dtype=np.int64)
-        members.sort()
-        counts = filtered.indptr[members + 1] - filtered.indptr[members]
-        src = np.repeat(members, counts)
-        dst = _gather_neighbors(filtered, members)
-        keep = survivors[dst] & (src < dst)
-        pairs = np.stack([src[keep], dst[keep]])
-        return pairs.tobytes()
+    # Shared with the maintenance layer; see
+    # :func:`repro.core.solver.component_edges_key` /
+    # :func:`repro.core.solver.component_edges_key_csr`.
+    _edges_key = staticmethod(component_edges_key)
+    _edges_key_csr = staticmethod(component_edges_key_csr)

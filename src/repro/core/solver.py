@@ -56,7 +56,12 @@ from repro.core.stats import SearchStats
 from repro.exceptions import InvalidParameterError, SearchBudgetExceeded
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.components import connected_components
-from repro.graph.csr import CSRGraph, component_vertex_groups, k_core_mask
+from repro.graph.csr import (
+    CSRGraph,
+    component_vertex_groups,
+    gather_neighbors,
+    k_core_mask,
+)
 from repro.graph.kcore import k_core_vertices
 from repro.similarity.index import (
     build_index,
@@ -184,6 +189,39 @@ def component_index(
 ):
     """Per-component dissimilarity index (attribute source: the raw graph)."""
     return build_index(graph, predicate, comp, backend=backend)
+
+
+def component_edges_key(adj: Dict[int, Set[int]]) -> FrozenSet:
+    """Canonical hashable view of a component's similar-edge set.
+
+    Part of a prepared component's *signature* — the exact engine inputs
+    (vertex set, similar edges, dissimilar pairs) that key the session's
+    cross-edit result cache and let the maintenance layer decide which
+    cached results an edit actually invalidated.
+    """
+    return frozenset(
+        (u, v) if u < v else (v, u)
+        for u in adj
+        for v in adj[u]
+    )
+
+
+def component_edges_key_csr(comp: Set[int], filtered, survivors) -> bytes:
+    """CSR form of :func:`component_edges_key`: one vectorised gather.
+
+    The component's similar-edge list is cut straight from the filtered
+    CSR arrays in canonical (sorted ``u``, then sorted ``v``, ``u < v``)
+    order and keyed as its raw bytes — the same edge set always yields
+    the same key, a different edge set never does.
+    """
+    members = np.fromiter(comp, dtype=np.int64)
+    members.sort()
+    counts = filtered.indptr[members + 1] - filtered.indptr[members]
+    src = np.repeat(members, counts)
+    dst = gather_neighbors(filtered, members)
+    keep = survivors[dst] & (src < dst)
+    pairs = np.stack([src[keep], dst[keep]])
+    return pairs.tobytes()
 
 
 def max_component_degree(adj: Dict[int, Set[int]]) -> int:

@@ -16,6 +16,15 @@ A fourth axis rides along: cases sampled with
 process-pool execution layer (:mod:`repro.core.executor`), which must
 match the serial run exactly — results and merged stats counters alike.
 
+Cases carrying an edit stream (``case.edits``) exercise a fifth axis:
+a session is warmed on the base graph, the edits are absorbed by the
+bounded-scope maintenance layer (:mod:`repro.core.maintenance`), and
+the maintained session must agree with a fresh session built directly
+on the final graph — result for result, and (after
+:meth:`~repro.core.session.KRCoreSession.drop_results`, which forces a
+full re-search over the *maintained preprocessing*) search counter for
+search counter.  See :func:`run_edit_stream_case`.
+
 Any mismatch (or an engine crash) is reported as a
 :class:`Disagreement`; the driver shrinks the case and serialises a
 repro file.
@@ -30,6 +39,7 @@ from typing import Any, Dict, List, Optional
 from repro.core.config import adv_enum_config
 from repro.core.context import Budget
 from repro.core.naive import _is_krcore_vertexset, brute_force_maximal_krcores
+from repro.core.session import KRCoreSession
 from repro.core.solver import prepare_components, run_enumeration, run_maximum
 from repro.core.stats import SearchStats
 from repro.fuzz.space import FuzzCase
@@ -128,8 +138,11 @@ def run_case(
 
     Order of checks: engine crashes, python-vs-csr result equality,
     python-vs-csr stats parity, then (small instances only) both
-    engines against the brute-force oracle.
+    engines against the brute-force oracle.  Cases carrying an edit
+    stream run the maintained-vs-fresh differential instead.
     """
+    if case.edits:
+        return run_edit_stream_case(case, oracle_limit)
     out = CaseResult()
     runs = {}
     for backend in ("python", "csr"):
@@ -238,6 +251,168 @@ def run_case(
                 "oracle-max",
                 f"engine core {_fmt(res_py)} is not a valid (k,r)-core",
             )
+    return out
+
+
+def _apply_edit(session: KRCoreSession, edit) -> None:
+    """Replay one sampled edit tuple through the session mutators."""
+    kind = edit[0]
+    if kind == "add_edge":
+        session.add_edge(edit[1], edit[2])
+    elif kind == "remove_edge":
+        session.remove_edge(edit[1], edit[2])
+    elif kind == "set_attribute":
+        session.set_attribute(edit[1], edit[2])
+    else:  # pragma: no cover - sampler only emits the three kinds above
+        raise ValueError(f"unknown edit kind {kind!r}")
+
+
+def _query_session(case: FuzzCase, session: KRCoreSession, **overrides):
+    """(canonical result, stats) of the case's query on a session."""
+    if case.mode == "maximum":
+        best, stats = session.maximum(
+            case.k, predicate=case.predicate(), with_stats=True, **overrides
+        )
+        result = frozenset(best.vertices) if best is not None else None
+        return result, stats
+    cores, stats = session.enumerate(
+        case.k, predicate=case.predicate(), with_stats=True, **overrides
+    )
+    return sorted(sorted(c.vertices) for c in cores), stats
+
+
+def run_edit_stream_case(
+    case: FuzzCase, oracle_limit: int = DEFAULT_ORACLE_LIMIT
+) -> CaseResult:
+    """Maintained-session vs fresh-session differential for an edit stream.
+
+    Per backend: warm a session on the base graph, replay ``case.edits``
+    through the bounded-scope maintenance layer, then
+
+    1. the maintained session's results on the final graph must equal a
+       fresh session's (built directly on the final graph, same config);
+    2. the maintenance layer must not have swallowed an internal error
+       (``maintenance_stats.errors`` stays zero — errors fall back to
+       recompute, which keeps results right but hides the bug);
+    3. after :meth:`~repro.core.session.KRCoreSession.drop_results` the
+       re-query searches every component over the *maintained*
+       preprocessing caches, so its counters must match the fresh
+       session's first query on every parity counter — any divergence
+       means patched filtered graphs / survivors / component indexes
+       differ from freshly-built ones even though results happened to
+       agree.
+
+    The two backends' final results are then cross-checked, and cases
+    sampled with the process executor replay the maintained csr query
+    over the worker pool (results and counters vs the serial re-query).
+    """
+    out = CaseResult()
+    finals = {}
+    for backend in ("python", "csr"):
+        cfg = case.config(backend, executor="serial")
+        try:
+            maintained = KRCoreSession(case.graph, config=cfg, copy=True)
+            _query_session(case, maintained)  # warm every cache layer
+            for edit in case.edits:
+                _apply_edit(maintained, edit)
+            res_m, _ = _query_session(case, maintained)
+            fresh = KRCoreSession(maintained.graph, config=cfg, copy=True)
+            res_f, stats_f = _query_session(case, fresh)
+        except Exception:
+            out.disagreement = Disagreement(
+                "engine-error",
+                f"{backend} edit-stream run raised:\n{traceback.format_exc()}",
+            )
+            return out
+        if backend == "csr":
+            out.stats = stats_f.to_dict()
+        if res_m != res_f:
+            out.disagreement = Disagreement(
+                "maintenance-result",
+                f"{backend}: maintained={_fmt(res_m)} fresh={_fmt(res_f)} "
+                f"after edits {case.edits}",
+            )
+            return out
+        errors = maintained.maintenance_stats.errors
+        if errors:
+            out.disagreement = Disagreement(
+                "maintenance-error",
+                f"{backend}: maintenance layer swallowed {errors} internal "
+                f"error(s) (stats={maintained.maintenance_stats.to_dict()})",
+            )
+            return out
+        # Counter-for-counter preprocessing parity: re-search everything
+        # over the maintained caches and compare with the fresh build.
+        maintained.drop_results()
+        try:
+            res_r, stats_r = _query_session(case, maintained)
+        except Exception:
+            out.disagreement = Disagreement(
+                "engine-error",
+                f"{backend} re-query over maintained caches raised:\n"
+                f"{traceback.format_exc()}",
+            )
+            return out
+        if res_r != res_f:
+            out.disagreement = Disagreement(
+                "maintenance-result",
+                f"{backend}: re-query over maintained caches gave "
+                f"{_fmt(res_r)}, fresh gave {_fmt(res_f)}",
+            )
+            return out
+        diffs = [
+            f"{name}: maintained={getattr(stats_r, name)} "
+            f"fresh={getattr(stats_f, name)}"
+            for name in PARITY_COUNTERS
+            if getattr(stats_r, name) != getattr(stats_f, name)
+        ]
+        if diffs:
+            out.disagreement = Disagreement(
+                "maintenance-stats", f"{backend}: " + "; ".join(diffs)
+            )
+            return out
+        finals[backend] = (maintained, res_f, stats_r)
+
+    if finals["python"][1] != finals["csr"][1]:
+        out.disagreement = Disagreement(
+            "backend-result",
+            f"after edits: python={_fmt(finals['python'][1])} "
+            f"csr={_fmt(finals['csr'][1])}",
+        )
+        return out
+
+    if case.search.get("executor") == "process":
+        maintained, res_serial, stats_serial = finals["csr"]
+        maintained.drop_results()
+        try:
+            res_pp, stats_pp = _query_session(
+                case, maintained, executor="process"
+            )
+        except Exception:
+            out.disagreement = Disagreement(
+                "engine-error",
+                f"process executor over maintained caches raised:\n"
+                f"{traceback.format_exc()}",
+            )
+            return out
+        if res_pp != res_serial:
+            out.disagreement = Disagreement(
+                "executor-result",
+                f"maintained caches: serial={_fmt(res_serial)} "
+                f"process={_fmt(res_pp)}",
+            )
+            return out
+        diffs = [
+            f"{name}: serial={getattr(stats_serial, name)} "
+            f"process={getattr(stats_pp, name)}"
+            for name in PARITY_COUNTERS
+            if getattr(stats_serial, name) != getattr(stats_pp, name)
+        ]
+        if diffs:
+            out.disagreement = Disagreement(
+                "executor-stats", "; ".join(diffs)
+            )
+            return out
     return out
 
 

@@ -52,6 +52,28 @@ def _attr_from_json(payload: Dict[str, Any]) -> Any:
     raise InvalidParameterError(f"unknown attribute kind {kind!r}")
 
 
+def _edit_to_json(edit: tuple) -> Dict[str, Any]:
+    kind = edit[0]
+    if kind in ("add_edge", "remove_edge"):
+        return {"op": kind, "u": int(edit[1]), "v": int(edit[2])}
+    if kind == "set_attribute":
+        return {
+            "op": kind,
+            "u": int(edit[1]),
+            "value": _attr_to_json(edit[2]),
+        }
+    raise InvalidParameterError(f"unserialisable edit {edit!r}")
+
+
+def _edit_from_json(payload: Dict[str, Any]) -> tuple:
+    kind = payload.get("op")
+    if kind in ("add_edge", "remove_edge"):
+        return (kind, int(payload["u"]), int(payload["v"]))
+    if kind == "set_attribute":
+        return (kind, int(payload["u"]), _attr_from_json(payload["value"]))
+    raise InvalidParameterError(f"unknown edit op {kind!r}")
+
+
 def case_to_dict(
     case: FuzzCase, disagreement: Optional[Disagreement] = None
 ) -> Dict[str, Any]:
@@ -77,6 +99,8 @@ def case_to_dict(
             },
         },
     }
+    if case.edits:
+        payload["edits"] = [_edit_to_json(e) for e in case.edits]
     if disagreement is not None:
         payload["disagreement"] = {
             "kind": disagreement.kind,
@@ -107,6 +131,7 @@ def case_from_dict(payload: Dict[str, Any]) -> FuzzCase:
         search=dict(payload.get("search", {})),
         family=payload.get("family", "repro"),
         params=dict(payload.get("params", {})),
+        edits=[_edit_from_json(e) for e in payload.get("edits", [])],
     )
 
 

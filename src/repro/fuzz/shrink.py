@@ -11,6 +11,12 @@ disagreement (or a strictly simpler one) with far fewer moving parts.
 Vertex removal re-indexes the graph (the repro file is standalone — it
 no longer corresponds to any generator's parameters), which is why
 :class:`~repro.fuzz.space.FuzzCase` carries a concrete graph.
+
+Cases carrying an edit stream get a fourth level, tried first: drop
+individual edits while the case still fails.  Vertex removal then keeps
+the surviving edits consistent by remapping their vertex ids through
+the same sorted-keep index map the re-indexed subgraph uses (edits
+touching a dropped vertex are dropped with it).
 """
 
 from __future__ import annotations
@@ -22,14 +28,40 @@ from repro.fuzz.space import FuzzCase
 from repro.graph.attributed_graph import AttributedGraph
 
 
-def _without_vertices(graph: AttributedGraph, drop: Iterable[int]) -> AttributedGraph:
-    dropped = set(drop)
-    keep = [v for v in graph.vertices() if v not in dropped]
-    return graph.induced_subgraph(keep)
-
-
 def _with_graph(case: FuzzCase, graph: AttributedGraph) -> FuzzCase:
     return replace(case, graph=graph)
+
+
+def _remap_edits(edits: List[tuple], index: dict) -> List[tuple]:
+    """Edits re-expressed in the re-indexed vertex ids.
+
+    ``index`` maps kept original ids to their new ids (the sorted-keep
+    order :meth:`AttributedGraph.induced_subgraph` relabels by); edits
+    referencing a dropped vertex are dropped with it.
+    """
+    kept = []
+    for edit in edits:
+        kind = edit[0]
+        if kind in ("add_edge", "remove_edge"):
+            u, v = edit[1], edit[2]
+            if u in index and v in index:
+                a, b = index[u], index[v]
+                kept.append((kind, min(a, b), max(a, b)))
+        else:  # set_attribute
+            if edit[1] in index:
+                kept.append((kind, index[edit[1]], edit[2]))
+    return kept
+
+
+def _drop_vertices(case: FuzzCase, drop: Iterable[int]) -> FuzzCase:
+    dropped = set(drop)
+    keep = sorted(v for v in case.graph.vertices() if v not in dropped)
+    index = {v: i for i, v in enumerate(keep)}
+    return replace(
+        case,
+        graph=case.graph.induced_subgraph(keep),
+        edits=_remap_edits(case.edits, index),
+    )
 
 
 def _chunks(items: List[int], size: int) -> List[List[int]]:
@@ -46,7 +78,7 @@ def _shrink_vertices(
         for chunk in _chunks(list(case.graph.vertices()), size):
             if len(chunk) >= case.graph.vertex_count:
                 continue
-            candidate = _with_graph(case, _without_vertices(case.graph, chunk))
+            candidate = _drop_vertices(case, chunk)
             if candidate.graph.vertex_count and failing(candidate):
                 case = candidate
                 progressed = True
@@ -55,6 +87,29 @@ def _shrink_vertices(
             if size == 1:
                 return case
             size = max(1, size // 2)
+
+
+def _shrink_edits(
+    case: FuzzCase, failing: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """Drop individual stream edits while the case still fails.
+
+    Run before the structural levels: a one-edit witness pins the
+    failure to a single maintenance path, and a stream shrunk to empty
+    demotes the case to the (cheaper) classic differential.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(case.edits)):
+            candidate = replace(
+                case, edits=case.edits[:i] + case.edits[i + 1:]
+            )
+            if failing(candidate):
+                case = candidate
+                changed = True
+                break
+    return case
 
 
 def _shrink_edges(
@@ -123,7 +178,10 @@ def shrink_case(
             case.graph.vertex_count,
             case.graph.edge_count,
             _attr_weight(case.graph),
+            len(case.edits),
         )
+        if case.edits:
+            case = _shrink_edits(case, failing)
         case = _shrink_vertices(case, failing)
         case = _shrink_edges(case, failing)
         case = _shrink_attributes(case, failing)
@@ -131,6 +189,7 @@ def shrink_case(
             case.graph.vertex_count,
             case.graph.edge_count,
             _attr_weight(case.graph),
+            len(case.edits),
         )
         if after == before:
             break

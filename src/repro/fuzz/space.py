@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import SearchConfig
 from repro.datasets.adversarial import FAMILIES, sample_instance
@@ -58,6 +58,12 @@ class FuzzCase:
     search: Dict[str, Any] = field(default_factory=dict)
     family: str = "custom"
     params: Dict[str, Any] = field(default_factory=dict)
+    #: Edit stream applied after a warm query: tuples of
+    #: ``("add_edge", u, v)`` / ``("remove_edge", u, v)`` /
+    #: ``("set_attribute", u, value)``.  Empty for classic cases; when
+    #: non-empty the differential check compares a *maintained* session
+    #: against a fresh session on the final graph.
+    edits: List[Tuple] = field(default_factory=list)
 
     def predicate(self) -> SimilarityPredicate:
         """The case's similarity predicate."""
@@ -79,12 +85,13 @@ class FuzzCase:
     def describe(self) -> str:
         """One-line summary for driver logs."""
         g = self.graph
+        extra = f" edits={len(self.edits)}" if self.edits else ""
         return (
             f"{self.family} n={g.vertex_count} m={g.edge_count} "
             f"k={self.k} r={self.r:.4f} {self.mode} "
             f"order={self.search.get('order')} "
             f"bound={self.search.get('bound')} "
-            f"check={self.search.get('maximal_check')}"
+            f"check={self.search.get('maximal_check')}{extra}"
         )
 
 
@@ -154,6 +161,92 @@ def sample_case(
         family=family,
         params=dict(inst.params, size=size),
     )
+
+
+#: Edit-stream length range (satellite of the maintenance tentpole):
+#: short streams keep single-edit classification honest, longer ones
+#: compose merges, splits, and cancelling edits.
+EDIT_STREAM_RANGE = (1, 8)
+
+
+def _sample_attribute_value(rng: random.Random, graph: AttributedGraph, u: int):
+    """A mutated attribute value for ``u`` (set profiles when possible).
+
+    Deliberately includes *borderline* moves (add/drop one token from
+    the instance's own vocabulary — exactly the one-token-across-r flips
+    the adversarial ``borderline`` family engineers), profile copies
+    (merging similarity classes), empty profiles, and re-assignment of
+    the current value (the no-op edit the session must not invalidate
+    on).
+    """
+    current = graph.attribute(u)
+    roll = rng.random()
+    if roll < 0.15 and current is not None:
+        return current  # no-op re-assignment
+    attributed = [
+        w for w in graph.vertices()
+        if graph.has_attribute(w) and graph.attribute(w) is not None
+    ]
+    if roll < 0.35 and attributed:
+        return graph.attribute(rng.choice(attributed))  # profile copy
+    if not isinstance(current, (frozenset, set)):
+        if attributed:
+            return graph.attribute(rng.choice(attributed))
+        return frozenset()
+    vocab = sorted({
+        tok for w in attributed
+        if isinstance(graph.attribute(w), (frozenset, set))
+        for tok in graph.attribute(w)
+    })
+    profile = set(current)
+    if roll < 0.45:
+        return frozenset()  # empty profile: all incident edges dissimilar
+    if roll < 0.75 and vocab:
+        profile.add(rng.choice(vocab))  # one token in (may cross r)
+    elif profile:
+        profile.discard(rng.choice(sorted(profile)))  # one token out
+    elif vocab:
+        profile.add(rng.choice(vocab))
+    return frozenset(profile)
+
+
+def sample_edit_stream_case(rng: random.Random) -> FuzzCase:
+    """A classic case plus a short random edit stream.
+
+    The differential runner warms a session on the base graph, applies
+    the edits through the maintenance layer, and cross-checks results
+    *and* preprocessing counters against a fresh session on the final
+    graph (see :func:`repro.fuzz.differential.run_edit_stream_case`).
+    Edits are sampled against a scratch copy of the graph so removals
+    target existing edges and the stream includes duplicate and
+    cancelling pairs with realistic probability.
+    """
+    case = sample_case(rng)
+    graph = case.graph
+    work = graph.copy()
+    n = work.vertex_count
+    edits: List[Tuple] = []
+    for _ in range(rng.randint(*EDIT_STREAM_RANGE)):
+        roll = rng.random()
+        if roll < 0.35 and work.edge_count:
+            u, v = rng.choice(sorted(work.edges()))
+            work.remove_edge(u, v)
+            edits.append(("remove_edge", u, v))
+        elif roll < 0.7 and n >= 2:
+            u = rng.randrange(n)
+            v = rng.randrange(n)
+            if u == v:
+                v = (u + 1) % n
+            u, v = (u, v) if u < v else (v, u)
+            work.add_edge(u, v)  # may be a duplicate-insert no-op
+            edits.append(("add_edge", u, v))
+        else:
+            u = rng.randrange(n)
+            value = _sample_attribute_value(rng, work, u)
+            work.set_attribute(u, value)
+            edits.append(("set_attribute", u, value))
+    case.edits = edits
+    return case
 
 
 def sample_bound_stress_case(rng: random.Random) -> FuzzCase:

@@ -75,6 +75,46 @@ def connected_components(
     return components
 
 
+def local_components(
+    graph: GraphLike,
+    seeds: Iterable[int],
+    member,
+) -> List[Set[int]]:
+    """Components of ``{v : member(v)}`` reachable from ``seeds``, by BFS.
+
+    Unlike :func:`connected_components`, this never enumerates the full
+    membership set — work is proportional to the discovered region, which
+    is what the streaming-edit maintenance layer needs to rebuild only
+    the components an edit touched.  ``member`` is a vertex predicate
+    (e.g. survivor-set membership); seeds failing it are skipped.
+    Components come back in the same deterministic largest-first order
+    as :func:`connected_components`.
+    """
+    nbrs = _neighbor_fn(graph)
+    is_csr = isinstance(graph, CSRGraph)
+    seen: Set[int] = set()
+    components: List[Set[int]] = []
+    for seed in seeds:
+        seed = int(seed)
+        if seed in seen or not member(seed):
+            continue
+        comp = {seed}
+        frontier = [seed]
+        while frontier:
+            u = frontier.pop()
+            row = nbrs(u)
+            if is_csr:
+                row = row.tolist()
+            for v in row:
+                if v not in comp and member(v):
+                    comp.add(v)
+                    frontier.append(v)
+        seen |= comp
+        components.append(comp)
+    components.sort(key=lambda comp: (-len(comp), min(comp)))
+    return components
+
+
 def component_of(
     graph: GraphLike,
     seed: int,

@@ -275,6 +275,56 @@ def vertex_mask(csr: CSRGraph, vertices: Iterable[int]) -> np.ndarray:
     return mask
 
 
+def _insert_positions(csr: CSRGraph, u: int, v: int) -> Tuple[int, int]:
+    row_u = csr.neighbors(u)
+    row_v = csr.neighbors(v)
+    pos_uv = int(csr.indptr[u]) + int(np.searchsorted(row_u, v))
+    pos_vu = int(csr.indptr[v]) + int(np.searchsorted(row_v, u))
+    return pos_uv, pos_vu
+
+
+def with_edge_added(csr: CSRGraph, u: int, v: int) -> CSRGraph:
+    """New graph with undirected edge ``(u, v)`` spliced in — O(m) copy,
+    no re-sort.  Attributes and labels are shared by reference; the
+    maintenance layer uses this to patch cached CSR snapshots instead of
+    re-freezing the whole graph."""
+    if u == v:
+        raise GraphError(f"self-loop ({u}, {v}) is not allowed")
+    if csr.has_edge(u, v):
+        return csr
+    pos_uv, pos_vu = _insert_positions(csr, u, v)
+    indices = np.insert(csr.indices, [pos_uv, pos_vu], [v, u])
+    indptr = csr.indptr.copy()
+    indptr[u + 1:] += 1
+    indptr[v + 1:] += 1
+    return CSRGraph(indptr, indices, csr._attributes, csr._labels)
+
+
+def with_edge_removed(csr: CSRGraph, u: int, v: int) -> CSRGraph:
+    """New graph with undirected edge ``(u, v)`` spliced out — O(m) copy."""
+    if not csr.has_edge(u, v):
+        return csr
+    pos_uv, pos_vu = _insert_positions(csr, u, v)
+    indices = np.delete(csr.indices, [pos_uv, pos_vu])
+    indptr = csr.indptr.copy()
+    indptr[u + 1:] -= 1
+    indptr[v + 1:] -= 1
+    return CSRGraph(indptr, indices, csr._attributes, csr._labels)
+
+
+def with_attribute(csr: CSRGraph, u: int, value: Any) -> CSRGraph:
+    """New graph sharing structure arrays with one attribute replaced.
+
+    The structural arrays are shared (not copied); only the attribute
+    dict is rebuilt, and the geo-point cache is dropped so distance
+    metrics see the fresh value.
+    """
+    csr._check_vertex(u)
+    attributes = dict(csr._attributes)
+    attributes[u] = value
+    return CSRGraph(csr.indptr, csr.indices, attributes, csr._labels)
+
+
 def gather_neighbors(csr: CSRGraph, frontier: np.ndarray) -> np.ndarray:
     """Concatenated neighbour lists of all ``frontier`` vertices.
 

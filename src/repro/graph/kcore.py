@@ -17,7 +17,7 @@ never peeled.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -148,6 +148,141 @@ def anchored_k_core(
                     removed.add(v)
                     queue.append(v)
     return cand - removed
+
+
+def incremental_kcore_update(
+    filtered,
+    k: int,
+    survivors,
+    added_edges: Iterable[Tuple[int, int]],
+    removed_edges: Iterable[Tuple[int, int]],
+    backend: str = "python",
+) -> Tuple[Set[int], Set[int]]:
+    """Exact k-core survivors after an edit, touching only the affected region.
+
+    ``filtered`` is the **post-edit** graph and ``survivors`` the
+    **pre-edit** k-core of it (a vertex set on the python backend, a
+    boolean mask on the csr backend) — ``survivors`` is updated *in
+    place* to the exact k-core of the edited graph, identical to a full
+    re-peel (the k-core is unique, so any correct bounded computation
+    matches it).  ``added_edges`` / ``removed_edges`` are the edges that
+    changed; work is proportional to the cascade/expansion region they
+    trigger, not to the graph.
+
+    Two phases, both against the post-edit adjacency:
+
+    1. **Deletion cascade** — endpoints of removed edges that dropped
+       below degree ``k`` inside the survivor set are peeled, cascading
+       outward.  This yields ``k-core(induced(S_old))`` exactly (peeling
+       any superset of the true k-core converges to it).
+    2. **Insertion expansion** — every component of new joiners must
+       contain an added-edge endpoint (otherwise it was already a
+       ``>= k``-degree subgraph inside the old survivor closure,
+       contradicting phase 1's maximality), so a BFS from the added
+       endpoints over outside vertices of full degree ``>= k`` covers
+       all candidates; an anchored peel (survivors exempt) keeps exactly
+       the joiners.
+
+    Returns ``(removed, added)`` — the *gross* vertex flows of the two
+    phases.  They may overlap (a vertex cascaded out and re-admitted);
+    the mutated ``survivors`` object reflects the net state, while the
+    union of both sets bounds every vertex whose membership was touched.
+    """
+    if k < 0:
+        raise InvalidParameterError(f"k must be >= 0, got {k}")
+    if backend == "csr":
+        mask = survivors
+
+        def in_s(x: int) -> bool:
+            return bool(mask[x])
+
+        def s_discard(x: int) -> None:
+            mask[x] = False
+
+        def s_add(x: int) -> None:
+            mask[x] = True
+
+        def nbrs(x: int):
+            return filtered.neighbors(x).tolist()
+
+        def full_degree(x: int) -> int:
+            return filtered.degree(x)
+    else:
+        sset: Set[int] = survivors
+
+        def in_s(x: int) -> bool:
+            return x in sset
+
+        def s_discard(x: int) -> None:
+            sset.discard(x)
+
+        def s_add(x: int) -> None:
+            sset.add(x)
+
+        def nbrs(x: int):
+            return filtered.neighbors(x)
+
+        def full_degree(x: int) -> int:
+            return len(filtered.neighbors(x))
+
+    # Phase 1: deletion cascade inside the old survivor set.
+    removed: Set[int] = set()
+    degree: Dict[int, int] = {}
+    stack: List[int] = [
+        x for e in removed_edges for x in e if in_s(x)
+    ]
+    while stack:
+        x = stack.pop()
+        if not in_s(x):
+            continue
+        if x not in degree:
+            degree[x] = sum(1 for w in nbrs(x) if in_s(w))
+        if degree[x] >= k:
+            continue
+        s_discard(x)
+        removed.add(x)
+        degree.pop(x, None)
+        for w in nbrs(x):
+            if in_s(w):
+                if w in degree:
+                    degree[w] -= 1
+                stack.append(w)
+
+    # Phase 2: insertion expansion from the added-edge endpoints.
+    region: Set[int] = set()
+    stack = [
+        x for e in added_edges for x in e
+        if not in_s(x) and full_degree(x) >= k
+    ]
+    while stack:
+        x = stack.pop()
+        if x in region or in_s(x):
+            continue
+        region.add(x)
+        for w in nbrs(x):
+            if not in_s(w) and w not in region and full_degree(w) >= k:
+                stack.append(w)
+    added: Set[int] = set()
+    if region:
+        rdeg = {
+            x: sum(1 for w in nbrs(x) if in_s(w) or w in region)
+            for x in region
+        }
+        dead: Set[int] = set()
+        stack = [x for x, d in rdeg.items() if d < k]
+        while stack:
+            x = stack.pop()
+            if x in dead or rdeg[x] >= k:
+                continue
+            dead.add(x)
+            for w in nbrs(x):
+                if w in region and w not in dead:
+                    rdeg[w] -= 1
+                    stack.append(w)
+        added = region - dead
+        for x in added:
+            s_add(x)
+    return removed, added
 
 
 def core_decomposition(graph: GraphLike) -> Dict[int, int]:

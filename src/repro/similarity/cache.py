@@ -132,6 +132,50 @@ class PairwiseSimilarityCache:
         self._values = values
         return True
 
+    def refresh_vertex(self, graph: AttributedGraph, u: int) -> bool:
+        """Recompute ``u``'s row/column after its attribute changed.
+
+        The row is produced by the same formulas as the initial fill
+        (the vectorised euclid expression, the exact-int Jaccard ratio,
+        or the scalar metric), so a refreshed cache is value-identical
+        to one built fresh on the edited graph.  Returns whether ``u``
+        is covered by this cache; uncovered vertices are a no-op.
+        """
+        i = self._pos.get(u)
+        if i is None:
+            return False
+        n = len(self._vertices)
+        if n < 2:
+            return True
+        if self._metric is euclidean_distance:
+            pts = np.array(
+                [require_attribute(graph.attribute(w), w) for w in self._vertices]
+            )
+            dx = pts[i, 0] - pts[:, 0]
+            dy = pts[i, 1] - pts[:, 1]
+            row = np.sqrt(dx * dx + dy * dy)
+        elif self._metric is jaccard:
+            profile = set(require_attribute(graph.attribute(u), u))
+            row = np.zeros(n, dtype=np.float64)
+            for j, w in enumerate(self._vertices):
+                other = set(require_attribute(graph.attribute(w), w))
+                inter = len(profile & other)
+                union = len(profile) + len(other) - inter
+                row[j] = inter / union if inter > 0 else 0.0
+        else:
+            attr_u = require_attribute(graph.attribute(u), u)
+            row = np.zeros(n, dtype=np.float64)
+            for j, w in enumerate(self._vertices):
+                if j == i:
+                    continue
+                row[j] = self._metric(
+                    attr_u, require_attribute(graph.attribute(w), w)
+                )
+        row[i] = 0.0
+        self._values[i, :] = row
+        self._values[:, i] = row
+        return True
+
     @property
     def vertices(self) -> Sequence[int]:
         return tuple(self._vertices)
@@ -332,6 +376,193 @@ class EdgeSimilarityCache:
                     predicate.value(graph.attribute(u), graph.attribute(v))
                 )
         self._edge_values = values
+
+    # ------------------------------------------------------------------
+    # Incremental refresh (streaming-edit maintenance)
+    # ------------------------------------------------------------------
+    def refresh(
+        self,
+        graph,
+        *,
+        added_edges: Iterable[Tuple[int, int]] = (),
+        removed_edges: Iterable[Tuple[int, int]] = (),
+        dirty_vertex: Optional[int] = None,
+    ) -> None:
+        """Bring the cache in step with an edited graph, re-scoring only
+        what changed.
+
+        ``graph`` is the post-edit substrate (the same flavour the cache
+        was built from).  ``added_edges`` / ``removed_edges`` are the
+        structural deltas; ``dirty_vertex`` marks an attribute edit, so
+        only its incident edge values are recomputed.  Untouched values
+        are carried over verbatim — after a refresh the cache is
+        value-identical to one built fresh on the edited graph.
+        """
+        if self._backend == "csr":
+            self._refresh_csr(graph, added_edges, removed_edges, dirty_vertex)
+            return
+        self._graph = graph
+        predicate = self._predicate
+
+        def value_of(a: int, b: int) -> Optional[float]:
+            if not graph.has_attribute(a) or not graph.has_attribute(b):
+                return None  # missing attribute: never similar
+            return predicate.value(graph.attribute(a), graph.attribute(b))
+
+        for a, b in removed_edges:
+            pair = (a, b) if a < b else (b, a)
+            try:
+                i = self._edges.index(pair)
+            except ValueError:
+                continue
+            self._edges.pop(i)
+            self._edge_values.pop(i)
+        for a, b in added_edges:
+            pair = (a, b) if a < b else (b, a)
+            if pair in self._edges:
+                continue
+            self._edges.append(pair)
+            self._edge_values.append(value_of(*pair))
+        if dirty_vertex is not None:
+            for i, (a, b) in enumerate(self._edges):
+                if a == dirty_vertex or b == dirty_vertex:
+                    self._edge_values[i] = value_of(a, b)
+
+    def _refresh_csr(
+        self,
+        csr: CSRGraph,
+        added_edges: Iterable[Tuple[int, int]],
+        removed_edges: Iterable[Tuple[int, int]],
+        dirty_vertex: Optional[int],
+    ) -> None:
+        predicate = self._predicate
+        old_eu, old_ev = self._eu, self._ev
+        old_base, old_live = self._base, self._live
+        old_values, old_mode = self._values, self._mode
+        self._csr = csr
+        eu, ev = csr.edge_array()
+        self._eu, self._ev = eu, ev
+        if eu.size == 0:
+            self._base = np.zeros(0, dtype=bool)
+            self._live = np.zeros(0, dtype=np.int64)
+            self._values = np.zeros(0, dtype=np.float64)
+            return
+        n = csr.vertex_count
+        has = csr.attribute_mask()
+        base = has[eu] & has[ev]
+        self._base = base
+        live = np.nonzero(base)[0]
+        self._live = live
+        # Encoded (u, v) keys are strictly increasing in edge_array order
+        # on both sides, so carried-over values resolve by searchsorted.
+        key_new = eu * n + ev
+        key_old = old_eu * n + old_ev
+        dirty = np.zeros(eu.size, dtype=bool)
+        if dirty_vertex is not None:
+            dirty |= (eu == dirty_vertex) | (ev == dirty_vertex)
+        for a, b in added_edges:
+            lo, hi = (a, b) if a < b else (b, a)
+            pos = int(np.searchsorted(key_new, lo * n + hi))
+            if pos < key_new.size and int(key_new[pos]) == lo * n + hi:
+                dirty[pos] = True
+        if old_mode == "euclid2":
+            # Full-length squared distances; carry clean matches, recompute
+            # the rest with the same vectorised expression as the fill.
+            values = np.full(eu.size, np.nan, dtype=np.float64)
+            if key_old.size:
+                pos = np.searchsorted(key_old, key_new)
+                pos_c = np.minimum(pos, key_old.size - 1)
+                carry = (key_old[pos_c] == key_new) & ~dirty
+                values[carry] = old_values[pos_c[carry]]
+            redo = np.nonzero(np.isnan(values) & base)[0]
+            if redo.size:
+                pa = np.empty((redo.size, 2), dtype=np.float64)
+                pb = np.empty((redo.size, 2), dtype=np.float64)
+                for t, i in enumerate(redo.tolist()):
+                    pa[t] = csr.attribute(int(eu[i]))
+                    pb[t] = csr.attribute(int(ev[i]))
+                values[redo] = (pa[:, 0] - pb[:, 0]) ** 2 + (pa[:, 1] - pb[:, 1]) ** 2
+            self._values = values
+            return
+        # "sims" / "scalar": values aligned with the live edge list.
+        values = np.full(live.size, np.nan, dtype=np.float64)
+        if old_live.size and live.size:
+            old_live_keys = key_old[old_live]
+            live_keys = key_new[live]
+            pos = np.searchsorted(old_live_keys, live_keys)
+            pos_c = np.minimum(pos, old_live_keys.size - 1)
+            carry = (old_live_keys[pos_c] == live_keys) & ~dirty[live]
+            values[carry] = old_values[pos_c[carry]]
+        redo_local = np.nonzero(np.isnan(values))[0]
+        if redo_local.size:
+            redo = live[redo_local]
+            got = None
+            if old_mode == "sims":
+                got = edge_profile_similarities(csr, eu, ev, redo, predicate)
+            if got is not None:
+                values[redo_local] = got
+            else:
+                for t, i in zip(redo_local.tolist(), redo.tolist()):
+                    values[t] = predicate.value(
+                        csr.attribute(int(eu[i])), csr.attribute(int(ev[i]))
+                    )
+        self._values = values
+
+    def decisions(self, pairs: Iterable[Tuple[int, int]], r: float) -> List[bool]:
+        """Keep/drop decision for each vertex pair at threshold ``r``.
+
+        Pairs that are not current edges, or whose endpoints lack an
+        attribute, come back ``False`` — exactly the edges
+        :meth:`filtered_at` would omit.  Decisions replicate the one-shot
+        filter bit-for-bit, including the squared-distance borderline
+        re-check band of the geo path.
+        """
+        out: List[bool] = []
+        if self._backend == "csr":
+            n = self._csr.vertex_count
+            key = self._eu * n + self._ev
+            for a, b in pairs:
+                u, v = (a, b) if a < b else (b, a)
+                pk = u * n + v
+                i = int(np.searchsorted(key, pk))
+                if i >= key.size or int(key[i]) != pk or not self._base[i]:
+                    out.append(False)
+                elif self._mode == "euclid2":
+                    d2 = float(self._values[i])
+                    r2 = r * r
+                    if d2 <= r2 * (1.0 - 1e-12):
+                        out.append(True)
+                    elif d2 > r2 * (1.0 + 1e-12):
+                        out.append(False)
+                    else:  # borderline band: defer to the scalar predicate
+                        pred_r = self._predicate.with_threshold(r)
+                        out.append(bool(pred_r.similar(
+                            self._csr.attribute(int(self._eu[i])),
+                            self._csr.attribute(int(self._ev[i])),
+                        )))
+                else:
+                    value = float(self._values[int(np.searchsorted(self._live, i))])
+                    if self._predicate.kind is MetricKind.SIMILARITY:
+                        out.append(value >= r)
+                    else:
+                        out.append(value <= r)
+            return out
+        similarity = self._predicate.kind is MetricKind.SIMILARITY
+        for a, b in pairs:
+            pair = (a, b) if a < b else (b, a)
+            try:
+                i = self._edges.index(pair)
+            except ValueError:
+                out.append(False)
+                continue
+            value = self._edge_values[i]
+            if value is None:
+                out.append(False)
+            elif similarity:
+                out.append(value >= r)
+            else:
+                out.append(value <= r)
+        return out
 
     # ------------------------------------------------------------------
     # Shared surface

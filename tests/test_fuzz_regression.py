@@ -19,6 +19,13 @@ the process executor: its replay exercises the serial-vs-pool
 differential, and the dedicated test below round-trips its component
 tasks through ``pickle`` — the exact payload path a spawn-started
 worker sees.
+
+``shrunken-maintenance-max-tiebreak.json`` came out of the edit-stream
+sweep: a cancelling add/remove edge pair whose merge-then-split left the
+maximum result cache *partially* populated, flipping a size tie between
+two equally-maximal components away from the fresh-session winner.  The
+fix (family-wide eviction of ``"max"`` entries on any dead signature,
+see ``repro.core.maintenance``) keeps this replaying clean.
 """
 
 import glob
