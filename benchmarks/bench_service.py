@@ -1,0 +1,259 @@
+"""Persistence benchmark: warm-start speedup + daemon latency under load.
+
+* **warm-vs-cold** — a cold process stores an adversarial onion graph
+  (exponentially many near-tied maximum cores — engine search time
+  dominates preprocessing, which is the regime persistence targets),
+  runs a (k, r) sweep, and write-throughs its result cache; a second,
+  fresh process loads the store and answers the identical sweep from
+  persisted state.  The warm pass must do zero engine work
+  (``stats.nodes == 0``), return identical rows, and be at least 2x
+  faster end to end — that gate is enforced in CI (including smoke
+  mode).  The margin is intentionally engine-bound: warm restarts still
+  pay graph reload + integrity fingerprinting + per-query filter/peel,
+  so workloads whose cost is all preprocessing see little gain.
+* **daemon-latency** — the JSON/HTTP daemon serves N concurrent clients
+  issuing a mix of enumerate queries against a stored block graph; per
+  request latency percentiles are reported, and every response must be
+  identical to a direct session answer (the daemon's locking and
+  request coalescing must not change results).
+
+Standalone script (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py           # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.core.session import KRCoreSession
+from repro.datasets.adversarial import onion_graph, onion_predicate_r
+from repro.serve import KRCoreService, make_server, run_server
+from repro.store import GraphStore
+
+from bench_session_reuse import make_block_graph
+
+WARM_SPEEDUP_MIN = 2.0
+
+
+def bench_warm_vs_cold(db: str, graph, ks, rs):
+    """(cold_s, warm_s, ok) for one store-backed sweep round trip."""
+    with GraphStore(db) as store:
+        store.save_graph("bench", graph)
+
+    t0 = time.perf_counter()
+    with GraphStore(db) as store:
+        cold = KRCoreSession.load(store, "bench")
+        cold_rows = cold.sweep(ks, rs)
+        cold.save(store, "bench")
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with GraphStore(db) as store:
+        warm = KRCoreSession.load(store, "bench")
+        warm_rows, stats = warm.sweep(ks, rs, with_stats=True)
+    warm_s = time.perf_counter() - t0
+
+    ok = True
+    if warm_rows != cold_rows:
+        print("FAIL: warm sweep rows differ from cold")
+        ok = False
+    if stats.nodes != 0 or stats.cache_misses != 0:
+        print(f"FAIL: warm sweep ran the engine "
+              f"(nodes={stats.nodes}, misses={stats.cache_misses})")
+        ok = False
+    return cold_s, warm_s, ok
+
+
+def _post(base: str, path: str, payload: dict) -> dict:
+    req = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        return json.loads(resp.read())
+
+
+def bench_daemon_latency(db: str, graph, params_grid, clients: int,
+                         requests_per_client: int):
+    """(latencies, counters, ok): drive the daemon with concurrent clients."""
+    with GraphStore(db) as store:
+        store.save_graph("bench", graph)
+
+    direct = KRCoreSession(graph)
+    expected = {}
+    for params in params_grid:
+        cores = direct.enumerate(params["k"], params["r"])
+        expected[(params["k"], params["r"])] = sorted(
+            sorted(c.vertices) for c in cores
+        )
+
+    service = KRCoreService(GraphStore(db))
+    server = make_server(service, port=0)
+    ready = threading.Event()
+    thread = threading.Thread(target=run_server, args=(server, ready))
+    thread.start()
+    ready.wait(10.0)
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+
+    latencies, mismatches, errors = [], [], []
+    lock = threading.Lock()
+
+    def client(idx: int):
+        for i in range(requests_per_client):
+            params = params_grid[(idx + i) % len(params_grid)]
+            t0 = time.perf_counter()
+            try:
+                out = _post(base, "/graphs/bench/enumerate", params)
+            except Exception as exc:
+                with lock:
+                    errors.append(f"client {idx} request {i}: {exc}")
+                continue
+            dt = time.perf_counter() - t0
+            want = expected[(params["k"], params["r"])]
+            with lock:
+                latencies.append(dt)
+                if sorted(map(tuple, out["cores"])) != \
+                        [tuple(c) for c in want]:
+                    mismatches.append((idx, i, params))
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    counters = dict(service.counters)
+    server.stop()
+    thread.join(timeout=10.0)
+
+    ok = True
+    for message in errors:
+        print(f"FAIL: {message}")
+        ok = False
+    if mismatches:
+        print(f"FAIL: {len(mismatches)} daemon responses differ from "
+              f"direct session answers")
+        ok = False
+    return latencies, counters, ok
+
+
+def percentile(values, q):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smaller instance for CI (the 2x warm gate still applies)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the measurements as JSON (CI uploads these artifacts)",
+    )
+    parser.add_argument("--clients", type=int, default=None,
+                        help="concurrent daemon clients")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        layers, options, group = 3, 2, 8
+        blocks, size = 6, 30
+        dks, drs = [2, 3], [0.4, 0.55]
+        clients, per_client = args.clients or 4, 6
+    else:
+        layers, options, group = 4, 2, 10
+        blocks, size = 10, 60
+        dks, drs = [2, 3, 4], [0.4, 0.5, 0.6]
+        clients, per_client = args.clients or 8, 20
+    onion = onion_graph(layers=layers, options=options, group=group)
+    ks = [2, 3]
+    rs = [onion_predicate_r(layers=layers, options=options)]
+    graph = make_block_graph(blocks, size)
+    print(f"onion graph: n={onion.vertex_count}, m={onion.edge_count}, "
+          f"sweep grid={len(ks)}x{len(rs)}")
+    print(f"block graph: n={graph.vertex_count}, m={graph.edge_count}, "
+          f"clients={clients}")
+
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_s, warm_s, ok = bench_warm_vs_cold(
+            str(Path(tmp) / "warm.db"), onion, ks, rs,
+        )
+        if not ok:
+            failures += 1
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+        print(f"{'warm-vs-cold':>16} cold={cold_s * 1e3:8.1f}ms "
+              f"warm={warm_s * 1e3:8.1f}ms speedup={speedup:6.1f}x")
+
+        params_grid = [{"k": k, "r": r} for k in dks for r in drs]
+        latencies, counters, ok = bench_daemon_latency(
+            str(Path(tmp) / "daemon.db"), graph, params_grid,
+            clients, per_client,
+        )
+        if not ok:
+            failures += 1
+        p50 = percentile(latencies, 0.50)
+        p90 = percentile(latencies, 0.90)
+        p99 = percentile(latencies, 0.99)
+        print(f"{'daemon-latency':>16} requests={len(latencies)} "
+              f"p50={p50 * 1e3:6.1f}ms p90={p90 * 1e3:6.1f}ms "
+              f"p99={p99 * 1e3:6.1f}ms coalesced={counters['coalesced']}")
+
+    gate_failed = speedup < WARM_SPEEDUP_MIN
+    if args.json:
+        payload = {
+            "benchmark": "service",
+            "mode": "smoke" if args.smoke else "full",
+            "workload": {
+                "onion": {"vertices": onion.vertex_count,
+                          "edges": onion.edge_count,
+                          "grid": [len(ks), len(rs)]},
+                "blocks": {"vertices": graph.vertex_count,
+                           "edges": graph.edge_count,
+                           "clients": clients,
+                           "requests": len(latencies)},
+            },
+            "warm_vs_cold": {
+                "cold_s": cold_s, "warm_s": warm_s, "speedup": speedup,
+            },
+            "daemon_latency": {
+                "p50_s": p50, "p90_s": p90, "p99_s": p99,
+                "counters": counters,
+            },
+            "gates": {
+                "warm_speedup_min": WARM_SPEEDUP_MIN,
+                "warm_speedup": speedup,
+                "passed": not (failures or gate_failed),
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    if failures:
+        return 1
+    if gate_failed:
+        print(f"FAIL: warm speedup {speedup:.1f}x below the "
+              f"{WARM_SPEEDUP_MIN:.0f}x gate")
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

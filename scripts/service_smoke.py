@@ -1,0 +1,199 @@
+"""End-to-end smoke test for the persistent store + HTTP query service.
+
+Stores an adversarial ring-of-cliques graph, starts the JSON daemon,
+drives every endpoint over real HTTP, and checks each response against a
+direct in-process session on the identical graph.  Then it shuts the
+daemon down (flushing warm state), restarts it over the same database,
+and proves the warm restart serves the same answers with zero engine
+invocations.  CI runs this as the ``service-smoke`` step::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.core.session import KRCoreSession
+from repro.datasets.adversarial import ring_of_cliques, ring_predicate_r
+from repro.serve import KRCoreService, make_server, run_server
+from repro.store import GraphStore
+
+FAILURES: list = []
+
+
+def check(condition: bool, message: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  {status}: {message}")
+    if not condition:
+        FAILURES.append(message)
+
+
+def request(base: str, method: str, path: str, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def start_daemon(db: str):
+    service = KRCoreService(GraphStore(db))
+    server = make_server(service, port=0)
+    ready = threading.Event()
+    thread = threading.Thread(target=run_server, args=(server, ready))
+    thread.start()
+    ready.wait(10.0)
+    host, port = server.server_address[:2]
+    return server, thread, f"http://{host}:{port}"
+
+
+def sorted_cores(cores):
+    return sorted(sorted(c) for c in cores)
+
+
+def main() -> int:
+    graph = ring_of_cliques(cliques=10, clique_size=5)
+    r = ring_predicate_r()
+    k = 2
+    db_dir = tempfile.mkdtemp(prefix="service_smoke_")
+    db = str(Path(db_dir) / "smoke.db")
+
+    with GraphStore(db) as store:
+        fp = store.save_graph("adversarial", graph)
+    print(f"stored adversarial graph: n={graph.vertex_count} "
+          f"m={graph.edge_count} fingerprint={fp[:12]}…")
+
+    direct = KRCoreSession(graph)
+
+    print("first daemon: cold queries over HTTP")
+    server, thread, base = start_daemon(db)
+    try:
+        status, health = request(base, "GET", "/health")
+        check(status == 200 and health["ok"], "health endpoint")
+        check(health["graphs"] == ["adversarial"], "stored graph listed")
+
+        status, out = request(
+            base, "POST", "/graphs/adversarial/enumerate", {"k": k, "r": r},
+        )
+        want = direct.enumerate(k, r)
+        check(status == 200, "enumerate answers")
+        check(
+            sorted_cores(out["cores"])
+            == sorted_cores(sorted(c.vertices) for c in want),
+            "enumerate matches direct session",
+        )
+
+        status, out = request(
+            base, "POST", "/graphs/adversarial/maximum", {"k": k, "r": r},
+        )
+        best = direct.maximum(k, r)
+        check(
+            status == 200 and out["size"] == (best.size if best else 0),
+            "maximum matches direct session",
+        )
+
+        status, out = request(
+            base, "POST", "/graphs/adversarial/statistics", {"k": k, "r": r},
+        )
+        summary = direct.statistics(k, r)
+        check(
+            status == 200
+            and all(out[key] == value for key, value in summary.items()),
+            "statistics matches direct session",
+        )
+
+        status, out = request(
+            base, "POST", "/graphs/adversarial/sweep",
+            {"ks": [2, 3], "rs": [r]},
+        )
+        check(
+            status == 200 and out["rows"] == direct.sweep([2, 3], [r]),
+            "sweep matches direct session",
+        )
+
+        # a maintained edit through the daemon, mirrored on the oracle
+        status, out = request(
+            base, "POST", "/graphs/adversarial/edit",
+            {"attributes": {"0": ["set", ["solo"]]}},
+        )
+        check(
+            status == 200 and out["changed"] and out["seq"] == 1,
+            "edit applied and logged",
+        )
+        direct.set_attribute(0, frozenset({"solo"}))
+        status, out = request(
+            base, "POST", "/graphs/adversarial/enumerate", {"k": k, "r": r},
+        )
+        want = direct.enumerate(k, r)
+        check(
+            status == 200
+            and sorted_cores(out["cores"])
+            == sorted_cores(sorted(c.vertices) for c in want),
+            "post-edit enumerate matches direct session",
+        )
+
+        status, out = request(base, "GET", "/graphs/adversarial/edits")
+        check(
+            status == 200 and len(out["edits"]) == 1,
+            "edit log persisted",
+        )
+
+        status, out = request(base, "POST", "/graphs/nope/enumerate",
+                              {"k": 2, "r": 0.5})
+        check(status == 404, "unknown graph is a 404")
+
+        status, out = request(base, "POST", "/shutdown")
+        check(status == 200, "graceful shutdown accepted")
+    finally:
+        server.stop()
+        thread.join(timeout=10.0)
+    check(not thread.is_alive(), "daemon thread exited")
+
+    print("second daemon: warm restart must skip the engine")
+    server, thread, base = start_daemon(db)
+    try:
+        status, out = request(
+            base, "POST", "/graphs/adversarial/enumerate",
+            {"k": k, "r": r, "with_stats": True},
+        )
+        want = direct.enumerate(k, r)
+        check(
+            status == 200
+            and sorted_cores(out["cores"])
+            == sorted_cores(sorted(c.vertices) for c in want),
+            "warm enumerate matches direct session",
+        )
+        check(
+            out["stats"]["nodes"] == 0,
+            "warm restart ran zero engine search nodes",
+        )
+        check(
+            out["stats"]["cache_misses"] == 0
+            and out["stats"]["cache_hits"] > 0,
+            "warm restart served from the persisted result cache",
+        )
+    finally:
+        server.stop()
+        thread.join(timeout=10.0)
+
+    if FAILURES:
+        print(f"service smoke FAILED ({len(FAILURES)} check(s))")
+        return 1
+    print("service smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,10 @@ Usage::
     python -m repro mine --edges edges.txt --attrs attrs.txt \\
         --attr-kind set --metric jaccard --k 3 --r 0.5
     python -m repro datasets
+    python -m repro store add demo --db graphs.db --dataset dblp
+    python -m repro store warm demo --db graphs.db --ks 3 4 --rs 0.2 0.3
+    python -m repro store list --db graphs.db
+    python -m repro serve --db graphs.db --port 8321
 
 Graphs come either from the named synthetic analogs (``--dataset``) or
 from edge-list + attribute files in the formats of
@@ -214,6 +218,96 @@ def _print_sweep(args, ks: List[int], rs: Optional[List[float]]) -> int:
     return 0
 
 
+def _load_graph_only(args) -> AttributedGraph:
+    """Resolve just the graph from the source args (no threshold needed)."""
+    if args.dataset and args.edges:
+        raise ReproError("pass either --dataset or --edges, not both")
+    if args.dataset:
+        return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    if not args.edges or not args.attrs or not args.attr_kind:
+        raise ReproError("file graphs need --edges, --attrs and --attr-kind")
+    return read_attributed_graph(args.edges, args.attrs, args.attr_kind)
+
+
+def _cmd_store(args) -> int:
+    from repro.store import GraphStore
+
+    if args.action != "list" and not args.name:
+        raise ReproError(f"store {args.action} needs a graph name")
+    with GraphStore(args.db) as store:
+        if args.action == "add":
+            graph = _load_graph_only(args)
+            fp = store.save_graph(args.name, graph)
+            print(f"stored {args.name!r}: n={graph.vertex_count} "
+                  f"m={graph.edge_count} fingerprint={fp[:16]}…")
+            return 0
+        if args.action == "list":
+            for row in store.list_graphs():
+                print(f"{row['name']:<16} n={row['n']:<8} m={row['m']:<9} "
+                      f"fingerprint={row['fingerprint'][:16]}…")
+            return 0
+        if args.action == "info":
+            rows = [r for r in store.list_graphs() if r["name"] == args.name]
+            if not rows:
+                raise ReproError(f"no stored graph named {args.name!r}")
+            row = rows[0]
+            print(f"name={row['name']} n={row['n']} m={row['m']}")
+            print(f"fingerprint={row['fingerprint']}")
+            print(f"cached results={store.result_count(args.name)} "
+                  f"edits={len(store.edit_log(args.name))}")
+            return 0
+        if args.action == "delete":
+            store.delete_graph(args.name)
+            print(f"deleted {args.name!r}")
+            return 0
+        # warm: run a sweep through a session and persist the warm state
+        session = KRCoreSession.load(
+            store, args.name, metric=args.metric, backend=args.backend,
+        )
+        rows, stats = session.sweep(
+            args.ks, args.rs, time_limit=args.time_limit,
+            with_stats=True, **_executor_overrides(args),
+        )
+        fp = session.save(store, args.name)
+        solves = stats.cache_hits + stats.cache_misses
+        print(f"warmed {args.name!r}: {len(rows)} grid points, "
+              f"{solves} component solves ({stats.cache_hits} cached), "
+              f"{store.result_count(args.name)} results stored "
+              f"[{stats.elapsed:.2f}s]")
+        return 0
+
+
+def _cmd_serve(args) -> int:
+    import signal
+
+    from repro.serve import KRCoreService, make_server, run_server
+    from repro.store import GraphStore
+
+    store = GraphStore(args.db)
+    service = KRCoreService(
+        store,
+        backend=args.backend,
+        metric=args.metric,
+        **_executor_overrides(args),
+    )
+    server = make_server(
+        service, host=args.host, port=args.port, verbose=args.verbose,
+    )
+    host, port = server.server_address[:2]
+    names = [row["name"] for row in store.list_graphs()]
+    print(f"serving {len(names)} stored graph(s) {names} "
+          f"on http://{host}:{port} (Ctrl-C to stop)")
+
+    def _stop(signum, frame):
+        server.stop()
+
+    signal.signal(signal.SIGINT, _stop)
+    signal.signal(signal.SIGTERM, _stop)
+    run_server(server)
+    print("flushed and stopped")
+    return 0
+
+
 def _cmd_datasets(_args) -> int:
     header = (f"{'dataset':<11} {'nodes':>7} {'edges':>8} {'davg':>6} "
               f"{'dmax':>5}   paper(nodes/edges/davg)")
@@ -263,6 +357,47 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_ds = sub.add_parser("datasets", help="list the named synthetic analogs")
     p_ds.set_defaults(fn=_cmd_datasets)
+
+    p_store = sub.add_parser(
+        "store", help="manage the persistent graph store (sqlite)"
+    )
+    p_store.add_argument(
+        "action", choices=("add", "list", "info", "delete", "warm"),
+    )
+    p_store.add_argument("name", nargs="?", default=None,
+                         help="graph name (all actions except list)")
+    p_store.add_argument("--db", required=True, help="store database path")
+    src = p_store.add_argument_group("graph source (add)")
+    src.add_argument("--dataset", choices=sorted(DATASETS))
+    src.add_argument("--scale", type=float, default=1.0)
+    src.add_argument("--seed", type=int, default=7)
+    src.add_argument("--edges", help="edge-list file")
+    src.add_argument("--attrs", help="attribute file")
+    src.add_argument("--attr-kind", choices=("point", "set", "counter"))
+    warm = p_store.add_argument_group("warm sweep (warm)")
+    warm.add_argument("--ks", type=int, nargs="+", default=[3])
+    warm.add_argument("--rs", type=float, nargs="+", default=[0.5])
+    warm.add_argument("--metric", default="jaccard",
+                      help="similarity metric for the warm sweep")
+    warm.add_argument("--backend", choices=("csr", "python"), default=None)
+    warm.add_argument("--workers", type=int, default=None)
+    warm.add_argument("--time-limit", type=float, default=None)
+    p_store.set_defaults(fn=_cmd_store)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the JSON/HTTP query daemon over a store"
+    )
+    p_serve.add_argument("--db", required=True, help="store database path")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321)
+    p_serve.add_argument("--metric", default="jaccard",
+                         help="default session metric")
+    p_serve.add_argument("--backend", choices=("csr", "python"), default=None)
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="route searches through a process pool of N")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
+    p_serve.set_defaults(fn=_cmd_serve)
 
     args = parser.parse_args(argv)
     try:

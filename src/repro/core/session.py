@@ -220,6 +220,11 @@ class KRCoreSession:
         self._pairwise: Dict[Tuple, Tuple[PairwiseSimilarityCache, Tuple]] = {}
         self._results: Dict[Tuple, Any] = {}
         self._metric_queries: Dict[MetricKey, int] = {}
+        # Result entries computed since the last save (write-through set
+        # for :meth:`save`) and observable eviction counters.
+        self._unsaved_results: Set[Tuple] = set()
+        self._result_evictions = 0
+        self._pairwise_evictions = 0
         # Predicates seen per (metric, r) — the maintenance layer needs
         # them to rebuild component indexes outside a query.
         self._predicates: Dict[Tuple[MetricKey, float], SimilarityPredicate] = {}
@@ -322,6 +327,7 @@ class KRCoreSession:
         preprocessing, counter for counter, against a fresh session's.
         """
         self._results.clear()
+        self._unsaved_results.clear()
 
     def invalidate(self) -> None:
         """Drop every cache, including per-component results.
@@ -332,9 +338,166 @@ class KRCoreSession:
         """
         self._touch()
         self._results.clear()
+        self._unsaved_results.clear()
         self._pairwise.clear()
         self._metric_queries.clear()
         self._ensure_fresh()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, Any]:
+        """JSON-able snapshot of every cache layer's size and traffic.
+
+        The public view the query service's stats endpoint and the
+        store's write-through logic consume — callers never need to
+        reach into the session's private cache dicts.  Hit/miss counts
+        are the cumulative :attr:`total_stats` counters; eviction counts
+        are tracked by the LRU layers themselves.
+        """
+        return {
+            "results": {
+                "size": len(self._results),
+                "limit": self._result_limit,
+                "hits": self.total_stats.cache_hits,
+                "misses": self.total_stats.cache_misses,
+                "evictions": self._result_evictions,
+                "unsaved": len(self._unsaved_results),
+            },
+            "pairwise": {
+                "size": len(self._pairwise),
+                "limit": _PAIRWISE_ENTRY_CAP,
+                "evictions": self._pairwise_evictions,
+            },
+            "edge_values": {
+                "size": len(self._edge_values),
+                "entries": sorted(
+                    f"{getattr(mkey[0], '__name__', 'custom')}/{backend}"
+                    for (mkey, backend) in self._edge_values
+                ),
+            },
+            "filtered_graphs": len(self._filtered),
+            "survivor_sets": sum(
+                len(per_k) for per_k in self._survivors.values()
+            ),
+            "prepared_components": len(self._prepared),
+            "reused": {
+                "preprocess": self.total_stats.reused_preprocess,
+                "filters": self.total_stats.reused_filters,
+                "indexes": self.total_stats.reused_indexes,
+                "seeded_peels": self.total_stats.seeded_peels,
+            },
+            "maintenance": self.maintenance_stats.to_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.store)
+    # ------------------------------------------------------------------
+    def save(self, store, name: str) -> str:
+        """Persist the session's graph and warm state into ``store``.
+
+        Writes the current graph (upsert under ``name``), the frozen CSR
+        form if one exists, every built-in-metric edge-value cache, and
+        all result-cache entries computed since the last save
+        (write-through — previously loaded entries are already on disk).
+        Entries that cannot be persisted (custom metric callables) are
+        skipped, never corrupted.  Returns the graph's fingerprint; all
+        derived rows are stored under it, and stale rows are pruned.
+        """
+        from repro.exceptions import StoreError
+        from repro.store import codec
+
+        self._ensure_fresh()
+        fp = store.save_graph(name, self._graph)
+        if self._csr is not None:
+            store.save_csr(name, self._csr, fp)
+        for (mkey, backend), cache in self._edge_values.items():
+            try:
+                mname = codec.metric_name(mkey[0])
+            except StoreError:
+                continue  # custom metric: cannot round-trip a callable
+            store.save_edge_metric(
+                name, mname, backend, cache.to_payload(), fp
+            )
+        entries = []
+        for key in list(self._unsaved_results):
+            value = self._results.get(key)
+            if value is None and key not in self._results:
+                continue  # evicted (or surgically invalidated) since computed
+            entries.append((
+                codec.encode_result_key(key),
+                codec.encode_result_value(key, value),
+            ))
+        if entries:
+            store.save_results(name, entries, fp)
+        self._unsaved_results.clear()
+        store.prune(name)
+        return fp
+
+    @classmethod
+    def load(
+        cls,
+        store,
+        name: str,
+        *,
+        metric: Union[str, Callable] = "jaccard",
+        config: Optional[SearchConfig] = None,
+        backend: Optional[str] = None,
+        pairwise_cache_limit: int = 2048,
+        result_cache_limit: int = 4096,
+        maintenance: bool = True,
+    ) -> "KRCoreSession":
+        """Warm-start a session from a stored graph.
+
+        Restores the graph, its frozen CSR arrays, every persisted
+        edge-metric value cache, and the result cache — so a previously
+        computed query is served with **zero** engine invocations
+        (result-cache hits only) and byte-identical results.  Only rows
+        whose fingerprint matches the stored graph are restored; a
+        stale row (post-edit, or written for a different graph) is
+        skipped and simply recomputed on demand.
+
+        Query counters start from zero: a loaded session's *first* query
+        per metric takes the same preprocessing path as a fresh
+        session's, so stats stay comparable across restarts.
+        """
+        from repro.exceptions import InvalidParameterError as _IPE
+        from repro.exceptions import StoreError
+        from repro.store import codec
+
+        graph = store.load_graph(name)
+        session = cls(
+            graph,
+            metric=metric,
+            config=config,
+            backend=backend,
+            copy=False,
+            pairwise_cache_limit=pairwise_cache_limit,
+            result_cache_limit=result_cache_limit,
+            maintenance=maintenance,
+        )
+        csr = store.load_csr(name, graph)
+        if csr is not None:
+            session._csr = csr
+        for mname, backend_, payload in store.load_edge_metrics(name):
+            try:
+                predicate = SimilarityPredicate(mname, 0.0)
+                cache = EdgeSimilarityCache.from_payload(
+                    session._substrate(backend_), predicate, payload,
+                    backend=backend_,
+                )
+            except (_IPE, StoreError, KeyError):
+                continue  # unusable payload: rebuild lazily instead
+            mkey: MetricKey = (predicate.metric, predicate.kind)
+            session._edge_values[(mkey, backend_)] = cache
+        for key_text, value_text in store.load_results(name):
+            try:
+                key = codec.decode_result_key(key_text)
+                value = codec.decode_result_value(value_text)
+            except StoreError:
+                continue
+            session._result_put(key, value, saved=True)
+        return session
 
     def _touch(self) -> None:
         self._version += 1
@@ -938,11 +1101,18 @@ class KRCoreSession:
             self._results[key] = found  # reinsert last = most recently used
         return found
 
-    def _result_put(self, key: Tuple, value) -> None:
+    def _result_put(self, key: Tuple, value, *, saved: bool = False) -> None:
         self._results.pop(key, None)
         self._results[key] = value
+        if saved:
+            self._unsaved_results.discard(key)
+        else:
+            self._unsaved_results.add(key)
         while len(self._results) > self._result_limit:
-            self._results.pop(next(iter(self._results)))
+            evicted = next(iter(self._results))
+            self._results.pop(evicted)
+            self._unsaved_results.discard(evicted)
+            self._result_evictions += 1
 
     def _substrate(self, backend: str):
         if backend == "csr":
@@ -1045,6 +1215,7 @@ class KRCoreSession:
         self._pairwise[key] = (cache, revs)
         while len(self._pairwise) > _PAIRWISE_ENTRY_CAP:
             self._pairwise.pop(next(iter(self._pairwise)))
+            self._pairwise_evictions += 1
         return cache, True
 
     def _backbone_comp(self, k: int, comp: Set[int]) -> Optional[FrozenSet[int]]:

@@ -40,6 +40,23 @@ class SearchBudgetExceeded(ReproError):
         self.partial = partial
 
 
+class StoreError(ReproError):
+    """A persistent-store operation failed or was refused.
+
+    Raised by :class:`repro.store.GraphStore` for missing graphs, schema
+    mismatches, unencodable payloads, and stale reads (a derived row
+    whose fingerprint no longer matches the stored graph).
+    """
+
+
+class ServiceError(ReproError):
+    """A query-service request was invalid or could not be served."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
 class ComponentExecutionError(ReproError):
     """A component task failed inside the execution layer.
 

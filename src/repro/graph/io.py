@@ -42,6 +42,22 @@ def _open_for_write(target: PathOrFile):
     return open(target, "w", encoding="utf-8"), True
 
 
+def _parse_vertex_count_header(line: str) -> Optional[int]:
+    """Declared vertex count from a ``# nodes N edges M`` header line.
+
+    :func:`write_edge_list` emits this header so isolated (possibly
+    attributeless) vertices survive the round trip; generic SNAP
+    comments return ``None`` and are ignored as before.
+    """
+    parts = line.split()
+    if len(parts) >= 3 and parts[0] == "#" and parts[1] == "nodes":
+        try:
+            return int(parts[2])
+        except ValueError:
+            return None
+    return None
+
+
 def iter_edge_list(source: PathOrFile, sep: Optional[str] = None) -> Iterator[Tuple[str, str]]:
     """Yield ``(u, v)`` label pairs from an edge-list file.
 
@@ -65,18 +81,58 @@ def iter_edge_list(source: PathOrFile, sep: Optional[str] = None) -> Iterator[Tu
             fh.close()
 
 
+def _build_from_edge_lines(
+    builder: GraphBuilder, source: PathOrFile, sep: Optional[str]
+) -> None:
+    """Feed an edge-list file into ``builder``, honouring the vertex-count
+    header: trailing isolated vertices (which have no edge lines to name
+    them) are padded back in under their default labels."""
+    declared: Optional[int] = None
+    fh, should_close = _open_for_read(source)
+    try:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if declared is None:
+                    declared = _parse_vertex_count_header(line)
+                continue
+            parts = line.split(sep)
+            if len(parts) < 2:
+                raise GraphError(
+                    f"edge list line {lineno}: expected two fields, got {line!r}"
+                )
+            a, b = parts[0], parts[1]
+            if a == b:
+                continue  # real SNAP dumps contain a few self loops
+            builder.add_edge(a, b)
+    finally:
+        if should_close:
+            fh.close()
+    if declared is not None:
+        candidate = builder.vertex_count
+        while builder.vertex_count < declared:
+            label = str(candidate)
+            candidate += 1
+            try:
+                builder.id_of(label)
+            except GraphError:
+                builder.add_vertex(label)
+
+
 def read_edge_list(source: PathOrFile, sep: Optional[str] = None) -> AttributedGraph:
     """Load an edge-list file into an :class:`AttributedGraph`.
 
     Vertex labels are kept (accessible through ``graph.label``); ids are
     assigned in order of first appearance.  Duplicate edges collapse;
-    self loops are skipped (real SNAP dumps contain a few).
+    self loops are skipped (real SNAP dumps contain a few).  A
+    ``# nodes N edges M`` header (as written by :func:`write_edge_list`)
+    restores isolated vertices, so a graph with attributeless isolated
+    vertices round-trips losslessly.
     """
     builder = GraphBuilder()
-    for a, b in iter_edge_list(source, sep):
-        if a == b:
-            continue
-        builder.add_edge(a, b)
+    _build_from_edge_lines(builder, source, sep)
     return builder.build()
 
 
@@ -96,6 +152,9 @@ def parse_attribute_line(line: str, kind: str) -> Tuple[str, Any]:
     if kind == "set":
         return label, frozenset(parts[1:])
     if kind == "counter":
+        # Counts stay ints when written as ints: ``graph_fingerprint``
+        # reprs counter values, so coercing 2 -> 2.0 would silently
+        # change a graph's fingerprint across a save/load round trip.
         counts: Dict[str, float] = {}
         for token in parts[1:]:
             key, _, num = token.rpartition(":")
@@ -103,7 +162,11 @@ def parse_attribute_line(line: str, kind: str) -> Tuple[str, Any]:
                 raise GraphError(
                     f"counter attribute token {token!r} is not 'item:count'"
                 )
-            counts[key] = counts.get(key, 0.0) + float(num)
+            try:
+                value: Any = int(num)
+            except ValueError:
+                value = float(num)
+            counts[key] = counts.get(key, 0) + value
         return label, counts
     raise GraphError(f"unknown attribute kind {kind!r}")
 
@@ -139,9 +202,7 @@ def read_attributed_graph(
     which preprocessing normally prevents by k-core pruning).
     """
     builder = GraphBuilder()
-    for a, b in iter_edge_list(edge_source, sep):
-        if a != b:
-            builder.add_edge(a, b)
+    _build_from_edge_lines(builder, edge_source, sep)
     for label, value in read_attributes(attr_source, kind).items():
         builder.set_attribute(label, value)
     return builder.build()

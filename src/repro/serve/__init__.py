@@ -1,0 +1,16 @@
+"""Long-running (k,r)-core query service (JSON over HTTP, stdlib only).
+
+:class:`~repro.serve.service.KRCoreService` is the transport-free core;
+:mod:`repro.serve.http` wraps it in a :class:`ThreadingHTTPServer`
+daemon.  Start one from the CLI with ``python -m repro serve``.
+"""
+
+from repro.serve.http import KRCoreHTTPServer, make_server, run_server
+from repro.serve.service import KRCoreService
+
+__all__ = [
+    "KRCoreService",
+    "KRCoreHTTPServer",
+    "make_server",
+    "run_server",
+]

@@ -508,6 +508,104 @@ class EdgeSimilarityCache:
                     )
         self._values = values
 
+    # ------------------------------------------------------------------
+    # Persistence (repro.store)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """Portable snapshot of the cached per-edge metric values.
+
+        The payload carries only the *values* (plus, on the python
+        backend, the edge order they are aligned with); the structural
+        arrays are recomputed deterministically from the graph on
+        restore, so a payload is valid exactly for the graph it was
+        computed on — :meth:`from_payload` validates the alignment and
+        the store's fingerprint checks guarantee it.
+        """
+        if self._backend == "csr":
+            return {
+                "backend": "csr",
+                "mode": self._mode,
+                "values": np.ascontiguousarray(self._values, dtype=np.float64),
+            }
+        return {
+            "backend": "python",
+            "edges": [[u, v] for u, v in self._edges],
+            "values": list(self._edge_values),
+        }
+
+    @classmethod
+    def from_payload(
+        cls,
+        graph,
+        predicate: SimilarityPredicate,
+        payload: Dict[str, object],
+        backend: str = "python",
+    ) -> "EdgeSimilarityCache":
+        """Rebuild a cache from :meth:`to_payload` output without
+        re-evaluating the metric.
+
+        ``graph`` must be the same frozen graph (same flavour as
+        ``backend``) the payload was computed on; mismatched payloads
+        raise :class:`~repro.exceptions.InvalidParameterError`.
+        """
+        if payload.get("backend") != backend:
+            raise InvalidParameterError(
+                f"edge-value payload was built for backend "
+                f"{payload.get('backend')!r}, not {backend!r}"
+            )
+        cache = cls.__new__(cls)
+        cache._backend = backend
+        cache._predicate = predicate
+        if backend == "csr":
+            if not isinstance(graph, CSRGraph):
+                raise InvalidParameterError(
+                    "EdgeSimilarityCache.from_payload(backend='csr') needs "
+                    "a CSRGraph"
+                )
+            mode = payload.get("mode")
+            if mode not in ("euclid2", "sims", "scalar"):
+                raise InvalidParameterError(
+                    f"unknown edge-value payload mode {mode!r}"
+                )
+            cache._csr = graph
+            eu, ev = graph.edge_array()
+            cache._eu, cache._ev = eu, ev
+            if eu.size == 0:
+                cache._base = np.zeros(0, dtype=bool)
+                cache._live = np.zeros(0, dtype=np.int64)
+                cache._values = np.zeros(0, dtype=np.float64)
+                cache._mode = "scalar"
+                return cache
+            has = graph.attribute_mask()
+            cache._base = has[eu] & has[ev]
+            cache._live = np.nonzero(cache._base)[0]
+            cache._mode = mode
+            values = np.ascontiguousarray(payload["values"], dtype=np.float64)
+            expected = eu.size if mode == "euclid2" else cache._live.size
+            if values.ndim != 1 or values.size != expected:
+                raise InvalidParameterError(
+                    f"edge-value payload has {values.size} values, the "
+                    f"graph needs {expected} — stale payload?"
+                )
+            cache._values = values
+            return cache
+        if not isinstance(graph, AttributedGraph):
+            raise InvalidParameterError(
+                "EdgeSimilarityCache.from_payload(backend='python') needs "
+                "an AttributedGraph"
+            )
+        cache._graph = graph
+        edges = [(int(u), int(v)) for u, v in payload["edges"]]
+        values = list(payload["values"])
+        if len(edges) != len(values) or set(edges) != set(graph.edges()):
+            raise InvalidParameterError(
+                "edge-value payload does not match the graph's edge set "
+                "— stale payload?"
+            )
+        cache._edges = edges
+        cache._edge_values = values
+        return cache
+
     def decisions(self, pairs: Iterable[Tuple[int, int]], r: float) -> List[bool]:
         """Keep/drop decision for each vertex pair at threshold ``r``.
 

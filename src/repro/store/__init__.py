@@ -1,0 +1,33 @@
+"""Persistent graph store: sqlite-backed graphs, caches and results.
+
+See :class:`repro.store.store.GraphStore` for the schema and staleness
+guarantees, and :mod:`repro.store.codec` for the canonical encodings.
+"""
+
+from repro.store.codec import (
+    canonical_json,
+    decode_attribute,
+    decode_config,
+    decode_edit,
+    decode_result_key,
+    decode_result_value,
+    encode_attribute,
+    encode_config,
+    encode_edit,
+    encode_result_key,
+    encode_result_value,
+    metric_name,
+)
+from repro.store.store import SCHEMA_VERSION, GraphStore
+
+__all__ = [
+    "GraphStore",
+    "SCHEMA_VERSION",
+    "canonical_json",
+    "metric_name",
+    "encode_attribute", "decode_attribute",
+    "encode_config", "decode_config",
+    "encode_result_key", "decode_result_key",
+    "encode_result_value", "decode_result_value",
+    "encode_edit", "decode_edit",
+]

@@ -7,6 +7,7 @@ import pytest
 from repro.exceptions import GraphError
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.io import (
+    graph_fingerprint,
     parse_attribute_line,
     read_attributed_graph,
     read_attributes,
@@ -125,3 +126,75 @@ class TestRoundTrips:
         assert g2.edge_count == 2
         for u in g2.vertices():
             assert g2.attribute(u) is not None
+
+class TestLosslessRoundTrips:
+    """Regressions for gaps the persistent store would otherwise hit."""
+
+    def test_isolated_vertices_survive_edge_round_trip(self, tmp_path):
+        g = AttributedGraph(4, edges=[(0, 1)])
+        path = tmp_path / "edges.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path)
+        assert g2.vertex_count == 4
+        assert g2.edge_count == 1
+
+    def test_isolated_attributeless_vertex_full_round_trip(self, tmp_path):
+        # vertex 2 has no edges AND no attribute: only the header names it
+        g = AttributedGraph(3, edges=[(0, 1)])
+        g.set_attribute(0, frozenset({"a"}))
+        g.set_attribute(1, frozenset({"b"}))
+        epath, apath = tmp_path / "e.txt", tmp_path / "a.txt"
+        write_edge_list(g, epath)
+        write_attributes(g, apath, "set")
+        g2 = read_attributed_graph(epath, apath, "set")
+        assert g2.vertex_count == 3
+        assert not g2.has_attribute(2)
+        assert graph_fingerprint(g2) == graph_fingerprint(g)
+
+    def test_header_pad_survives_label_collision(self):
+        # a vertex labelled "2" must not block padding to the declared count
+        src = io.StringIO("# nodes 3 edges 1\n2\t0\n")
+        g = read_edge_list(src)
+        assert g.vertex_count == 3
+
+    def test_foreign_comments_still_ignored(self):
+        src = io.StringIO("# Gowalla checkins\n# nodes not-a-number\na b\n")
+        g = read_edge_list(src)
+        assert g.vertex_count == 2
+
+    def test_empty_set_profile_round_trip(self, tmp_path):
+        g = AttributedGraph(2, edges=[(0, 1)])
+        g.set_attribute(0, frozenset())
+        g.set_attribute(1, frozenset({"q"}))
+        path = tmp_path / "attrs.txt"
+        write_attributes(g, path, "set")
+        attrs = read_attributes(path, "set")
+        assert attrs["0"] == frozenset()
+        assert attrs["1"] == frozenset({"q"})
+
+    def test_empty_counter_profile_round_trip(self, tmp_path):
+        g = AttributedGraph(2, edges=[(0, 1)])
+        g.set_attribute(0, {})
+        g.set_attribute(1, {"a": 2})
+        path = tmp_path / "attrs.txt"
+        write_attributes(g, path, "counter")
+        attrs = read_attributes(path, "counter")
+        assert attrs["0"] == {}
+        assert attrs["1"] == {"a": 2}
+
+    def test_int_counter_values_stay_int(self):
+        __, value = parse_attribute_line("a vldb:2 sigmod:1.5", "counter")
+        assert value["vldb"] == 2 and isinstance(value["vldb"], int)
+        assert value["sigmod"] == 1.5 and isinstance(value["sigmod"], float)
+
+    def test_counter_round_trip_preserves_fingerprint(self, tmp_path):
+        # repr-based fingerprints distinguish {"a": 2} from {"a": 2.0};
+        # a write/read cycle must not flip int counts to float
+        g = AttributedGraph(2, edges=[(0, 1)])
+        g.set_attribute(0, {"a": 2, "b": 1.5})
+        g.set_attribute(1, {"c": 7})
+        epath, apath = tmp_path / "e.txt", tmp_path / "a.txt"
+        write_edge_list(g, epath)
+        write_attributes(g, apath, "counter")
+        g2 = read_attributed_graph(epath, apath, "counter")
+        assert graph_fingerprint(g2) == graph_fingerprint(g)

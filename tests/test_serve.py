@@ -1,0 +1,378 @@
+"""Query service + HTTP daemon: parity with direct sessions, coalescing,
+edits, flush/warm restart, and error mapping."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from conftest import as_sorted_sets, make_random_attr_graph
+from repro.core.session import KRCoreSession
+from repro.exceptions import ServiceError
+from repro.serve import KRCoreService, make_server, run_server
+from repro.serve.service import _Inflight
+from repro.store import GraphStore, codec
+
+
+def service_graph(seed=0, n=11):
+    return make_random_attr_graph(seed, n=n)
+
+
+@pytest.fixture
+def db(tmp_path):
+    return str(tmp_path / "serve.db")
+
+
+@pytest.fixture
+def stored(db):
+    with GraphStore(db) as store:
+        store.save_graph("g", service_graph())
+        store.save_graph("h", service_graph(seed=1, n=9))
+    return db
+
+
+@pytest.fixture
+def service(stored):
+    svc = KRCoreService(GraphStore(stored))
+    yield svc
+    svc.close()
+
+
+class TestServiceParity:
+    def test_enumerate_matches_direct_session(self, service):
+        direct = KRCoreSession(service_graph())
+        for k, r in [(2, 0.3), (2, 0.5), (3, 0.3)]:
+            out = service.handle("g", "enumerate", {"k": k, "r": r})
+            want = direct.enumerate(k, r)
+            assert out["count"] == len(want)
+            assert sorted(out["cores"]) == as_sorted_sets(want)
+
+    def test_maximum_matches_direct_session(self, service):
+        direct = KRCoreSession(service_graph())
+        out = service.handle("g", "maximum", {"k": 2, "r": 0.3})
+        want = direct.maximum(2, 0.3)
+        assert out["size"] == (want.size if want else 0)
+        if want is not None:
+            assert out["core"] == sorted(want.vertices)
+
+    def test_statistics_matches_direct_session(self, service):
+        direct = KRCoreSession(service_graph())
+        out = service.handle("g", "statistics", {"k": 2, "r": 0.3})
+        want = direct.statistics(2, 0.3)
+        for key, value in want.items():
+            assert out[key] == value
+
+    def test_sweep_matches_direct_session(self, service):
+        direct = KRCoreSession(service_graph())
+        out = service.handle(
+            "g", "sweep", {"ks": [2, 3], "rs": [0.3, 0.5]},
+        )
+        assert out["rows"] == direct.sweep([2, 3], [0.3, 0.5])
+
+    def test_with_stats_payload(self, service):
+        out = service.handle(
+            "g", "enumerate", {"k": 2, "r": 0.3, "with_stats": True},
+        )
+        assert "stats" in out and "nodes" in out["stats"]
+
+    def test_independent_graphs(self, service):
+        a = service.handle("g", "enumerate", {"k": 2, "r": 0.3})
+        b = service.handle("h", "enumerate", {"k": 2, "r": 0.3})
+        direct = KRCoreSession(service_graph(seed=1, n=9))
+        assert sorted(b["cores"]) == as_sorted_sets(direct.enumerate(2, 0.3))
+        assert a is not b
+
+
+class TestServiceErrors:
+    def test_unknown_graph_404(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.handle("nope", "enumerate", {"k": 2, "r": 0.3})
+        assert err.value.status == 404
+
+    def test_unknown_op_404(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.handle("g", "transmogrify", {})
+        assert err.value.status == 404
+
+    def test_missing_params_400(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.handle("g", "enumerate", {"k": 2})
+        assert err.value.status == 400
+
+    def test_unknown_params_400(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.handle("g", "enumerate", {"k": 2, "r": 0.3, "wat": 1})
+        assert err.value.status == 400
+
+    def test_invalid_knob_value_400(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.handle(
+                "g", "enumerate", {"k": 2, "r": 0.3, "workers": "many"},
+            )
+        assert err.value.status == 400
+
+    def test_invalid_k_maps_to_400(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.handle("g", "enumerate", {"k": 0, "r": 0.3})
+        assert err.value.status == 400
+
+    def test_errors_counted(self, service):
+        before = service.counters["errors"]
+        with pytest.raises(ServiceError):
+            service.handle("g", "enumerate", {})
+        assert service.counters["errors"] == before + 1
+
+
+class TestCoalescing:
+    def test_joiner_shares_inflight_result(self, service):
+        params = {"k": 2, "r": 0.3}
+        key = ("g", "enumerate", codec.canonical_json(params))
+        waiter = _Inflight()
+        waiter.result = {"sentinel": True}
+        waiter.event.set()
+        service._inflight[key] = waiter
+        try:
+            out = service.handle("g", "enumerate", params)
+        finally:
+            service._inflight.pop(key, None)
+        assert out == {"sentinel": True}
+        assert service.counters["coalesced"] == 1
+
+    def test_joiner_shares_inflight_error(self, service):
+        params = {"k": 2, "r": 0.3}
+        key = ("g", "enumerate", codec.canonical_json(params))
+        waiter = _Inflight()
+        waiter.error = ServiceError("boom", status=400)
+        waiter.event.set()
+        service._inflight[key] = waiter
+        try:
+            with pytest.raises(ServiceError, match="boom"):
+                service.handle("g", "enumerate", params)
+        finally:
+            service._inflight.pop(key, None)
+
+    def test_concurrent_identical_requests_agree(self, service):
+        params = {"k": 2, "r": 0.35}
+        results, errors = [], []
+
+        def worker():
+            try:
+                results.append(service.handle("g", "enumerate", params))
+            except BaseException as exc:  # surface in the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(results) == 8
+        assert all(r == results[0] for r in results)
+
+
+class TestEditsAndFlush:
+    def test_edit_persists_and_matches_scratch(self, service):
+        before = service.handle("g", "enumerate", {"k": 2, "r": 0.3})
+        out = service.handle("g", "edit", {
+            "add_edges": [],
+            "remove_edges": [],
+            "attributes": {"0": ["set", ["solo"]]},
+        })
+        assert out["changed"] is True
+        assert out["seq"] == 1
+        after = service.handle("g", "enumerate", {"k": 2, "r": 0.3})
+        # scratch session over the same edited graph must agree
+        g = service_graph()
+        g.set_attribute(0, frozenset({"solo"}))
+        scratch = KRCoreSession(g)
+        assert sorted(after["cores"]) == as_sorted_sets(scratch.enumerate(2, 0.3))
+        assert after != before or before["count"] == after["count"]
+        log = service.handle("g", "edits", {})
+        assert len(log["edits"]) == 1
+
+    def test_noop_edit_reports_unchanged(self, service):
+        out = service.handle("g", "edit", {"add_edges": [], "remove_edges": []})
+        assert out["changed"] is False
+        assert out["seq"] is None
+
+    def test_unknown_edit_fields_400(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.handle("g", "edit", {"drop_tables": True})
+        assert err.value.status == 400
+
+    def test_flush_then_warm_restart_skips_engine(self, stored):
+        svc = KRCoreService(GraphStore(stored))
+        cold = svc.handle(
+            "g", "enumerate", {"k": 2, "r": 0.3, "with_stats": True},
+        )
+        svc.close()  # graceful shutdown flushes dirty state
+
+        svc2 = KRCoreService(GraphStore(stored))
+        try:
+            warm = svc2.handle(
+                "g", "enumerate", {"k": 2, "r": 0.3, "with_stats": True},
+            )
+            assert warm["cores"] == cold["cores"]
+            assert warm["stats"]["nodes"] == 0
+            assert warm["stats"]["cache_misses"] == 0
+        finally:
+            svc2.close()
+
+    def test_flush_unknown_graph_404(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.flush("nope")
+        assert err.value.status == 404
+
+    def test_graph_stats_shape(self, service):
+        service.handle("g", "enumerate", {"k": 2, "r": 0.3})
+        out = service.handle("g", "stats", {})
+        assert out["graph"] == "g"
+        assert out["dirty"] is True
+        assert "results" in out["cache"]
+        assert out["store"]["graphs"] == 2
+        json.dumps(out)  # whole payload must be JSON-able
+
+    def test_health(self, service):
+        out = service.health()
+        assert out["ok"] is True
+        assert out["graphs"] == ["g", "h"]
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def http_server(stored):
+    service = KRCoreService(GraphStore(stored))
+    server = make_server(service, port=0)
+    ready = threading.Event()
+    thread = threading.Thread(target=run_server, args=(server, ready))
+    thread.start()
+    assert ready.wait(5.0)
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.stop()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+
+
+def _get(base, path):
+    try:
+        with urllib.request.urlopen(base + path, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _post(base, path, payload=None):
+    data = json.dumps(payload or {}).encode()
+    req = urllib.request.Request(
+        base + path, data=data,
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestHTTP:
+    def test_health_and_graph_list(self, http_server):
+        status, body = _get(http_server, "/health")
+        assert status == 200 and body["ok"] is True
+        status, body = _get(http_server, "/graphs")
+        assert [g["name"] for g in body["graphs"]] == ["g", "h"]
+
+    def test_enumerate_parity_over_http(self, http_server):
+        status, body = _post(
+            http_server, "/graphs/g/enumerate", {"k": 2, "r": 0.3},
+        )
+        assert status == 200
+        direct = KRCoreSession(service_graph())
+        assert sorted(map(tuple, body["cores"])) == [
+            tuple(c) for c in as_sorted_sets(direct.enumerate(2, 0.3))
+        ]
+
+    def test_edit_then_query_over_http(self, http_server):
+        status, body = _post(http_server, "/graphs/g/edit", {
+            "attributes": {"0": ["set", ["solo"]]},
+        })
+        assert status == 200 and body["changed"] is True
+        status, body = _post(
+            http_server, "/graphs/g/enumerate", {"k": 2, "r": 0.3},
+        )
+        assert status == 200
+        g = service_graph()
+        g.set_attribute(0, frozenset({"solo"}))
+        scratch = KRCoreSession(g)
+        assert sorted(map(tuple, body["cores"])) == [
+            tuple(c) for c in as_sorted_sets(scratch.enumerate(2, 0.3))
+        ]
+        status, body = _get(http_server, "/graphs/g/edits")
+        assert status == 200 and len(body["edits"]) == 1
+
+    def test_stats_endpoint(self, http_server):
+        _post(http_server, "/graphs/g/enumerate", {"k": 2, "r": 0.3})
+        status, body = _get(http_server, "/graphs/g/stats")
+        assert status == 200
+        assert body["graph"] == "g"
+
+    def test_flush_endpoint(self, http_server):
+        _post(http_server, "/graphs/g/enumerate", {"k": 2, "r": 0.3})
+        status, body = _post(http_server, "/flush")
+        assert status == 200
+        assert "g" in body["flushed"]
+
+    def test_unknown_route_404(self, http_server):
+        status, body = _get(http_server, "/nope")
+        assert status == 404
+        status, body = _post(http_server, "/graphs/g/transmogrify", {})
+        assert status == 404
+        status, body = _post(http_server, "/graphs/nope/enumerate",
+                             {"k": 2, "r": 0.3})
+        assert status == 404 and "error" in body
+
+    def test_malformed_json_400(self, http_server):
+        req = urllib.request.Request(
+            http_server + "/graphs/g/enumerate", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 400
+
+    def test_bad_params_400(self, http_server):
+        status, body = _post(http_server, "/graphs/g/enumerate", {"k": 2})
+        assert status == 400 and "error" in body
+
+    def test_shutdown_endpoint(self, stored):
+        service = KRCoreService(GraphStore(stored))
+        server = make_server(service, port=0)
+        ready = threading.Event()
+        thread = threading.Thread(target=run_server, args=(server, ready))
+        thread.start()
+        assert ready.wait(5.0)
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        _post(base, "/graphs/g/enumerate", {"k": 2, "r": 0.3})
+        status, body = _post(base, "/shutdown")
+        assert status == 200 and body["shutting_down"] is True
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        # dirty state was flushed on the way down
+        with GraphStore(stored) as store:
+            assert store.result_count("g") >= 0
+            warm = KRCoreSession.load(store, "g")
+            __, stats = warm.enumerate(2, 0.3, with_stats=True)
+            assert stats.nodes == 0
+
+
+def test_urlopen_get_404_maps(http_server):
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(http_server + "/graphs/g/unknown", timeout=10)
+    assert err.value.code == 404
