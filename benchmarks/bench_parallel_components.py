@@ -21,12 +21,23 @@ each with a non-trivial search tree:
   capped at the batch width — the measured number reported here is the
   honest one for the maximum engine.
 
-Both modes double as an equivalence check: the process run must emit
-exactly the serial results.  In full mode the enumeration speedup at
-``--workers`` (default 4) is gated at >= 1.8x — the CI
-``kernel-speedup`` job relies on it.  The worker pool is created and
-warmed before timing: interpreter spawn is a one-off cost an actual
-deployment pays once per process lifetime, not once per query.
+* **giant** — ONE large onion component in maximum mode: the workload
+  component-level fan-out cannot touch (a single component is a single
+  task, so ``executor="process"`` measures ~1x here — reported to prove
+  it).  Branch-level work sharing (``split_depth`` +
+  ``executor="shm"``) splits the top of its AdvMax branch tree into
+  independent subtree tasks over one zero-copy shared segment; the
+  speedup of that plan over the serial unsplit baseline is the
+  tentpole's headline number.
+
+All modes double as an equivalence check: every pool run must emit
+exactly the serial results (and the split runs must match the inline
+split schedule counter-for-counter).  In full mode the enumeration
+speedup at ``--workers`` (default 4) is gated at >= 1.8x and the giant
+split speedup at >= 1.5x — the CI ``kernel-speedup`` job relies on
+both.  The worker pool is created and warmed before timing: interpreter
+spawn is a one-off cost an actual deployment pays once per process
+lifetime, not once per query.
 
 Standalone script (no pytest-benchmark needed)::
 
@@ -61,8 +72,19 @@ SMOKE = dict(count=4, layers=3, options=2, groups=(6, 7), half=2)
 ONIONS_FULL = dict(count=8, layers=4, options=2, groups=(18,), half=3)
 ONIONS_SMOKE = dict(count=4, layers=3, options=2, groups=(6,), half=2)
 
+#: Giant workload: ONE onion component with a deep maximum tree — no
+#: component-level parallelism at all; only branch splitting helps.
+GIANT_FULL = dict(layers=6, options=2, group=22, half=3)
+GIANT_SMOKE = dict(layers=3, options=2, group=6, half=2)
+#: Depth the giant's branch tree is split at (up to ``2^depth`` subtree
+#: tasks — comfortably above the benchmark's 4 workers).
+GIANT_SPLIT_DEPTH = 3
+
 #: Full-mode gate: enumeration speedup at the benchmark worker count.
 PARALLEL_GATE = 1.8
+#: Full-mode gate: giant-component speedup of the shm + split plan over
+#: the serial unsplit baseline (where the process executor gets ~1x).
+SPLIT_GATE = 1.5
 
 
 def onion_union(count: int, groups=(18,), **params) -> tuple:
@@ -92,15 +114,21 @@ def onion_union(count: int, groups=(18,), **params) -> tuple:
 
 
 def warm_pool(workers: int) -> float:
-    """Spawn and warm the worker pool; returns the one-off cost (s)."""
+    """Spawn and warm both pool flavours; returns the one-off cost (s).
+
+    Pools are cached per ``(workers, flavour)``, so the process and shm
+    runs below each reuse a pool spawned here — interpreter start-up
+    never pollutes a measured run.
+    """
     g = AttributedGraph(4)
     for u, v in ((0, 1), (1, 2), (0, 2), (2, 3), (1, 3)):
         g.add_edge(u, v)
     for u in g.vertices():
         g.set_attribute(u, frozenset({"w"}))
-    cfg = adv_enum_config(executor="process", workers=workers)
     t0 = time.perf_counter()
-    run_enumeration(g, 2, SimilarityPredicate("jaccard", 0.5), cfg)
+    for flavour in ("process", "shm"):
+        cfg = adv_enum_config(executor=flavour, workers=workers)
+        run_enumeration(g, 2, SimilarityPredicate("jaccard", 0.5), cfg)
     return time.perf_counter() - t0
 
 
@@ -126,6 +154,11 @@ def main(argv=None) -> int:
              "mode, disabled in --smoke)",
     )
     parser.add_argument(
+        "--min-split-speedup", type=float, default=None,
+        help=f"giant-component shm+split speedup gate (default "
+             f"{SPLIT_GATE} in full mode, disabled in --smoke)",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None,
         help="write the measurements as JSON (CI uploads these artifacts)",
     )
@@ -136,8 +169,11 @@ def main(argv=None) -> int:
 
     params = SMOKE if args.smoke else FULL
     onion_params = ONIONS_SMOKE if args.smoke else ONIONS_FULL
+    giant_params = GIANT_SMOKE if args.smoke else GIANT_FULL
     enum_g, enum_k, enum_pred = onion_union(**params)
     union, union_k, union_pred = onion_union(**onion_params)
+    giant = build_instance("onion", seed=0, **giant_params)
+    giant_wl = (giant.graph, giant.k, giant.predicate())
     print(
         f"enumeration workload: {params['count']} onion components "
         f"(groups {params['groups']}), n={enum_g.vertex_count}, "
@@ -146,6 +182,11 @@ def main(argv=None) -> int:
     print(
         f"maximum workload: {onion_params['count']} onion components, "
         f"n={union.vertex_count}, m={union.edge_count}, k={union_k}"
+    )
+    print(
+        f"giant workload: 1 onion component, "
+        f"n={giant.graph.vertex_count}, m={giant.graph.edge_count}, "
+        f"k={giant.k}, split depth {GIANT_SPLIT_DEPTH}"
     )
 
     spawn_s = warm_pool(args.workers)
@@ -199,7 +240,71 @@ def main(argv=None) -> int:
               f"{t_p:7.2f}s  {speedup:5.2f}x  "
               f"({stats_s.components} components, {stats_s.nodes} nodes)")
 
+    # Giant single component: serial unsplit baseline, process pool
+    # (one component = one task, expected ~1x), and the shm + split
+    # plan that actually shares the branch tree across workers.
+    giant_cfgs = (
+        ("serial", adv_max_config()),
+        ("process", adv_max_config(executor="process", workers=args.workers)),
+        ("split-inline", adv_max_config(split_depth=GIANT_SPLIT_DEPTH)),
+        ("shm-split", adv_max_config(
+            executor="shm", workers=args.workers,
+            split_depth=GIANT_SPLIT_DEPTH,
+        )),
+    )
+    giant_times = {}
+    giant_runs = {}
+    for label, cfg in giant_cfgs:
+        (res, stats), secs = timed(run_maximum, *giant_wl, cfg)
+        giant_times[label] = secs
+        giant_runs[label] = (res, stats)
+        print(f"{'giant/' + label:>16}: {secs:7.2f}s  "
+              f"({stats.nodes} nodes, shared_bound={stats.shared_bound})")
+    base_res = giant_runs["serial"][0]
+    base_set = set(base_res.vertices) if base_res is not None else None
+    for label in ("process", "split-inline", "shm-split"):
+        res = giant_runs[label][0]
+        got = set(res.vertices) if res is not None else None
+        if got != base_set:
+            failures += 1
+            print(f"FAIL: giant {label} result differs from serial")
+    si, ss = giant_runs["split-inline"][1], giant_runs["shm-split"][1]
+    if (si.nodes, si.shared_bound) != (ss.nodes, ss.shared_bound):
+        failures += 1
+        print(f"FAIL: giant split stats diverged (inline {si.nodes} nodes "
+              f"vs shm {ss.nodes} nodes)")
+    split_speedup = (
+        giant_times["serial"] / giant_times["shm-split"]
+        if giant_times["shm-split"] > 0 else float("inf")
+    )
+    process_speedup = (
+        giant_times["serial"] / giant_times["process"]
+        if giant_times["process"] > 0 else float("inf")
+    )
+    speedups["giant_split"] = split_speedup
+    rows.append({
+        "mode": "giant-maximum",
+        "components": 1,
+        "serial_s": giant_times["serial"],
+        "process_s": giant_times["process"],
+        "shm_split_s": giant_times["shm-split"],
+        "split_inline_s": giant_times["split-inline"],
+        "workers": args.workers,
+        "split_depth": GIANT_SPLIT_DEPTH,
+        "speedup": split_speedup,
+        "process_speedup": process_speedup,
+        "nodes": giant_runs["serial"][1].nodes,
+    })
+    print(f"{'giant':>10}: shm+split {split_speedup:5.2f}x vs serial "
+          f"(process alone {process_speedup:5.2f}x)")
+
+    split_gate = args.min_split_speedup
+    if split_gate is None:
+        split_gate = None if args.smoke else SPLIT_GATE
     gate_failed = gate is not None and speedups["enumerate"] < gate
+    split_gate_failed = (
+        split_gate is not None and split_speedup < split_gate
+    )
     if args.json:
         payload = {
             "benchmark": "parallel_components",
@@ -221,12 +326,22 @@ def main(argv=None) -> int:
                     "vertices": union.vertex_count,
                     "edges": union.edge_count,
                 },
+                "onion_giant": {
+                    **dict(giant_params),
+                    "k": giant.k,
+                    "split_depth": GIANT_SPLIT_DEPTH,
+                    "vertices": giant.graph.vertex_count,
+                    "edges": giant.graph.edge_count,
+                },
             },
             "rows": rows,
             "gates": {
                 "parallel_speedup_min": gate,
                 "parallel_speedup": speedups["enumerate"],
-                "passed": not (failures or gate_failed),
+                "split_speedup_min": split_gate,
+                "split_speedup": split_speedup,
+                "process_single_component_speedup": process_speedup,
+                "passed": not (failures or gate_failed or split_gate_failed),
             },
         }
         with open(args.json, "w") as fh:
@@ -240,6 +355,10 @@ def main(argv=None) -> int:
     if gate_failed:
         print(f"FAIL: enumeration speedup {speedups['enumerate']:.2f}x "
               f"< {gate:.1f}x gate at {args.workers} workers")
+        return 1
+    if split_gate_failed:
+        print(f"FAIL: giant shm+split speedup {split_speedup:.2f}x "
+              f"< {split_gate:.1f}x gate at {args.workers} workers")
         return 1
     print("ok")
     return 0

@@ -23,6 +23,7 @@ See README.md for the architecture overview and DESIGN.md for the paper
 """
 
 from repro.core import (
+    ExecutionPlan,
     KRCore,
     KRCoreSession,
     SearchConfig,
@@ -55,6 +56,7 @@ __all__ = [
     "from_edge_list",
     "KRCore",
     "KRCoreSession",
+    "ExecutionPlan",
     "SearchConfig",
     "SearchStats",
     "enumerate_maximal_krcores",

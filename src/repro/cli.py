@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import List, Optional, Tuple
 
 from repro.core.api import (
@@ -50,6 +51,38 @@ from repro.similarity.threshold import (
     SimilarityPredicate,
     top_permille_threshold,
 )
+
+
+def _execution_parent() -> argparse.ArgumentParser:
+    """Shared ``--backend``/``--executor``/... flags of every solving command.
+
+    One argparse *parent* instead of per-subcommand copies, so
+    ``mine``/``maximum``/``stats``/``sweep``/``store``/``serve`` cannot
+    drift apart — the flags mirror the fields of
+    :class:`~repro.core.config.ExecutionPlan` one-for-one.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    ex = parent.add_argument_group("execution")
+    ex.add_argument("--backend", choices=("csr", "python"), default=None,
+                    help="preprocessing kernels: array-native CSR (default) "
+                         "or the set-based python reference")
+    ex.add_argument("--executor", choices=("serial", "process", "shm"),
+                    default=None,
+                    help="execution plan: in-process serial (default), a "
+                         "process pool with pickled components, or a "
+                         "process pool with zero-copy shared-memory "
+                         "segments (results identical across all three)")
+    ex.add_argument("--workers", type=int, default=None, metavar="N",
+                    help="pool width for the process/shm executors "
+                         "(deprecated without --executor: implies "
+                         "--executor process)")
+    ex.add_argument("--shm", action="store_true", default=False,
+                    help="shorthand for --executor shm")
+    ex.add_argument("--split-depth", type=int, default=None, metavar="D",
+                    help="split each component's branch tree at depth D "
+                         "into independent subtree tasks (0 = whole "
+                         "components, the default; results identical)")
+    return parent
 
 
 def _add_graph_args(p: argparse.ArgumentParser, require_k: bool = True) -> None:
@@ -80,13 +113,6 @@ def _add_graph_args(p: argparse.ArgumentParser, require_k: bool = True) -> None:
     p.add_argument("--k", type=int, required=require_k, help="degree threshold")
     p.add_argument("--algorithm", default="advanced",
                    help="algorithm preset (see README)")
-    p.add_argument("--backend", choices=("csr", "python"), default=None,
-                   help="preprocessing kernels: array-native CSR (default) "
-                        "or the set-based python reference")
-    p.add_argument("--workers", type=int, default=None, metavar="N",
-                   help="solve independent k-core components on a process "
-                        "pool of N workers (results identical to serial; "
-                        "default: serial in-process execution)")
     p.add_argument("--time-limit", type=float, default=None,
                    help="seconds before the solver stops with partial results")
     p.add_argument("--max-print", type=int, default=10,
@@ -124,10 +150,26 @@ def _load_graph(args) -> Tuple[AttributedGraph, SimilarityPredicate]:
 
 
 def _executor_overrides(args) -> dict:
-    """``--workers N`` maps to the process executor with N workers."""
-    if args.workers is None:
-        return {}
-    return {"executor": "process", "workers": args.workers}
+    """Map the execution flags to ExecutionPlan override kwargs."""
+    out: dict = {}
+    if args.executor is not None:
+        out["executor"] = args.executor
+    if args.shm:
+        out["shm"] = True
+    if args.workers is not None:
+        if args.executor is None and not args.shm:
+            warnings.warn(
+                "--workers without --executor implies '--executor process'; "
+                "this implication is deprecated — pass --executor (or --shm) "
+                "explicitly",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            out["executor"] = "process"
+        out["workers"] = args.workers
+    if args.split_depth is not None:
+        out["split_depth"] = args.split_depth
+    return out
 
 
 def _cmd_mine(args) -> int:
@@ -326,16 +368,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="(k,r)-core mining on attributed social networks",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    execution = _execution_parent()
 
-    p_mine = sub.add_parser("mine", help="enumerate all maximal (k,r)-cores")
+    p_mine = sub.add_parser("mine", help="enumerate all maximal (k,r)-cores",
+                            parents=[execution])
     _add_graph_args(p_mine)
     p_mine.set_defaults(fn=_cmd_mine)
 
-    p_max = sub.add_parser("maximum", help="find the maximum (k,r)-core")
+    p_max = sub.add_parser("maximum", help="find the maximum (k,r)-core",
+                           parents=[execution])
     _add_graph_args(p_max)
     p_max.set_defaults(fn=_cmd_maximum)
 
-    p_stats = sub.add_parser("stats", help="count/max/avg of maximal cores")
+    p_stats = sub.add_parser("stats", help="count/max/avg of maximal cores",
+                             parents=[execution])
     _add_graph_args(p_stats, require_k=False)
     p_stats.add_argument("--ks", type=int, nargs="+", default=None,
                          help="several k values (grid mode, one session)")
@@ -346,6 +392,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_sweep = sub.add_parser(
         "sweep",
         help="statistics over a k x r grid on one prepared session",
+        parents=[execution],
     )
     _add_graph_args(p_sweep, require_k=False)
     p_sweep.add_argument("--ks", type=int, nargs="+", required=True,
@@ -359,7 +406,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_ds.set_defaults(fn=_cmd_datasets)
 
     p_store = sub.add_parser(
-        "store", help="manage the persistent graph store (sqlite)"
+        "store", help="manage the persistent graph store (sqlite)",
+        parents=[execution],
     )
     p_store.add_argument(
         "action", choices=("add", "list", "info", "delete", "warm"),
@@ -379,22 +427,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     warm.add_argument("--rs", type=float, nargs="+", default=[0.5])
     warm.add_argument("--metric", default="jaccard",
                       help="similarity metric for the warm sweep")
-    warm.add_argument("--backend", choices=("csr", "python"), default=None)
-    warm.add_argument("--workers", type=int, default=None)
     warm.add_argument("--time-limit", type=float, default=None)
     p_store.set_defaults(fn=_cmd_store)
 
     p_serve = sub.add_parser(
-        "serve", help="run the JSON/HTTP query daemon over a store"
+        "serve", help="run the JSON/HTTP query daemon over a store",
+        parents=[execution],
     )
     p_serve.add_argument("--db", required=True, help="store database path")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8321)
     p_serve.add_argument("--metric", default="jaccard",
                          help="default session metric")
-    p_serve.add_argument("--backend", choices=("csr", "python"), default=None)
-    p_serve.add_argument("--workers", type=int, default=None,
-                         help="route searches through a process pool of N")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     p_serve.set_defaults(fn=_cmd_serve)

@@ -22,6 +22,7 @@ from repro.core.dynamic import DynamicKRCoreMiner
 from repro.core.executor import shutdown_pools
 from repro.core.heuristics import greedy_maximum_krcore
 from repro.core.config import (
+    ExecutionPlan,
     SearchConfig,
     adv_enum_config,
     adv_enum_o_config,
@@ -49,6 +50,7 @@ __all__ = [
     "DynamicKRCoreMiner",
     "greedy_maximum_krcore",
     "shutdown_pools",
+    "ExecutionPlan",
     "SearchConfig",
     "KRCore",
     "SearchStats",

@@ -10,25 +10,71 @@ Three entry points:
 All accept either a prepared
 :class:`~repro.similarity.threshold.SimilarityPredicate` or a
 ``(metric, r)`` pair, and either a named algorithm (Table 2 spelling) or
-an explicit :class:`~repro.core.config.SearchConfig`.
+an explicit :class:`~repro.core.config.SearchConfig`.  Execution is
+selected by an :class:`~repro.core.config.ExecutionPlan` (``plan=``);
+the loose ``executor=``/``workers=`` kwargs of earlier releases remain
+as deprecated aliases that resolve to the same plan.
 
 Each function is a thin wrapper constructing a throwaway
 :class:`~repro.core.session.KRCoreSession`: one call, one full
 preprocessing pass, identical results and cost to the classic one-shot
-path.  Callers issuing *repeated* queries against the same graph —
-several thresholds, several ``k``, statistics sweeps, edit/re-query
-loops — should hold a session instead, which caches every preprocessing
-layer between calls (see README "Sessions and repeated queries").
+path.  The shared :func:`_resolve_config` helper builds the single
+kwargs dict all three forward, so the three parameter surfaces cannot
+drift apart again.  Callers issuing *repeated* queries against the same
+graph — several thresholds, several ``k``, statistics sweeps,
+edit/re-query loops — should hold a session instead, which caches every
+preprocessing layer between calls (see README "Sessions and repeated
+queries").
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional, Union
 
-from repro.core.config import SearchConfig
+from repro.core.config import ExecutionPlan, SearchConfig, resolve_execution_plan
 from repro.core.session import KRCoreSession
 from repro.graph.attributed_graph import AttributedGraph
 from repro.similarity.threshold import SimilarityPredicate
+
+
+def _resolve_config(
+    *,
+    metric: Union[str, Callable],
+    predicate: Optional[SimilarityPredicate],
+    algorithm: str,
+    config: Optional[SearchConfig],
+    backend: Optional[str],
+    plan: Optional[Union[ExecutionPlan, dict]],
+    executor: Optional[str],
+    workers: Optional[int],
+    shm: Optional[bool],
+    split_depth: Optional[int],
+    time_limit: Optional[float],
+    node_limit: Optional[int],
+    with_stats: bool,
+) -> dict:
+    """The shared kwargs bundle of the three one-shot entry points.
+
+    Validates the execution spelling up front — ``plan=`` and the loose
+    scalars are mutually exclusive, and a malformed plan raises
+    :class:`~repro.exceptions.InvalidParameterError` here rather than
+    deep inside the session — then hands every knob to the session,
+    which folds the overrides over the config's own
+    :class:`~repro.core.config.ExecutionPlan`.
+    """
+    # Build (and thereby validate) the requested plan; the session
+    # re-resolves against the config's plan as the base.
+    resolve_execution_plan(
+        plan=plan, executor=executor, workers=workers,
+        shm=shm, split_depth=split_depth,
+    )
+    return dict(
+        metric=metric, predicate=predicate, algorithm=algorithm,
+        config=config, backend=backend, plan=plan, executor=executor,
+        workers=workers, shm=shm, split_depth=split_depth,
+        time_limit=time_limit, node_limit=node_limit,
+        with_stats=with_stats,
+    )
 
 
 def enumerate_maximal_krcores(
@@ -41,8 +87,11 @@ def enumerate_maximal_krcores(
     algorithm: str = "advanced",
     config: Optional[SearchConfig] = None,
     backend: Optional[str] = None,
+    plan: Optional[Union[ExecutionPlan, dict]] = None,
     executor: Optional[str] = None,
     workers: Optional[int] = None,
+    shm: Optional[bool] = None,
+    split_depth: Optional[int] = None,
     time_limit: Optional[float] = None,
     node_limit: Optional[int] = None,
     with_stats: bool = False,
@@ -71,12 +120,16 @@ def enumerate_maximal_krcores(
         Preprocessing kernel selection: ``"csr"`` (array-native, the
         config default) or ``"python"`` (set-based reference).  Overrides
         the config's/preset's ``backend`` when given.
-    executor / workers:
-        Component execution: ``"serial"`` (the default) or ``"process"``
-        (independent k-core components fanned out over a worker pool of
-        ``workers`` processes; ``None`` = ``os.cpu_count()``).  Results
-        and merged stats are identical either way; override the
-        config's/preset's settings when given.
+    plan:
+        An :class:`~repro.core.config.ExecutionPlan` (or its field
+        dict) selecting the executor (``"serial"`` | ``"process"`` |
+        ``"shm"``), worker count, shared-memory transport and
+        branch-split depth in one object.  Results and merged stats are
+        identical across executors.
+    executor / workers / shm / split_depth:
+        Deprecated loose spellings of the plan fields (one release);
+        they fold over the config's plan exactly as ``plan=`` would and
+        may not be combined with it.
     time_limit / node_limit:
         Optional budget; exceeded budgets raise
         :class:`~repro.exceptions.SearchBudgetExceeded` carrying partial
@@ -94,11 +147,13 @@ def enumerate_maximal_krcores(
         preprocessing across repeated queries on the same graph.
     """
     session = KRCoreSession(graph, copy=False)
-    return session.enumerate(
-        k, r, metric=metric, predicate=predicate, algorithm=algorithm,
-        config=config, backend=backend, executor=executor, workers=workers,
-        time_limit=time_limit, node_limit=node_limit, with_stats=with_stats,
-    )
+    return session.enumerate(k, r, **_resolve_config(
+        metric=metric, predicate=predicate, algorithm=algorithm,
+        config=config, backend=backend, plan=plan, executor=executor,
+        workers=workers, shm=shm, split_depth=split_depth,
+        time_limit=time_limit, node_limit=node_limit,
+        with_stats=with_stats,
+    ))
 
 
 def find_maximum_krcore(
@@ -111,8 +166,11 @@ def find_maximum_krcore(
     algorithm: str = "advanced",
     config: Optional[SearchConfig] = None,
     backend: Optional[str] = None,
+    plan: Optional[Union[ExecutionPlan, dict]] = None,
     executor: Optional[str] = None,
     workers: Optional[int] = None,
+    shm: Optional[bool] = None,
+    split_depth: Optional[int] = None,
     time_limit: Optional[float] = None,
     node_limit: Optional[int] = None,
     with_stats: bool = False,
@@ -122,16 +180,21 @@ def find_maximum_krcore(
     ``algorithm`` is one of ``"basic"``, ``"advanced"`` (default),
     ``"advanced-ub"``, ``"advanced-o"``, ``"color-kcore"`` — see Table 2
     and Figure 12(b).  Other parameters as in
-    :func:`enumerate_maximal_krcores`; repeated queries should use a
+    :func:`enumerate_maximal_krcores` (including ``plan=`` and its
+    deprecated loose aliases); ``split_depth`` is most useful here — a
+    single giant component's search tree splits into independent
+    subtree tasks.  Repeated queries should use a
     :class:`~repro.core.session.KRCoreSession` (README "Sessions and
     repeated queries").
     """
     session = KRCoreSession(graph, copy=False)
-    return session.maximum(
-        k, r, metric=metric, predicate=predicate, algorithm=algorithm,
-        config=config, backend=backend, executor=executor, workers=workers,
-        time_limit=time_limit, node_limit=node_limit, with_stats=with_stats,
-    )
+    return session.maximum(k, r, **_resolve_config(
+        metric=metric, predicate=predicate, algorithm=algorithm,
+        config=config, backend=backend, plan=plan, executor=executor,
+        workers=workers, shm=shm, split_depth=split_depth,
+        time_limit=time_limit, node_limit=node_limit,
+        with_stats=with_stats,
+    ))
 
 
 def krcore_statistics(
@@ -144,8 +207,11 @@ def krcore_statistics(
     algorithm: str = "advanced",
     config: Optional[SearchConfig] = None,
     backend: Optional[str] = None,
+    plan: Optional[Union[ExecutionPlan, dict]] = None,
     executor: Optional[str] = None,
     workers: Optional[int] = None,
+    shm: Optional[bool] = None,
+    split_depth: Optional[int] = None,
     time_limit: Optional[float] = None,
     node_limit: Optional[int] = None,
     with_stats: bool = False,
@@ -153,15 +219,17 @@ def krcore_statistics(
     """Count, maximum size and average size of all maximal (k,r)-cores.
 
     The Figure 7 measurement.  Accepts the full parameter surface of its
-    sister entry points (``algorithm=``, ``backend=``, ``node_limit=``,
-    ``with_stats=``); with ``with_stats=True`` returns
+    sister entry points (``algorithm=``, ``backend=``, ``plan=``,
+    ``node_limit=``, ``with_stats=``); with ``with_stats=True`` returns
     ``(summary_dict, SearchStats)``.  Sweeping many ``k`` / ``r`` values
     is cheaper through :meth:`KRCoreSession.sweep <repro.core.session.\
 KRCoreSession.sweep>` (README "Sessions and repeated queries").
     """
     session = KRCoreSession(graph, copy=False)
-    return session.statistics(
-        k, r, metric=metric, predicate=predicate, algorithm=algorithm,
-        config=config, backend=backend, executor=executor, workers=workers,
-        time_limit=time_limit, node_limit=node_limit, with_stats=with_stats,
-    )
+    return session.statistics(k, r, **_resolve_config(
+        metric=metric, predicate=predicate, algorithm=algorithm,
+        config=config, backend=backend, plan=plan, executor=executor,
+        workers=workers, shm=shm, split_depth=split_depth,
+        time_limit=time_limit, node_limit=node_limit,
+        with_stats=with_stats,
+    ))

@@ -15,16 +15,21 @@ Every technique of the paper is a flag here, so the benchmark ablations
 * ``backend``            — preprocessing kernels: ``"csr"`` (array-native
   CSR adjacency + vectorised peeling, the default) or ``"python"`` (the
   original set-based code, kept as a reference fallback);
-* ``executor`` / ``workers`` — component execution: ``"serial"`` (one
-  core, the default) or ``"process"`` (independent k-core components
-  fanned out over a process pool; see :mod:`repro.core.executor`).
-  Results and merged stats are identical either way.
+* ``executor`` / ``workers`` / ``shm`` / ``split_depth`` — the
+  execution plan: ``"serial"`` (one core, the default), ``"process"``
+  (independent k-core components fanned out over a process pool) or
+  ``"shm"`` (the same pool fed through ``multiprocessing.shared_memory``
+  segments instead of pickled payloads; see
+  :mod:`repro.core.executor`).  ``split_depth`` additionally splits the
+  top of each maximum search tree into independent subtree tasks.
+  Results and merged stats are identical across executors; the four
+  knobs travel together as an :class:`ExecutionPlan`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Union
 
 from repro.exceptions import InvalidParameterError
 
@@ -40,7 +45,129 @@ BRANCH_ORDERS = ("adaptive", "expand", "shrink")
 MAXIMAL_CHECKS = ("search", "pairwise", "none")
 BOUNDS = ("naive", "color-kcore", "kkprime")
 BACKENDS = ("csr", "python")
-EXECUTORS = ("serial", "process")
+EXECUTORS = ("serial", "process", "shm")
+
+#: Cap on :attr:`ExecutionPlan.split_depth`: the subtree frontier is at
+#: most ``2**split_depth`` frames, so this bounds the task fan-out of a
+#: single component at 4096.
+MAX_SPLIT_DEPTH = 12
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How component searches execute — the four knobs as one object.
+
+    Replaces the loose ``executor``/``workers`` pair of earlier
+    releases as the single value threaded through
+    :class:`SearchConfig`, :class:`~repro.core.session.KRCoreSession`,
+    the one-shot API, the CLI and the service request knobs.
+
+    ``executor`` and ``shm`` are two spellings of one choice and are
+    kept in sync on construction: ``executor="shm"`` implies
+    ``shm=True`` and vice versa (``shm=True`` promotes any other
+    executor to ``"shm"``).
+    """
+
+    executor: str = "serial"            # "serial" | "process" | "shm"
+    workers: Optional[int] = None       # pool size; None = os.cpu_count()
+    shm: bool = False                   # shared-memory task transport
+    split_depth: int = 0                # branch-tree split depth (maximum)
+
+    def __post_init__(self) -> None:
+        if self.shm and self.executor != "shm":
+            object.__setattr__(self, "executor", "shm")
+        elif self.executor == "shm" and not self.shm:
+            object.__setattr__(self, "shm", True)
+        if self.executor not in EXECUTORS:
+            raise InvalidParameterError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise InvalidParameterError(
+                f"workers must be a positive integer, got {self.workers}"
+            )
+        if not isinstance(self.split_depth, int) or isinstance(
+            self.split_depth, bool
+        ):
+            raise InvalidParameterError(
+                f"split_depth must be an integer, got {self.split_depth!r}"
+            )
+        if not 0 <= self.split_depth <= MAX_SPLIT_DEPTH:
+            raise InvalidParameterError(
+                f"split_depth must be in [0, {MAX_SPLIT_DEPTH}], "
+                f"got {self.split_depth}"
+            )
+
+
+def resolve_execution_plan(
+    base: Optional[ExecutionPlan] = None,
+    *,
+    plan: Optional[Union[ExecutionPlan, dict]] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
+    shm: Optional[bool] = None,
+    split_depth: Optional[int] = None,
+) -> Optional[ExecutionPlan]:
+    """Fold a ``plan=`` value or the loose legacy scalars into one plan.
+
+    Exactly one spelling may be used per call: a whole ``plan`` (an
+    :class:`ExecutionPlan` or its field dict), or any subset of the four
+    scalars, which override the corresponding fields of ``base`` (the
+    config's current plan).  Returns ``None`` when nothing was
+    requested, so callers can skip the config evolve entirely.
+
+    The ``executor``/``shm`` pairing is resolved the way callers mean
+    it: overriding ``executor`` alone re-derives ``shm``, and
+    ``shm=False`` alone demotes an ``"shm"`` plan to ``"process"``
+    (keeping the pool) rather than to serial.
+    """
+    scalars = {
+        "executor": executor,
+        "workers": workers,
+        "shm": shm,
+        "split_depth": split_depth,
+    }
+    given = {name: value for name, value in scalars.items() if value is not None}
+    if plan is not None:
+        if given:
+            raise InvalidParameterError(
+                "pass either plan= or the executor/workers/shm/split_depth "
+                f"scalars, not both (got plan= and {sorted(given)})"
+            )
+        if isinstance(plan, dict):
+            plan = ExecutionPlan(**plan)
+        if not isinstance(plan, ExecutionPlan):
+            raise InvalidParameterError(
+                f"plan must be an ExecutionPlan or a field dict, "
+                f"got {type(plan).__name__}"
+            )
+        return plan
+    if not given:
+        return None
+    if base is None:
+        base = ExecutionPlan()
+    fields = {
+        "executor": base.executor,
+        "workers": base.workers,
+        "shm": base.shm,
+        "split_depth": base.split_depth,
+    }
+    if executor is not None:
+        fields["executor"] = executor
+        if shm is None:
+            fields["shm"] = executor == "shm"
+    if shm is not None:
+        fields["shm"] = shm
+        if executor is None:
+            if shm:
+                fields["executor"] = "shm"
+            elif fields["executor"] == "shm":
+                fields["executor"] = "process"
+    if workers is not None:
+        fields["workers"] = workers
+    if split_depth is not None:
+        fields["split_depth"] = split_depth
+    return ExecutionPlan(**fields)
 
 
 @dataclass(frozen=True)
@@ -62,14 +189,22 @@ class SearchConfig:
     bound: str = "kkprime"              # size upper bound (§6.2)
     warm_start: bool = False            # greedy lower bound before searching
     backend: str = "csr"                # preprocessing kernels: "csr" or "python"
-    executor: str = "serial"            # component execution: "serial" or "process"
+    executor: str = "serial"            # "serial" | "process" | "shm"
     workers: Optional[int] = None       # process-pool size; None = os.cpu_count()
+    shm: bool = False                   # shared-memory task transport
+    split_depth: int = 0                # maximum-search branch split depth
     seed: int = 0                       # RNG seed for the random order
     time_limit: Optional[float] = None  # seconds; None = unlimited
     node_limit: Optional[int] = None    # search-tree nodes; None = unlimited
     on_budget: str = "raise"            # "raise" or "partial"
 
     def __post_init__(self) -> None:
+        # executor/shm are two spellings of one choice (see
+        # ExecutionPlan); keep them in sync before validating.
+        if self.shm and self.executor != "shm":
+            object.__setattr__(self, "executor", "shm")
+        elif self.executor == "shm" and not self.shm:
+            object.__setattr__(self, "shm", True)
         if self.order not in VERTEX_ORDERS:
             raise InvalidParameterError(
                 f"order must be one of {VERTEX_ORDERS}, got {self.order!r}"
@@ -104,6 +239,17 @@ class SearchConfig:
             raise InvalidParameterError(
                 f"workers must be a positive integer, got {self.workers}"
             )
+        if not isinstance(self.split_depth, int) or isinstance(
+            self.split_depth, bool
+        ):
+            raise InvalidParameterError(
+                f"split_depth must be an integer, got {self.split_depth!r}"
+            )
+        if not 0 <= self.split_depth <= MAX_SPLIT_DEPTH:
+            raise InvalidParameterError(
+                f"split_depth must be in [0, {MAX_SPLIT_DEPTH}], "
+                f"got {self.split_depth}"
+            )
         if self.on_budget not in ("raise", "partial"):
             raise InvalidParameterError(
                 f"on_budget must be 'raise' or 'partial', got {self.on_budget!r}"
@@ -120,8 +266,38 @@ class SearchConfig:
         """Whether the engine must maintain E (Theorems 5/6 consume it)."""
         return self.early_termination or self.maximal_check == "search"
 
+    @property
+    def plan(self) -> ExecutionPlan:
+        """This config's execution knobs as one :class:`ExecutionPlan`."""
+        return ExecutionPlan(
+            executor=self.executor,
+            workers=self.workers,
+            shm=self.shm,
+            split_depth=self.split_depth,
+        )
+
     def evolve(self, **changes) -> "SearchConfig":
-        """Copy with some fields replaced (ablation helper)."""
+        """Copy with some fields replaced (ablation helper).
+
+        ``plan=`` (an :class:`ExecutionPlan` or its field dict) expands
+        into the four execution fields.  Overriding ``executor`` alone
+        re-derives ``shm`` (and vice versa) so a plain
+        ``evolve(executor="serial")`` on an shm config does not snap
+        back to ``"shm"`` through the constructor normalisation.
+        """
+        plan = changes.pop("plan", None)
+        if plan is not None:
+            if isinstance(plan, dict):
+                plan = ExecutionPlan(**plan)
+            for name in ("executor", "workers", "shm", "split_depth"):
+                changes.setdefault(name, getattr(plan, name))
+        elif "executor" in changes and "shm" not in changes:
+            changes["shm"] = changes["executor"] == "shm"
+        elif "shm" in changes and "executor" not in changes:
+            if changes["shm"]:
+                changes["executor"] = "shm"
+            elif self.executor == "shm":
+                changes["executor"] = "process"
         return replace(self, **changes)
 
 

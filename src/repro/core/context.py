@@ -202,6 +202,41 @@ class BitsetComponentContext:
         self.sim = sim
         self._scratch = np.zeros((self.SCRATCH_ROWS, words), dtype=np.uint64)
 
+    @classmethod
+    def from_packed(
+        cls,
+        verts: np.ndarray,
+        nbr: np.ndarray,
+        dis: np.ndarray,
+    ) -> "BitsetComponentContext":
+        """Rebuild from already-packed rows, skipping the O(n²) loop.
+
+        The shared-memory executor ships the coordinator's ``nbr``/``dis``
+        matrices (and sorted ``verts``) to workers verbatim; everything
+        else — the local-id map, the ``sim`` matrix, the full mask and
+        the scratch pool — is derived here exactly as ``__init__`` would
+        derive it, so the rebuilt context is indistinguishable from one
+        packed in place.  The caller must own the arrays (they are
+        stored, not copied).
+        """
+        self = cls.__new__(cls)
+        verts = np.asarray(verts, dtype=np.int64)
+        n = int(verts.size)
+        words = bitops.word_count(n)
+        self.n = n
+        self.words = words
+        self.verts = verts
+        self.local = {int(v): i for i, v in enumerate(verts.tolist())}
+        self.nbr = nbr
+        self.dis = dis
+        self.full = bitops.mask_from_indices(np.arange(n, dtype=np.int64), words)
+        sim = (~dis) & self.full
+        for i in range(n):
+            sim[i, i >> 6] &= ~(np.uint64(1) << np.uint64(i & 63))
+        self.sim = sim
+        self._scratch = np.zeros((self.SCRATCH_ROWS, words), dtype=np.uint64)
+        return self
+
     def scratch(self, row: int) -> np.ndarray:
         """A pooled per-node mask buffer (see :data:`SCRATCH_ROWS`).
 

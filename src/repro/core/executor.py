@@ -27,11 +27,20 @@ execution layer that exploits that:
 * :data:`MAXIMUM_BATCH` — the fixed batch width of the maximum solver's
   two-phase schedule (see :func:`repro.core.solver.run_maximum`).
 
-Selection happens via ``SearchConfig.executor`` (``"serial"`` |
-``"process"``) and ``SearchConfig.workers``; :func:`make_executor` maps
-a config to ``None`` (the classic in-process path), a
-:class:`SerialExecutor` (``workers=1`` — the degenerate pool, exercised
-so the task path never rots), or a :class:`ParallelExecutor`.
+Selection happens via the config's :class:`~repro.core.config.ExecutionPlan`
+(``executor`` ``"serial"`` | ``"process"`` | ``"shm"``, plus ``workers``,
+``shm`` and ``split_depth``); :func:`make_executor` maps a config to
+``None`` (the classic in-process path), a :class:`SerialExecutor`
+(``workers=1`` — the degenerate pool, exercised so the task path never
+rots), or a :class:`ParallelExecutor`.  On the ``"shm"`` flavour the
+component arrays travel through ``multiprocessing.shared_memory``
+segments (:mod:`repro.core.shm`) instead of pickle: the task itself is
+a name+offset descriptor, the executors unlink each segment as soon as
+its outcomes merge, and :func:`shutdown_pools` / interpreter exit sweep
+anything a crashed run left behind.  ``split_depth > 0`` additionally
+splits each maximum component's branch tree into independent subtree
+tasks (see :func:`repro.core.solver.solve_component_split`), batched
+:data:`SPLIT_BATCH` wide under the same two-phase discipline.
 
 Results and merged stats counters are identical across executors by
 construction: every task carries its own seeded rng and private stats,
@@ -62,8 +71,20 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.core.config import SearchConfig
-from repro.core.context import Budget, ComponentContext
+from repro.core.config import (  # noqa: F401  (ExecutionPlan re-exported)
+    ExecutionPlan,
+    SearchConfig,
+    resolve_execution_plan,
+)
+from repro.core.context import BitsetComponentContext, Budget, ComponentContext
+from repro.core.shm import (
+    ShmComponentPayload,
+    pack_component,
+    publish_bound,
+    release_segment,
+    sweep_segments,
+    unpack_component,
+)
 from repro.core.stats import SearchStats
 from repro.exceptions import (
     ComponentExecutionError,
@@ -80,6 +101,15 @@ from repro.similarity.index import DissimilarityIndex
 #: components.  Deliberately independent of ``workers`` — the schedule
 #: (and therefore results and stats) must not change with the pool size.
 MAXIMUM_BATCH = 4
+
+#: Fixed batch width of the branch-split subtree schedule: within a
+#: batch every subtree is seeded with the best core known *before* the
+#: batch, so up to this many subtrees of one component solve
+#: concurrently while completed batches still tighten the seed between
+#: batches.  Like :data:`MAXIMUM_BATCH`, deliberately independent of
+#: ``workers`` — the split schedule (and with it results and stats) is
+#: a pure function of ``split_depth``, identical on every executor.
+SPLIT_BATCH = 8
 
 #: Fault-injection hook for the failure-path tests: when this env var is
 #: ``"raise"`` at task *build* time, the worker raises a RuntimeError
@@ -152,6 +182,17 @@ class ComponentTask:
     time_left: Optional[float] = None      # remaining wall budget (seconds)
     inject: Optional[str] = None           # test-only fault injection
     env: Dict[str, str] = field(default_factory=dict)  # replayed env flags
+    # --- shm / branch-split extensions --------------------------------
+    #: When set, ``vertices``/``adj``/``dissimilar`` are empty and the
+    #: component arrays live in this shared-memory segment instead — the
+    #: task pickles as a name+offset descriptor.
+    shm_payload: Optional[ShmComponentPayload] = None
+    #: Subtree root of a branch-split task (maximum mode only): the
+    #: worker searches this frame instead of the whole component.
+    frame: Optional[Tuple] = None
+    #: Segment name of the component's :class:`~repro.core.shm.SharedBound`
+    #: (branch-split tasks only; advisory, never read for pruning).
+    bound_name: Optional[str] = None
 
 
 @dataclass
@@ -177,24 +218,38 @@ def component_task(
     config: SearchConfig,
     seed_best: Optional[FrozenSet[int]] = None,
     time_left: Optional[float] = None,
+    *,
+    bitset: Optional[BitsetComponentContext] = None,
+    frame: Optional[Tuple] = None,
+    bound_name: Optional[str] = None,
+    shm_payload: Optional[ShmComponentPayload] = None,
 ) -> ComponentTask:
     """Build a task from prepared component pieces.
 
     The config is normalised for the worker: the executor knobs are
-    stripped (a worker never re-enters a pool) and the wall budget is
-    carried as the explicit ``time_left`` the coordinator computed from
-    its own deadline; ``node_limit`` stays — each worker enforces it on
-    its own component, and the coordinator re-checks the cumulative sum.
+    stripped (a worker never re-enters a pool, never re-packs a
+    segment) and the wall budget is carried as the explicit
+    ``time_left`` the coordinator computed from its own deadline;
+    ``node_limit`` stays — each worker enforces it on its own
+    component, and the coordinator re-checks the cumulative sum.
+
+    On an shm config the component arrays are placed in a fresh shared
+    segment (``bitset`` rides along when the coordinator already holds
+    the packed matrices, so workers skip the O(n²) packing loop) and
+    the task ships only the descriptor.  ``shm_payload`` passes a
+    pre-built — typically *shared* — segment instead, the branch-split
+    fan-out's one-segment-many-subtasks case.
     """
-    return ComponentTask(
+    cfg = config.evolve(executor="serial", workers=None, time_limit=None)
+    payload = shm_payload
+    if payload is None and config.shm:
+        payload = pack_component(vertices, adj, index, bitset=bitset)
+    common = dict(
         cid=cid,
         mode=mode,
         engine=engine,
-        vertices=vertices,
-        adj=adj,
-        dissimilar=index.rows(),
         k=k,
-        config=config.evolve(executor="serial", workers=None, time_limit=None),
+        config=cfg,
         seed_best=seed_best,
         time_left=time_left,
         inject=os.environ.get(INJECT_ENV) or None,
@@ -203,6 +258,16 @@ def component_task(
             for name in _PROPAGATED_ENV
             if name in os.environ
         },
+        frame=frame,
+        bound_name=bound_name,
+    )
+    if payload is not None:
+        return ComponentTask(
+            vertices=frozenset(), adj={}, dissimilar={},
+            shm_payload=payload, **common,
+        )
+    return ComponentTask(
+        vertices=vertices, adj=adj, dissimilar=index.rows(), **common,
     )
 
 
@@ -213,11 +278,16 @@ def task_from_context(
     engine: str = "engine",
     seed_best: Optional[FrozenSet[int]] = None,
     time_left: Optional[float] = None,
+    frame: Optional[Tuple] = None,
+    bound_name: Optional[str] = None,
+    shm_payload: Optional[ShmComponentPayload] = None,
 ) -> ComponentTask:
     """:func:`component_task` from a prepared :class:`ComponentContext`."""
     return component_task(
         cid, mode, engine, ctx.vertices, ctx.adj, ctx.index, ctx.k,
         ctx.config, seed_best=seed_best, time_left=time_left,
+        bitset=ctx.bitset, frame=frame, bound_name=bound_name,
+        shm_payload=shm_payload,
     )
 
 
@@ -235,7 +305,7 @@ def solve_component_task(task: ComponentTask) -> TaskOutcome:
     component id attached.
     """
     # Imported lazily: solver imports this module at load time.
-    from repro.core.maximum import find_maximum_in_component
+    from repro.core.maximum import find_maximum_in_component, solve_subtree
     from repro.core.solver import resolve_engine
 
     stats = SearchStats()
@@ -249,18 +319,40 @@ def solve_component_task(task: ComponentTask) -> TaskOutcome:
             raise RuntimeError(
                 f"injected worker fault ({INJECT_ENV}=raise)"
             )
+        if task.inject == "exit":
+            # Hard worker death (segment-lifecycle tests): the process
+            # vanishes mid-task, breaking the pool.
+            os._exit(86)
+        if task.shm_payload is not None:
+            vertices, adj, index, bitset = unpack_component(task.shm_payload)
+        else:
+            vertices = task.vertices
+            adj = task.adj
+            index = DissimilarityIndex(task.dissimilar)
+            bitset = None
         ctx = ComponentContext(
-            vertices=task.vertices,
-            adj=task.adj,
-            index=DissimilarityIndex(task.dissimilar),
+            vertices=vertices,
+            adj=adj,
+            index=index,
             k=task.k,
             config=task.config,
             stats=stats,
             budget=Budget(task.time_left, task.config.node_limit),
             rng=random.Random(task.config.seed),
+            bitset=bitset,
         )
         if task.mode == "maximum":
-            found = find_maximum_in_component(ctx, task.seed_best)
+            if task.frame is not None:
+                found = solve_subtree(ctx, task.frame, task.seed_best)
+            else:
+                found = find_maximum_in_component(ctx, task.seed_best)
+            if task.bound_name is not None:
+                # Advisory incumbent publish: the value is this task's
+                # deterministic result size, so the merged high-water
+                # mark is executor-independent.
+                size = len(found) if found else 0
+                stats.shared_bound = size
+                publish_bound(task.bound_name, size)
             return TaskOutcome(task.cid, "ok", result=found, stats=stats)
         component_fn = resolve_engine(task.engine)
         return TaskOutcome(
@@ -294,6 +386,22 @@ def raise_for_outcome(out: TaskOutcome) -> None:
 # Executors
 # ----------------------------------------------------------------------
 
+def _release_task_segments(tasks: Sequence[ComponentTask]) -> None:
+    """Unlink every *task-private* segment of a finished batch.
+
+    Segments marked ``shared`` back several tasks (the branch-split
+    fan-out) and belong to whoever created them
+    (:func:`repro.core.solver.solve_component_split` releases its own);
+    everything else dies with its task.  Idempotent — executors call
+    this from ``finally`` so worker death and KeyboardInterrupt cannot
+    strand ``/dev/shm`` blocks.
+    """
+    for task in tasks:
+        payload = task.shm_payload
+        if payload is not None and not payload.shared:
+            release_segment(payload.segment)
+
+
 class SerialExecutor:
     """Runs tasks inline, in order, through the same worker entry point.
 
@@ -309,11 +417,14 @@ class SerialExecutor:
 
     def run(self, tasks: Sequence[ComponentTask]) -> List[TaskOutcome]:
         outcomes: List[TaskOutcome] = []
-        for task in tasks:
-            out = solve_component_task(task)
-            outcomes.append(out)
-            if out.status != "ok":
-                break
+        try:
+            for task in tasks:
+                out = solve_component_task(task)
+                outcomes.append(out)
+                if out.status != "ok":
+                    break
+        finally:
+            _release_task_segments(tasks)
         return outcomes
 
 
@@ -323,35 +434,40 @@ class ParallelExecutor:
     Tasks are submitted in the given (hardness-ordered) sequence and
     outcomes are returned in the same order regardless of completion
     order, so the coordinator's stats merge is deterministic.  The pool
-    itself is shared per worker count across all executors in the
-    process (spawning interpreters is the dominant cost; reuse makes
-    repeated queries, fuzz sweeps and test suites cheap) and is torn
-    down at interpreter exit.  A broken pool (a worker died) or a
-    KeyboardInterrupt evicts the cached pool so the next run starts
-    clean.
+    itself is cached per ``(workers, flavour)`` across all executors in
+    the process (spawning interpreters is the dominant cost; reuse
+    makes repeated queries, fuzz sweeps and test suites cheap) and is
+    torn down at interpreter exit — the flavour key keeps a broken
+    ``"shm"`` run from evicting the healthy ``"process"`` pool and vice
+    versa.  A broken pool (a worker died) or a KeyboardInterrupt evicts
+    the cached pool so the next run starts clean; either way every
+    task-private shared-memory segment is unlinked on the way out.
     """
 
-    def __init__(self, workers: int):
+    def __init__(self, workers: int, flavour: str = "process"):
         if workers < 1:
             raise InvalidParameterError(
                 f"workers must be a positive integer, got {workers}"
             )
         self.workers = workers
+        self.flavour = flavour
 
     def run(self, tasks: Sequence[ComponentTask]) -> List[TaskOutcome]:
-        pool = _get_pool(self.workers)
+        pool = _get_pool(self.workers, self.flavour)
         try:
             futures = [pool.submit(solve_component_task, t) for t in tasks]
             return [f.result() for f in futures]
         except BrokenProcessPool as exc:
-            _evict_pool(self.workers)
+            _evict_pool(self.workers, self.flavour)
             raise ComponentExecutionError(
                 f"worker pool broke while solving {len(tasks)} component "
                 f"task(s): {exc}", error_type="BrokenProcessPool",
             ) from exc
         except KeyboardInterrupt:
-            _evict_pool(self.workers)
+            _evict_pool(self.workers, self.flavour)
             raise
+        finally:
+            _release_task_segments(tasks)
 
 
 def effective_workers(workers: Optional[int]) -> int:
@@ -364,22 +480,27 @@ def make_executor(config: SearchConfig):
 
     ``None`` means the classic in-process serial path (shared budget,
     warm bitset caches — the solvers keep their original loops);
-    ``workers=1`` process configs degenerate to :class:`SerialExecutor`
-    so a single-core machine never pays pool overhead.
+    ``workers=1`` process/shm configs degenerate to
+    :class:`SerialExecutor` so a single-core machine never pays pool
+    overhead (shm tasks still pack and map their segments in-process,
+    keeping the transport path exercised).
     """
     if config.executor == "serial":
         return None
     workers = effective_workers(config.workers)
     if workers <= 1:
         return SerialExecutor()
-    return ParallelExecutor(workers)
+    return ParallelExecutor(workers, flavour=config.executor)
 
 
 # ----------------------------------------------------------------------
 # Pool cache
 # ----------------------------------------------------------------------
 
-_POOLS: Dict[int, _ProcessPool] = {}
+#: Cached spawn pools keyed by ``(workers, flavour)``.  Keying by the
+#: flavour too means evicting one flavour's broken pool never tears
+#: down the other's healthy workers mid-sweep.
+_POOLS: Dict[Tuple[int, str], _ProcessPool] = {}
 
 
 def _package_search_path() -> str:
@@ -389,8 +510,8 @@ def _package_search_path() -> str:
     )
 
 
-def _get_pool(workers: int) -> _ProcessPool:
-    pool = _POOLS.get(workers)
+def _get_pool(workers: int, flavour: str = "process") -> _ProcessPool:
+    pool = _POOLS.get((workers, flavour))
     if pool is None:
         # Spawned children import repro from scratch; when the parent is
         # running off a *source tree* (found via sys.path / PYTHONPATH),
@@ -414,20 +535,23 @@ def _get_pool(workers: int) -> _ProcessPool:
             max_workers=workers,
             mp_context=multiprocessing.get_context("spawn"),
         )
-        _POOLS[workers] = pool
+        _POOLS[(workers, flavour)] = pool
     return pool
 
 
-def _evict_pool(workers: int) -> None:
-    pool = _POOLS.pop(workers, None)
+def _evict_pool(workers: int, flavour: str = "process") -> None:
+    pool = _POOLS.pop((workers, flavour), None)
     if pool is not None:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
 def shutdown_pools() -> None:
-    """Tear down every cached worker pool (idempotent)."""
-    for workers in list(_POOLS):
-        _evict_pool(workers)
+    """Tear down every cached worker pool and unlink any leaked
+    shared-memory segments (idempotent) — a crashed or interrupted run
+    can't strand ``/dev/shm`` blocks past this call."""
+    for workers, flavour in list(_POOLS):
+        _evict_pool(workers, flavour)
+    sweep_segments()
 
 
 atexit.register(shutdown_pools)

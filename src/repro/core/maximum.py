@@ -49,6 +49,14 @@ from repro.graph.components import connected_components
 
 Frame = Tuple[Set[int], Set[int], Set[int], Optional[int]]
 
+#: Backend-neutral subtree root: ``(M, C, E, expanded)`` with the sets
+#: as ascending tuples of *original* vertex ids — what
+#: :func:`split_frontier` emits and :func:`solve_subtree` consumes, and
+#: the picklable payload of a branch-split task.
+SubtreeFrame = Tuple[
+    Tuple[int, ...], Tuple[int, ...], Tuple[int, ...], Optional[int]
+]
+
 
 def find_maximum_in_component(
     ctx: ComponentContext,
@@ -68,19 +76,14 @@ def find_maximum_in_component(
     return _find_maximum_sets(ctx, best_so_far)
 
 
-def _find_maximum_sets(
+def _warm_seed(
     ctx: ComponentContext,
-    best_so_far: Optional[FrozenSet[int]] = None,
-) -> Optional[FrozenSet[int]]:
-    """The set-based reference engine."""
-    cfg = ctx.config
-    order = make_order(cfg.order, cfg.lam, ctx.rng)
-    track_e = cfg.needs_excluded_set
-    branch_mode = cfg.branch
-
+    best_so_far: Optional[FrozenSet[int]],
+) -> Tuple[Optional[FrozenSet[int]], int]:
+    """The engines' shared incumbent initialisation (+ warm start)."""
     best: Optional[FrozenSet[int]] = best_so_far
     best_size = len(best) if best else 0
-
+    cfg = ctx.config
     if cfg.warm_start and best_size < len(ctx.vertices):
         # Greedy dissimilarity peeling yields a valid core cheaply; the
         # bound pruning starts strong instead of from zero.
@@ -88,10 +91,50 @@ def _find_maximum_sets(
         if seed_core is not None and len(seed_core) > best_size:
             best = seed_core
             best_size = len(seed_core)
+    return best, best_size
 
-    stack: List[Frame] = [(set(), set(ctx.vertices), set(), None)]
+
+def _find_maximum_sets(
+    ctx: ComponentContext,
+    best_so_far: Optional[FrozenSet[int]] = None,
+) -> Optional[FrozenSet[int]]:
+    """The set-based reference engine."""
+    cfg = ctx.config
+    order = make_order(cfg.order, cfg.lam, ctx.rng)
+    best, best_size = _warm_seed(ctx, best_so_far)
+    stack: List[Tuple[Frame, int]] = [
+        ((set(), set(ctx.vertices), set(), None), 0)
+    ]
+    best, _ = _search_sets(ctx, order, stack, best, best_size)
+    return best
+
+
+def _search_sets(
+    ctx: ComponentContext,
+    order,
+    stack: List[Tuple[Frame, int]],
+    best: Optional[FrozenSet[int]],
+    best_size: int,
+    collect_depth: Optional[int] = None,
+    frontier: Optional[List[Frame]] = None,
+) -> Tuple[Optional[FrozenSet[int]], int]:
+    """The set engine's branch-and-bound loop over depth-tagged frames.
+
+    With ``collect_depth`` set, any frame reaching that depth is parked
+    on ``frontier`` *before* being entered (no stats tick, no budget
+    tick, no pruning) — the branch-split coordinator's expansion pass.
+    Whoever later searches the parked frame accounts its node, so the
+    split schedule's merged stats are executor-independent.
+    """
+    cfg = ctx.config
+    track_e = cfg.needs_excluded_set
+    branch_mode = cfg.branch
+
     while stack:
-        M, C, E, expanded = stack.pop()
+        (M, C, E, expanded), depth = stack.pop()
+        if collect_depth is not None and depth >= collect_depth:
+            frontier.append((M, C, E, expanded))
+            continue
         ctx.enter_node()
 
         # Cheap bound check before any work: the frame may have been
@@ -139,12 +182,12 @@ def _find_maximum_sets(
         )
         # LIFO: push the non-preferred branch first.
         if preferred == EXPAND:
-            stack.append(shrink_frame)
-            stack.append(expand_frame)
+            stack.append((shrink_frame, depth + 1))
+            stack.append((expand_frame, depth + 1))
         else:
-            stack.append(expand_frame)
-            stack.append(shrink_frame)
-    return best
+            stack.append((expand_frame, depth + 1))
+            stack.append((shrink_frame, depth + 1))
+    return best, best_size
 
 
 # ----------------------------------------------------------------------
@@ -162,23 +205,34 @@ def _find_maximum_bits(
     b = bitset_context(ctx)
     cfg = ctx.config
     order = make_order_bits(cfg.order, cfg.lam, ctx.rng)
+    best, best_size = _warm_seed(ctx, best_so_far)
+    stack: List[Tuple[BitFrame, int]] = [
+        ((b.zeros(), b.full.copy(), b.zeros(), None), 0)
+    ]
+    best, _ = _search_bits(ctx, b, order, stack, best, best_size)
+    return best
+
+
+def _search_bits(
+    ctx: ComponentContext,
+    b,
+    order,
+    stack: List[Tuple[BitFrame, int]],
+    best: Optional[FrozenSet[int]],
+    best_size: int,
+    collect_depth: Optional[int] = None,
+    frontier: Optional[List[BitFrame]] = None,
+) -> Tuple[Optional[FrozenSet[int]], int]:
+    """Bitmask twin of :func:`_search_sets` (same frame discipline)."""
+    cfg = ctx.config
     track_e = cfg.needs_excluded_set
     branch_mode = cfg.branch
 
-    best: Optional[FrozenSet[int]] = best_so_far
-    best_size = len(best) if best else 0
-
-    if cfg.warm_start and best_size < len(ctx.vertices):
-        # The greedy warm start runs once per component and is already
-        # deterministic; its result seeds the bound identically.
-        seed_core = greedy_core_in_component(ctx)
-        if seed_core is not None and len(seed_core) > best_size:
-            best = seed_core
-            best_size = len(seed_core)
-
-    stack: List[BitFrame] = [(b.zeros(), b.full.copy(), b.zeros(), None)]
     while stack:
-        M, C, E, expanded = stack.pop()
+        (M, C, E, expanded), depth = stack.pop()
+        if collect_depth is not None and depth >= collect_depth:
+            frontier.append((M, C, E, expanded))
+            continue
         ctx.enter_node()
 
         # mc lives in a pooled scratch row (recomputed after pruning
@@ -234,9 +288,109 @@ def _find_maximum_bits(
         )
         # LIFO: push the non-preferred branch first.
         if preferred == EXPAND:
-            stack.append(shrink_frame)
-            stack.append(expand_frame)
+            stack.append((shrink_frame, depth + 1))
+            stack.append((expand_frame, depth + 1))
         else:
-            stack.append(expand_frame)
-            stack.append(shrink_frame)
+            stack.append((expand_frame, depth + 1))
+            stack.append((shrink_frame, depth + 1))
+    return best, best_size
+
+
+# ----------------------------------------------------------------------
+# Branch-level work sharing (fixed-depth subtree splitting)
+# ----------------------------------------------------------------------
+
+def split_frontier(
+    ctx: ComponentContext,
+    best_so_far: Optional[FrozenSet[int]],
+    depth: int,
+) -> Tuple[Optional[FrozenSet[int]], List[SubtreeFrame]]:
+    """Expand the top of one component's branch tree to a fixed depth.
+
+    Runs the normal engine over the frames *above* ``depth`` (stats,
+    budget and leaf handling included) and parks every frame that
+    reaches ``depth`` as a backend-neutral :data:`SubtreeFrame` instead
+    of entering it.  Returns the best core seen during expansion plus
+    the parked frames, in the exact order the serial engine would have
+    popped them — solving them in that order with the same seeding
+    reproduces the serial split schedule node for node, on any executor.
+
+    Both backends emit the *same* frame list (the engines mirror each
+    other decision-for-decision, and the id tuples are sorted), so a
+    python-backend coordinator can feed csr-backend workers and vice
+    versa.
+    """
+    cfg = ctx.config
+    frames: List[SubtreeFrame] = []
+    if use_bitset_engine(ctx):
+        b = bitset_context(ctx)
+        order = make_order_bits(cfg.order, cfg.lam, ctx.rng)
+        best, best_size = _warm_seed(ctx, best_so_far)
+        raw_bits: List[BitFrame] = []
+        stack_b: List[Tuple[BitFrame, int]] = [
+            ((b.zeros(), b.full.copy(), b.zeros(), None), 0)
+        ]
+        best, _ = _search_bits(
+            ctx, b, order, stack_b, best, best_size,
+            collect_depth=depth, frontier=raw_bits,
+        )
+        for M, C, E, expanded in raw_bits:
+            frames.append((
+                tuple(b.original_ids(M)),
+                tuple(b.original_ids(C)),
+                tuple(b.original_ids(E)),
+                None if expanded is None else int(b.verts[expanded]),
+            ))
+    else:
+        order = make_order(cfg.order, cfg.lam, ctx.rng)
+        best, best_size = _warm_seed(ctx, best_so_far)
+        raw_sets: List[Frame] = []
+        stack_s: List[Tuple[Frame, int]] = [
+            ((set(), set(ctx.vertices), set(), None), 0)
+        ]
+        best, _ = _search_sets(
+            ctx, order, stack_s, best, best_size,
+            collect_depth=depth, frontier=raw_sets,
+        )
+        for M, C, E, expanded in raw_sets:
+            frames.append((
+                tuple(sorted(M)), tuple(sorted(C)), tuple(sorted(E)),
+                expanded,
+            ))
+    return best, frames
+
+
+def solve_subtree(
+    ctx: ComponentContext,
+    frame: SubtreeFrame,
+    best_so_far: Optional[FrozenSet[int]] = None,
+) -> Optional[FrozenSet[int]]:
+    """Search one parked subtree to completion (no warm start).
+
+    The subtree's root node is entered exactly as the serial engine
+    would have entered the parked frame — :func:`split_frontier`
+    deliberately did not tick it — so coordinator + subtree stats sum
+    to the full split-schedule traversal.
+    """
+    m_ids, c_ids, e_ids, expanded = frame
+    if use_bitset_engine(ctx):
+        b = bitset_context(ctx)
+        order = make_order_bits(
+            ctx.config.order, ctx.config.lam, ctx.rng
+        )
+        root_bits: BitFrame = (
+            b.mask_of(m_ids), b.mask_of(c_ids), b.mask_of(e_ids),
+            None if expanded is None else b.local[expanded],
+        )
+        best, _ = _search_bits(
+            ctx, b, order, [(root_bits, 0)],
+            best_so_far, len(best_so_far) if best_so_far else 0,
+        )
+        return best
+    order = make_order(ctx.config.order, ctx.config.lam, ctx.rng)
+    root: Frame = (set(m_ids), set(c_ids), set(e_ids), expanded)
+    best, _ = _search_sets(
+        ctx, order, [(root, 0)],
+        best_so_far, len(best_so_far) if best_so_far else 0,
+    )
     return best

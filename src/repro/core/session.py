@@ -53,9 +53,11 @@ from typing import (
 )
 
 from repro.core.config import (
+    ExecutionPlan,
     SearchConfig,
     adv_enum_config,
     resolve_enum_config,
+    resolve_execution_plan,
     resolve_max_config,
 )
 from repro.core.context import Budget, ComponentContext
@@ -83,6 +85,7 @@ from repro.core.solver import (
     max_component_degree,
     maximum_schedule,
     resolve_engine,
+    solve_component_split,
 )
 from repro.core.stats import SearchStats
 from repro.exceptions import InvalidParameterError, SearchBudgetExceeded
@@ -525,8 +528,11 @@ class KRCoreSession:
         algorithm: str = "advanced",
         config: Optional[SearchConfig] = None,
         backend: Optional[str] = None,
+        plan: Optional[Union[ExecutionPlan, dict]] = None,
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        shm: Optional[bool] = None,
+        split_depth: Optional[int] = None,
         time_limit: Optional[float] = None,
         node_limit: Optional[int] = None,
         with_stats: bool = False,
@@ -534,7 +540,9 @@ class KRCoreSession:
         """All maximal (k,r)-cores, sorted by decreasing size.
 
         Mirrors :func:`repro.core.api.enumerate_maximal_krcores`
-        parameter-for-parameter; repeated queries are served from the
+        parameter-for-parameter (``plan=`` selects execution; the loose
+        ``executor=``/``workers=``/``shm=``/``split_depth=`` spellings
+        are deprecated aliases); repeated queries are served from the
         session caches (observable via the stats reuse counters).
         """
         predicate = self._resolve_predicate(r, metric, predicate)
@@ -542,7 +550,8 @@ class KRCoreSession:
             algorithm, config if config is not None else self._default_config
         )
         cfg = self._apply_overrides(
-            cfg, backend, time_limit, node_limit, executor, workers
+            cfg, backend, time_limit, node_limit, executor, workers,
+            plan=plan, shm=shm, split_depth=split_depth,
         )
         cores, stats = self._run_enumeration(k, predicate, cfg, engine)
         cores.sort(key=lambda c: (-c.size, sorted(c.vertices)))
@@ -561,8 +570,11 @@ class KRCoreSession:
         algorithm: str = "advanced",
         config: Optional[SearchConfig] = None,
         backend: Optional[str] = None,
+        plan: Optional[Union[ExecutionPlan, dict]] = None,
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        shm: Optional[bool] = None,
+        split_depth: Optional[int] = None,
         time_limit: Optional[float] = None,
         node_limit: Optional[int] = None,
         with_stats: bool = False,
@@ -576,7 +588,8 @@ class KRCoreSession:
         else:
             cfg = resolve_max_config(algorithm)
         cfg = self._apply_overrides(
-            cfg, backend, time_limit, node_limit, executor, workers
+            cfg, backend, time_limit, node_limit, executor, workers,
+            plan=plan, shm=shm, split_depth=split_depth,
         )
         core, stats = self._run_maximum(k, predicate, cfg)
         self.total_stats.merge(stats)
@@ -594,8 +607,11 @@ class KRCoreSession:
         algorithm: str = "advanced",
         config: Optional[SearchConfig] = None,
         backend: Optional[str] = None,
+        plan: Optional[Union[ExecutionPlan, dict]] = None,
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        shm: Optional[bool] = None,
+        split_depth: Optional[int] = None,
         time_limit: Optional[float] = None,
         node_limit: Optional[int] = None,
         with_stats: bool = False,
@@ -603,9 +619,9 @@ class KRCoreSession:
         """Count / max size / average size of all maximal (k,r)-cores."""
         cores, stats = self.enumerate(
             k, r, metric=metric, predicate=predicate, algorithm=algorithm,
-            config=config, backend=backend, executor=executor,
-            workers=workers, time_limit=time_limit,
-            node_limit=node_limit, with_stats=True,
+            config=config, backend=backend, plan=plan, executor=executor,
+            workers=workers, shm=shm, split_depth=split_depth,
+            time_limit=time_limit, node_limit=node_limit, with_stats=True,
         )
         summary = summarize_cores(cores)
         if with_stats:
@@ -622,8 +638,11 @@ class KRCoreSession:
         algorithm: str = "advanced",
         config: Optional[SearchConfig] = None,
         backend: Optional[str] = None,
+        plan: Optional[Union[ExecutionPlan, dict]] = None,
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        shm: Optional[bool] = None,
+        split_depth: Optional[int] = None,
         time_limit: Optional[float] = None,
         node_limit: Optional[int] = None,
     ) -> Dict[int, int]:
@@ -633,9 +652,9 @@ class KRCoreSession:
         """
         cores = self.enumerate(
             k, r, metric=metric, predicate=predicate, algorithm=algorithm,
-            config=config, backend=backend, executor=executor,
-            workers=workers, time_limit=time_limit,
-            node_limit=node_limit,
+            config=config, backend=backend, plan=plan, executor=executor,
+            workers=workers, shm=shm, split_depth=split_depth,
+            time_limit=time_limit, node_limit=node_limit,
         )
         counts: Dict[int, int] = {}
         for core in cores:
@@ -653,8 +672,11 @@ class KRCoreSession:
         algorithm: str = "advanced",
         config: Optional[SearchConfig] = None,
         backend: Optional[str] = None,
+        plan: Optional[Union[ExecutionPlan, dict]] = None,
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        shm: Optional[bool] = None,
+        split_depth: Optional[int] = None,
         time_limit: Optional[float] = None,
         with_stats: bool = False,
     ):
@@ -678,7 +700,8 @@ class KRCoreSession:
             algorithm, config if config is not None else self._default_config
         )
         cfg = self._apply_overrides(
-            cfg, backend, time_limit, None, executor, workers
+            cfg, backend, time_limit, None, executor, workers,
+            plan=plan, shm=shm, split_depth=split_depth,
         )
         if make_executor(cfg) is not None:
             self._sweep_prefill(ks, rs, metric, predicate, engine, cfg, agg)
@@ -694,7 +717,8 @@ class KRCoreSession:
                         else None
                     ),
                     algorithm=algorithm, config=config, backend=backend,
-                    executor=executor, workers=workers,
+                    plan=plan, executor=executor, workers=workers,
+                    shm=shm, split_depth=split_depth,
                     time_limit=time_limit, with_stats=True,
                 )
                 rows_by[(k_, r_)] = {"k": k_, "r": r_, **summary}
@@ -763,6 +787,7 @@ class KRCoreSession:
             component_task(
                 cid, "enumerate", engine, part.vertices, part.adj,
                 part.index, k_, cfg, time_left=remaining_time(budget),
+                bitset=part.bitset,
             )
             for cid, (_, (k_, part)) in enumerate(items)
         ]
@@ -805,14 +830,20 @@ class KRCoreSession:
         node_limit: Optional[int],
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        *,
+        plan: Optional[Union[ExecutionPlan, dict]] = None,
+        shm: Optional[bool] = None,
+        split_depth: Optional[int] = None,
     ) -> SearchConfig:
         backend = backend if backend is not None else self._default_backend
         if backend is not None:
             cfg = cfg.evolve(backend=backend)
-        if executor is not None:
-            cfg = cfg.evolve(executor=executor)
-        if workers is not None:
-            cfg = cfg.evolve(workers=workers)
+        resolved = resolve_execution_plan(
+            base=cfg.plan, plan=plan, executor=executor, workers=workers,
+            shm=shm, split_depth=split_depth,
+        )
+        if resolved is not None:
+            cfg = cfg.evolve(plan=resolved)
         if time_limit is not None:
             cfg = cfg.evolve(time_limit=time_limit)
         if node_limit is not None:
@@ -826,8 +857,11 @@ class KRCoreSession:
         Budgets never change a *completed* component's result (results
         are cached only after a component finishes searching), and the
         execution layer never changes any result at all, so
-        budget-limited/unlimited and serial/parallel runs all share
-        cache entries.
+        budget-limited/unlimited and serial/parallel/shm runs all share
+        cache entries.  ``split_depth`` stays: unlike the executor it
+        reshapes the search *schedule* itself (identically on every
+        executor), so it is treated as a result-relevant knob and split
+        and unsplit runs keep separate entries.
         """
         return cfg.evolve(
             time_limit=None, node_limit=None, on_budget="raise",
@@ -878,6 +912,7 @@ class KRCoreSession:
                         i, "enumerate", engine, parts[i].vertices,
                         parts[i].adj, parts[i].index, k, cfg,
                         time_left=remaining_time(budget),
+                        bitset=parts[i].bitset,
                     )
                     for i in missing
                 ]
@@ -964,7 +999,19 @@ class KRCoreSession:
                     continue
                 founds: List[Optional[FrozenSet[int]]] = []
                 try:
-                    if executor is None:
+                    if cfg.split_depth > 0:
+                        # Branch-level work sharing: components run
+                        # sequentially; each one's branch tree splits
+                        # into the parallel units (or an identical
+                        # inline schedule when executor is None).
+                        for part in batch:
+                            ctx = self._context(part, k, cfg, stats, budget)
+                            founds.append(
+                                solve_component_split(ctx, seed, executor)
+                            )
+                            part.bitset = ctx.bitset  # keep packed form warm
+                            stats.cache_misses += 1
+                    elif executor is None:
                         for part in batch:
                             ctx = self._context(part, k, cfg, stats, budget)
                             founds.append(
@@ -978,6 +1025,7 @@ class KRCoreSession:
                                 i, "maximum", "engine", part.vertices,
                                 part.adj, part.index, k, cfg, seed_best=seed,
                                 time_left=remaining_time(budget),
+                                bitset=part.bitset,
                             )
                             for i, part in enumerate(batch)
                         ]

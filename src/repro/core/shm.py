@@ -1,0 +1,348 @@
+"""Shared-memory task transport for the component executors.
+
+``executor="process"`` ships every :class:`~repro.core.executor.ComponentTask`
+through pickle, so the payload cost scales with component size — the
+known cap on pool wins for few-large-component instances.
+``executor="shm"`` places each frozen component's arrays (sorted vertex
+ids, similar-edge CSR, dissimilarity CSR, and — when already packed —
+the :class:`~repro.core.context.BitsetComponentContext` uint64 matrices)
+into one ``multiprocessing.shared_memory`` segment; the task then
+carries only a name+offset descriptor (:class:`ShmComponentPayload`) and
+workers map the segment instead of unpickling.
+
+Lifecycle contract (POSIX semantics; on Windows ``unlink`` is a no-op
+and the last ``close`` frees the block):
+
+* the coordinator *creates* every segment (:func:`create_segment`) and
+  records it in a module registry;
+* workers *attach and copy*: the arrays are memcpy'd out and the
+  mapping is closed before the task runs, so a worker never holds a
+  mapping while searching and its death cannot strand one
+  (``SharedMemory.__init__`` also registers attached segments with the
+  ``resource_tracker``; spawn workers share the coordinator's tracker,
+  whose registry is a set, so the duplicate registration is inert and
+  must *not* be unregistered — that would cancel the creator's entry);
+* the coordinator *unlinks* each segment as soon as its outcomes are
+  merged (:func:`release_segment`), and :func:`sweep_segments` — called
+  by ``shutdown_pools`` and at interpreter exit — unlinks anything a
+  crashed or interrupted run left behind so ``/dev/shm`` never fills
+  with orphans.
+
+:class:`SharedBound` is the cross-worker incumbent channel for
+branch-split subtree tasks: an 8-byte segment holding the best core
+size published so far.  It is *advisory* — workers publish improvements
+and the merged stats surface the high-water mark
+(``SearchStats.shared_bound``), but pruning decisions only ever use the
+deterministic per-batch seed, so results and stats stay byte-identical
+to the serial schedule.
+"""
+
+from __future__ import annotations
+
+import atexit
+import struct
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.context import BitsetComponentContext
+from repro.similarity.index import DissimilarityIndex
+
+#: Row-start alignment inside a segment; keeps every array's base
+#: pointer cache-line aligned regardless of the preceding array's size.
+_ALIGN = 64
+
+#: struct format of a :class:`SharedBound` segment (one signed 64-bit).
+_BOUND_FMT = "<q"
+
+
+# ----------------------------------------------------------------------
+# Segment registry (coordinator side)
+# ----------------------------------------------------------------------
+
+_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+_SEGMENTS_LOCK = threading.Lock()
+
+
+def create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """Create a tracked segment (unlinked by :func:`release_segment`)."""
+    seg = shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1))
+    with _SEGMENTS_LOCK:
+        _SEGMENTS[seg.name] = seg
+    return seg
+
+
+def release_segment(name: Optional[str]) -> None:
+    """Close and unlink one tracked segment (idempotent)."""
+    if name is None:
+        return
+    with _SEGMENTS_LOCK:
+        seg = _SEGMENTS.pop(name, None)
+    if seg is None:
+        return
+    try:
+        seg.close()
+    except BufferError:  # pragma: no cover - a live view pins the mapping
+        pass
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+def sweep_segments() -> int:
+    """Unlink every tracked segment still alive; returns how many."""
+    with _SEGMENTS_LOCK:
+        names = list(_SEGMENTS)
+    for name in names:
+        release_segment(name)
+    return len(names)
+
+
+def active_segments() -> List[str]:
+    """Names of segments currently tracked (test/diagnostic hook)."""
+    with _SEGMENTS_LOCK:
+        return sorted(_SEGMENTS)
+
+
+atexit.register(sweep_segments)
+
+
+# ----------------------------------------------------------------------
+# Component payloads
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShmComponentPayload:
+    """Name+offset descriptor of one component in a shared segment.
+
+    ``layout`` maps each array to ``(offset, shape, dtype)`` inside the
+    segment.  ``shared`` marks a segment backing *several* tasks (the
+    branch-split subtree fan-out): executors leave shared segments alone
+    and their creator releases them after the whole component merges.
+    """
+
+    segment: str
+    layout: Tuple[Tuple[str, int, Tuple[int, ...], str], ...]
+    shared: bool = False
+
+
+def _rows_to_csr(
+    vlist: List[int],
+    local: Dict[int, int],
+    rows: Iterable[Set[int]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack per-vertex neighbour sets into local-id CSR form.
+
+    Row members are sorted ascending so the arrays are a canonical
+    function of the sets (identical across backends and runs).
+    """
+    indptr = np.zeros(len(vlist) + 1, dtype=np.int64)
+    chunks: List[List[int]] = []
+    total = 0
+    for i, members in enumerate(rows):
+        chunk = sorted(local[v] for v in members)
+        total += len(chunk)
+        indptr[i + 1] = total
+        chunks.append(chunk)
+    indices = np.fromiter(
+        (j for chunk in chunks for j in chunk), dtype=np.int64, count=total,
+    )
+    return indptr, indices
+
+
+def pack_component(
+    vertices: FrozenSet[int],
+    adj: Dict[int, Set[int]],
+    index: DissimilarityIndex,
+    bitset: Optional[BitsetComponentContext] = None,
+    shared: bool = False,
+) -> ShmComponentPayload:
+    """Place one component's arrays into a fresh shared segment.
+
+    Always ships the sorted vertex ids plus similar-edge and
+    dissimilarity CSR (enough to rebuild the exact engine inputs);
+    when the coordinator already holds the component's packed bitset
+    matrices they are memcpy'd in too, so workers skip the O(n²)
+    packing loop entirely (``bitset.verts`` is the same sorted-id array
+    by construction).
+    """
+    vlist = sorted(vertices)
+    local = {v: i for i, v in enumerate(vlist)}
+    verts = np.array(vlist, dtype=np.int64)
+    adj_indptr, adj_indices = _rows_to_csr(
+        vlist, local, (adj[u] for u in vlist)
+    )
+    dis_indptr, dis_indices = _rows_to_csr(
+        vlist, local, (index.dissimilar_to(u) & vertices for u in vlist)
+    )
+    arrays: List[Tuple[str, np.ndarray]] = [
+        ("verts", verts),
+        ("adj_indptr", adj_indptr),
+        ("adj_indices", adj_indices),
+        ("dis_indptr", dis_indptr),
+        ("dis_indices", dis_indices),
+    ]
+    if bitset is not None:
+        arrays.append(("nbr_rows", bitset.nbr))
+        arrays.append(("dis_rows", bitset.dis))
+
+    layout: List[Tuple[str, int, Tuple[int, ...], str]] = []
+    offset = 0
+    for name, arr in arrays:
+        offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        layout.append((name, offset, tuple(arr.shape), arr.dtype.str))
+        offset += arr.nbytes
+    seg = create_segment(offset)
+    try:
+        for (name, arr), (_, off, shape, dtype) in zip(arrays, layout):
+            dest = np.ndarray(shape, dtype=np.dtype(dtype),
+                              buffer=seg.buf, offset=off)
+            dest[...] = arr
+            del dest
+    except BaseException:
+        release_segment(seg.name)
+        raise
+    return ShmComponentPayload(
+        segment=seg.name, layout=tuple(layout), shared=shared,
+    )
+
+
+def _read_arrays(payload: ShmComponentPayload) -> Dict[str, np.ndarray]:
+    """Attach to a payload's segment and copy its arrays out.
+
+    The mapping is closed before returning — workers never hold a live
+    view into the segment (a dying worker therefore cannot pin it, and
+    the copies are plain process-private arrays the engines may own).
+    """
+    seg = shared_memory.SharedMemory(name=payload.segment)
+    out: Dict[str, np.ndarray] = {}
+    try:
+        for name, offset, shape, dtype in payload.layout:
+            view = np.ndarray(shape, dtype=np.dtype(dtype),
+                              buffer=seg.buf, offset=offset)
+            out[name] = view.copy()
+            del view
+    finally:
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+    return out
+
+
+def unpack_component(
+    payload: ShmComponentPayload,
+) -> Tuple[FrozenSet[int], Dict[int, Set[int]], DissimilarityIndex,
+           Optional[BitsetComponentContext]]:
+    """Rebuild the exact engine inputs from a shared segment.
+
+    Returns ``(vertices, adj, index, bitset)``; ``bitset`` is ``None``
+    unless the coordinator shipped the packed matrices.
+    """
+    arrays = _read_arrays(payload)
+    verts = arrays["verts"]
+    vlist = verts.tolist()
+    vertices = frozenset(vlist)
+
+    def rows_to_sets(indptr: np.ndarray, indices: np.ndarray) -> Dict[int, Set[int]]:
+        starts = indptr.tolist()
+        members = indices.tolist()
+        return {
+            u: {vlist[j] for j in members[starts[i]:starts[i + 1]]}
+            for i, u in enumerate(vlist)
+        }
+
+    adj = rows_to_sets(arrays["adj_indptr"], arrays["adj_indices"])
+    index = DissimilarityIndex(
+        rows_to_sets(arrays["dis_indptr"], arrays["dis_indices"])
+    )
+    bitset = None
+    if "nbr_rows" in arrays:
+        bitset = BitsetComponentContext.from_packed(
+            verts, arrays["nbr_rows"], arrays["dis_rows"]
+        )
+    return vertices, adj, index, bitset
+
+
+# ----------------------------------------------------------------------
+# Shared incumbent bound
+# ----------------------------------------------------------------------
+
+class SharedBound:
+    """Best-core-size channel shared by one component's subtree tasks.
+
+    An 8-byte segment holding a monotone size.  ``publish`` writes only
+    improvements; concurrent writers race benignly (every write is a
+    value each of them independently proved, and the final maximum is
+    the deterministic best size).  Purely advisory: nothing downstream
+    of a ``peek`` may influence pruning, or the serial/parallel stats
+    parity the executors guarantee would break.
+    """
+
+    __slots__ = ("_seg", "_owner")
+
+    def __init__(self, seg: shared_memory.SharedMemory, owner: bool):
+        self._seg = seg
+        self._owner = owner
+
+    @classmethod
+    def create(cls, initial: int = 0) -> "SharedBound":
+        seg = create_segment(struct.calcsize(_BOUND_FMT))
+        struct.pack_into(_BOUND_FMT, seg.buf, 0, int(initial))
+        return cls(seg, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedBound":
+        return cls(shared_memory.SharedMemory(name=name), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._seg.name
+
+    def peek(self) -> int:
+        return struct.unpack_from(_BOUND_FMT, self._seg.buf, 0)[0]
+
+    def publish(self, value: int) -> int:
+        """Raise the shared bound to ``value`` if it improves; peek back."""
+        current = self.peek()
+        if value > current:
+            struct.pack_into(_BOUND_FMT, self._seg.buf, 0, int(value))
+            current = value
+        return current
+
+    def close(self) -> None:
+        """Drop this process's mapping (attachers; idempotent)."""
+        try:
+            self._seg.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+
+    def release(self) -> None:
+        """Creator-side teardown: close the mapping and unlink."""
+        if self._owner:
+            release_segment(self._seg.name)
+        else:
+            self.close()
+
+
+def publish_bound(name: Optional[str], value: int) -> None:
+    """Worker-side fire-and-forget publish (missing segment tolerated).
+
+    A coordinator interrupted mid-batch may have unlinked the bound
+    segment before a straggler worker reports; the publish is advisory,
+    so the straggler just drops it.
+    """
+    if name is None:
+        return
+    try:
+        bound = SharedBound.attach(name)
+    except FileNotFoundError:
+        return
+    try:
+        bound.publish(value)
+    finally:
+        bound.close()

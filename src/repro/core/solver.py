@@ -43,13 +43,19 @@ from repro.core.context import Budget, ComponentContext
 from repro.core.enumerate import enumerate_component
 from repro.core.executor import (
     MAXIMUM_BATCH,
+    SPLIT_BATCH,
     component_sort_key,
     make_executor,
     merge_outcome,
     remaining_time,
     task_from_context,
 )
-from repro.core.maximum import find_maximum_in_component
+from repro.core.maximum import (
+    find_maximum_in_component,
+    solve_subtree,
+    split_frontier,
+)
+from repro.core.shm import SharedBound, pack_component, release_segment
 from repro.core.naive import naive_enumerate_component
 from repro.core.results import KRCore
 from repro.core.stats import SearchStats
@@ -413,6 +419,99 @@ def iter_maximum_batches(schedule, current_best, admit=None):
             yield batch
 
 
+def solve_component_split(
+    ctx: ComponentContext,
+    seed: Optional[FrozenSet[int]],
+    executor,
+) -> Optional[FrozenSet[int]]:
+    """Maximum search of one component via branch-level work sharing.
+
+    The coordinator expands the top of the branch tree to
+    ``config.split_depth`` (:func:`~repro.core.maximum.split_frontier`)
+    and the parked subtrees are solved in fixed
+    :data:`~repro.core.executor.SPLIT_BATCH`-wide batches — every batch
+    member seeded with the best core known *before* the batch, exactly
+    the two-phase discipline of the component schedule — so the result
+    and the merged stats are a pure function of ``split_depth``,
+    identical on the inline, process and shm paths.
+
+    On a pool, one *shared* segment carries the component for every
+    subtree task (shm flavour), and a
+    :class:`~repro.core.shm.SharedBound` channel surfaces the incumbent
+    high-water mark; both are created here and released here, whatever
+    happens in between.
+    """
+    cfg = ctx.config
+    stats = ctx.stats
+    budget = ctx.budget
+    best, frames = split_frontier(ctx, seed, cfg.split_depth)
+    if not frames:
+        return best
+    if executor is None:
+        # Inline: subtrees share this run's stats and budget directly;
+        # each gets a fresh rng (the same one its task twin would get)
+        # so the split schedule is executor-independent.
+        for at in range(0, len(frames), SPLIT_BATCH):
+            batch_seed = best
+            for frame in frames[at:at + SPLIT_BATCH]:
+                sub = ComponentContext(
+                    vertices=ctx.vertices, adj=ctx.adj, index=ctx.index,
+                    k=ctx.k, config=cfg, stats=stats, budget=budget,
+                    rng=random.Random(cfg.seed), csr=ctx.csr,
+                    bitset=ctx.bitset,
+                )
+                found = solve_subtree(sub, frame, batch_seed)
+                if improves(found, batch_seed) and (
+                    best is None or len(found) > len(best)
+                ):
+                    best = found
+        stats.shared_bound = max(
+            stats.shared_bound, len(best) if best else 0
+        )
+        return best
+
+    payload = None
+    bound = None
+    try:
+        if cfg.shm:
+            payload = pack_component(
+                ctx.vertices, ctx.adj, ctx.index,
+                bitset=ctx.bitset, shared=True,
+            )
+        bound = SharedBound.create(len(best) if best else 0)
+        for at in range(0, len(frames), SPLIT_BATCH):
+            batch_seed = best
+            bound.publish(len(batch_seed) if batch_seed else 0)
+            tasks = [
+                task_from_context(
+                    at + j, ctx, "maximum", seed_best=batch_seed,
+                    time_left=remaining_time(budget), frame=frame,
+                    bound_name=bound.name, shm_payload=payload,
+                )
+                for j, frame in enumerate(frames[at:at + SPLIT_BATCH])
+            ]
+            founds: List[Optional[FrozenSet[int]]] = []
+            try:
+                for out in executor.run(tasks):
+                    merge_outcome(out, stats, cfg.node_limit)
+                    founds.append(out.result)
+            finally:
+                for found in founds:
+                    if improves(found, batch_seed) and (
+                        best is None or len(found) > len(best)
+                    ):
+                        best = found
+        stats.shared_bound = max(
+            stats.shared_bound, len(best) if best else 0
+        )
+    finally:
+        if payload is not None:
+            release_segment(payload.segment)
+        if bound is not None:
+            bound.release()
+    return best
+
+
 def improves(found: Optional[FrozenSet[int]], seed: Optional[FrozenSet[int]]) -> bool:
     """Whether an engine return is a genuine improvement over its seed.
 
@@ -452,7 +551,17 @@ def run_maximum(
             seed = best
             founds: List[Optional[FrozenSet[int]]] = []
             try:
-                if executor is None:
+                if config.split_depth > 0:
+                    # Branch-level work sharing: each component's tree
+                    # is split into subtree tasks; components run
+                    # sequentially (their subtrees are the parallel
+                    # units), still seeded batch-wide like the classic
+                    # schedule.
+                    for ctx in batch:
+                        founds.append(
+                            solve_component_split(ctx, seed, executor)
+                        )
+                elif executor is None:
                     for ctx in batch:
                         founds.append(find_maximum_in_component(ctx, seed))
                 else:

@@ -38,6 +38,9 @@ class SearchStats:
     reused_filters: int = 0        # (metric, r) filtered graphs served from cache
     reused_indexes: int = 0        # component indexes built from cached pairwise values
     seeded_peels: int = 0          # k-core peels warm-started from a smaller k
+    shared_bound: int = 0          # best incumbent size published via the
+                                   # cross-worker shared bound (advisory;
+                                   # 0 unless split subtree tasks ran)
     elapsed: float = 0.0           # wall-clock seconds
     timed_out: bool = False        # a budget cap was hit (results partial)
 
@@ -52,6 +55,8 @@ class SearchStats:
             "reused_filters", "reused_indexes", "seeded_peels",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))
+        # The shared incumbent bound is a high-water mark, not a count.
+        self.shared_bound = max(self.shared_bound, other.shared_bound)
         self.elapsed += other.elapsed
         self.timed_out = self.timed_out or other.timed_out
 
@@ -79,6 +84,7 @@ class SearchStats:
             "reused_filters": self.reused_filters,
             "reused_indexes": self.reused_indexes,
             "seeded_peels": self.seeded_peels,
+            "shared_bound": self.shared_bound,
             "elapsed": self.elapsed,
             "timed_out": self.timed_out,
         }

@@ -11,10 +11,12 @@ Three independent implementations must agree on every case:
    :mod:`repro.core.naive` (a structurally different algorithm — two
    independently wrong implementations rarely agree).
 
-A fourth axis rides along: cases sampled with
-``search["executor"] == "process"`` replay the csr run over the
-process-pool execution layer (:mod:`repro.core.executor`), which must
-match the serial run exactly — results and merged stats counters alike.
+A fourth axis rides along: cases sampled with a pool executor
+(``search["executor"]`` of ``"process"`` or ``"shm"``) replay the csr
+run over the worker-pool execution layer (:mod:`repro.core.executor` —
+pickled components or zero-copy shared-memory segments, possibly with a
+sampled branch ``split_depth``), which must match the serial run
+exactly — results and merged stats counters alike.
 
 Cases carrying an edit stream (``case.edits``) exercise a fifth axis:
 a session is warmed on the base graph, the edits are absorbed by the
@@ -175,28 +177,30 @@ def run_case(
         )
         return out
 
-    # Executor dimension: when the sampled knobs ask for the process
-    # executor, the csr run is replayed over the worker pool and must
-    # match the serial run exactly — results AND merged stats counters
-    # (the parallel schedule is worker-count independent by design).
-    if case.search.get("executor") == "process":
+    # Executor dimension: when the sampled knobs ask for a pool flavour
+    # (process or shm), the csr run is replayed over the worker pool and
+    # must match the serial run exactly — results AND merged stats
+    # counters (the parallel schedule is worker-count independent by
+    # design, and the shm transport is a pure representation change).
+    pool = case.search.get("executor")
+    if pool in ("process", "shm"):
         try:
-            res_pp, stats_pp = _run_backend(case, "csr", executor="process")
+            res_pp, stats_pp = _run_backend(case, "csr", executor=pool)
         except Exception:
             out.disagreement = Disagreement(
                 "engine-error",
-                f"process executor raised:\n{traceback.format_exc()}",
+                f"{pool} executor raised:\n{traceback.format_exc()}",
             )
             return out
         if res_pp != res_cs:
             out.disagreement = Disagreement(
                 "executor-result",
-                f"serial={_fmt(res_cs)} process={_fmt(res_pp)}",
+                f"serial={_fmt(res_cs)} {pool}={_fmt(res_pp)}",
             )
             return out
         diffs = [
             f"{name}: serial={getattr(stats_cs, name)} "
-            f"process={getattr(stats_pp, name)}"
+            f"{pool}={getattr(stats_pp, name)}"
             for name in PARITY_COUNTERS
             if getattr(stats_cs, name) != getattr(stats_pp, name)
         ]
@@ -381,17 +385,18 @@ def run_edit_stream_case(
         )
         return out
 
-    if case.search.get("executor") == "process":
+    pool = case.search.get("executor")
+    if pool in ("process", "shm"):
         maintained, res_serial, stats_serial = finals["csr"]
         maintained.drop_results()
         try:
             res_pp, stats_pp = _query_session(
-                case, maintained, executor="process"
+                case, maintained, executor=pool
             )
         except Exception:
             out.disagreement = Disagreement(
                 "engine-error",
-                f"process executor over maintained caches raised:\n"
+                f"{pool} executor over maintained caches raised:\n"
                 f"{traceback.format_exc()}",
             )
             return out
@@ -399,12 +404,12 @@ def run_edit_stream_case(
             out.disagreement = Disagreement(
                 "executor-result",
                 f"maintained caches: serial={_fmt(res_serial)} "
-                f"process={_fmt(res_pp)}",
+                f"{pool}={_fmt(res_pp)}",
             )
             return out
         diffs = [
             f"{name}: serial={getattr(stats_serial, name)} "
-            f"process={getattr(stats_pp, name)}"
+            f"{pool}={getattr(stats_pp, name)}"
             for name in PARITY_COUNTERS
             if getattr(stats_serial, name) != getattr(stats_pp, name)
         ]

@@ -38,12 +38,19 @@ SAMPLED_BOUNDS = ("naive", "color-kcore", "kkprime")
 SAMPLED_BRANCHES = ("adaptive", "expand", "shrink")
 SAMPLED_CHECKS = ("search", "pairwise")
 
-#: Probability a sampled case also gets the process-executor
-#: differential (serial vs pool results AND merged stats parity); the
-#: worker pool is cached across cases, so the marginal cost per process
-#: case is task pickling, not interpreter spawning.
-PROCESS_EXECUTOR_RATE = 0.25
+#: Probability a sampled case also gets the pool-executor differential
+#: (serial vs pool results AND merged stats parity); the worker pool is
+#: cached across cases, so the marginal cost per pooled case is task
+#: transport (pickling, or shared-memory packing for the shm flavour),
+#: not interpreter spawning.  Pooled cases split evenly between the two
+#: pool flavours.
+POOL_EXECUTOR_RATE = 0.25
+SAMPLED_POOL_EXECUTORS = ("process", "shm")
 SAMPLED_WORKERS = (2, 3)
+#: Branch-split depths sampled in maximum mode (0 = whole components;
+#: split runs reshape the search schedule identically on every
+#: executor, so the serial baseline replays with the same depth).
+SAMPLED_SPLIT_DEPTHS = (0, 0, 1, 2)
 
 
 @dataclass
@@ -74,8 +81,11 @@ class FuzzCase:
 
         ``executor`` overrides the sampled executor dimension: the
         differential runner forces ``"serial"`` for the base
-        python-vs-csr comparison and replays the case with
-        ``"process"`` when the sampled knobs ask for it.
+        python-vs-csr comparison and replays the case with the sampled
+        pool flavour (``"process"`` or ``"shm"``) when the knobs ask
+        for it.  The sampled ``split_depth`` is kept either way — the
+        split schedule is executor-independent, so the serial baseline
+        and the pool replay traverse the same tree.
         """
         search = dict(self.search)
         if executor is not None:
@@ -119,9 +129,13 @@ def sample_search(rng: random.Random, mode: str) -> Dict[str, Any]:
         ),
         "warm_start": rng.random() < 0.3,
         "executor": (
-            "process" if rng.random() < PROCESS_EXECUTOR_RATE else "serial"
+            rng.choice(SAMPLED_POOL_EXECUTORS)
+            if rng.random() < POOL_EXECUTOR_RATE else "serial"
         ),
         "workers": rng.choice(SAMPLED_WORKERS),
+        "split_depth": (
+            rng.choice(SAMPLED_SPLIT_DEPTHS) if mode == "maximum" else 0
+        ),
         "seed": rng.randrange(1 << 16),
     }
 
@@ -267,6 +281,8 @@ def sample_bound_stress_case(rng: random.Random) -> FuzzCase:
     case.search["bound"] = rng.choice(("color-kcore", "kkprime"))
     case.search["warm_start"] = rng.random() < 0.5
     # The self-test targets the bound, not the execution layer; keep the
-    # witness minimal (and pool-free) by pinning the serial executor.
+    # witness minimal (and pool-free) by pinning the serial executor and
+    # the unsplit schedule.
     case.search["executor"] = "serial"
+    case.search["split_depth"] = 0
     return case

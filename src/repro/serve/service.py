@@ -6,8 +6,11 @@ directly).  It owns one warm :class:`~repro.core.session.KRCoreSession`
 per stored graph, loaded lazily from the :class:`~repro.store.GraphStore`
 and used behind a per-graph lock, so concurrent requests against the
 same graph serialise on the session while different graphs proceed in
-parallel.  Search can be routed through the existing process-pool
-executor by configuring ``executor="process"`` defaults.
+parallel.  Search execution is selected by an
+:class:`~repro.core.config.ExecutionPlan` — a service-level ``plan``
+default and/or per-request ``plan`` / ``executor`` / ``workers`` /
+``shm`` / ``split_depth`` knobs (the scalar spellings are the same
+deprecated aliases the Python API keeps).
 
 Concurrent *identical* read requests are coalesced: the first request
 computes, the rest wait on the same in-flight entry and share the
@@ -31,7 +34,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.config import SearchConfig
+from repro.core.config import SearchConfig, resolve_execution_plan
 from repro.core.session import KRCoreSession
 from repro.exceptions import (
     InvalidParameterError,
@@ -45,16 +48,43 @@ from repro.store import GraphStore, codec
 #: Read operations eligible for request coalescing.
 _READ_OPS = ("enumerate", "maximum", "statistics", "sweep")
 
+
+def _coerce_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and value in (0, 1):
+        return bool(value)
+    if isinstance(value, str) and value.lower() in ("true", "false"):
+        return value.lower() == "true"
+    raise ValueError(value)
+
+
+def _coerce_plan(value: Any) -> dict:
+    if not isinstance(value, dict):
+        raise ValueError("plan must be a JSON object of ExecutionPlan fields")
+    return value
+
+
 #: Per-request knobs accepted by every query endpoint, with coercers.
+#: The execution knobs mirror :class:`~repro.core.config.ExecutionPlan`
+#: field-for-field (``plan`` carries the whole object at once; the
+#: scalar spellings are the same deprecated aliases the Python API
+#: keeps).
 _QUERY_KNOBS = {
     "metric": str,
     "algorithm": str,
     "backend": str,
+    "plan": _coerce_plan,
     "executor": str,
     "workers": int,
+    "shm": _coerce_bool,
+    "split_depth": int,
     "time_limit": float,
     "node_limit": int,
 }
+
+#: The scalar execution knobs a request-level ``plan`` supersedes.
+_PLAN_KNOBS = ("executor", "workers", "shm", "split_depth")
 
 
 class _GraphEntry:
@@ -89,10 +119,12 @@ class KRCoreService:
     store:
         The persistent store (owned by the caller unless ``close`` is
         used, which closes it after flushing).
-    executor / workers:
-        Default execution layer for every query (requests may override);
-        pass ``executor="process"`` to fan component searches out over
-        the process pool.
+    plan:
+        Default :class:`~repro.core.config.ExecutionPlan` (or its field
+        dict) for every query; requests may override any knob.
+    executor / workers / shm / split_depth:
+        Deprecated loose spellings of the plan fields (may not be
+        combined with ``plan=``).
     config / backend / metric:
         Session defaults, as in :class:`KRCoreSession`.
     """
@@ -101,15 +133,30 @@ class KRCoreService:
         self,
         store: GraphStore,
         *,
+        plan: Optional[Any] = None,
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        shm: Optional[bool] = None,
+        split_depth: Optional[int] = None,
         config: Optional[SearchConfig] = None,
         backend: Optional[str] = None,
         metric: str = "jaccard",
         maintenance: bool = True,
     ):
         self._store = store
-        self._defaults = {"executor": executor, "workers": workers}
+        resolved = resolve_execution_plan(
+            plan=plan, executor=executor, workers=workers,
+            shm=shm, split_depth=split_depth,
+        )
+        if plan is not None and resolved is not None:
+            # A whole-plan default expands into the scalar defaults the
+            # per-request knob resolution folds over.
+            executor, workers = resolved.executor, resolved.workers
+            shm, split_depth = resolved.shm, resolved.split_depth
+        self._defaults = {
+            "executor": executor, "workers": workers,
+            "shm": shm, "split_depth": split_depth,
+        }
         self._config = config
         self._backend = backend
         self._metric = metric
@@ -303,8 +350,14 @@ class KRCoreService:
 
     def _query_kwargs(self, params: Dict[str, Any]) -> Dict[str, Any]:
         kwargs: Dict[str, Any] = {}
+        plan_given = params.get("plan") is not None
         for knob, coerce in _QUERY_KNOBS.items():
-            value = params.get(knob, self._defaults.get(knob))
+            value = params.get(knob)
+            if value is None and not (plan_given and knob in _PLAN_KNOBS):
+                # Service-level defaults back the request; a request
+                # that ships a whole plan supersedes the scalar
+                # execution defaults instead of conflicting with them.
+                value = self._defaults.get(knob)
             if value is not None:
                 try:
                     kwargs[knob] = coerce(value)

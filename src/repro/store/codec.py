@@ -32,8 +32,8 @@ _METRIC_BY_FN: Dict[Callable, str] = {fn: name for name, fn in _METRIC_NAMES.ite
 _CONFIG_FIELDS = (
     "order", "branch", "lam", "retain_candidates", "move_similarity_free",
     "early_termination", "maximal_check", "check_order", "bound",
-    "warm_start", "backend", "executor", "workers", "seed",
-    "time_limit", "node_limit", "on_budget",
+    "warm_start", "backend", "executor", "workers", "shm", "split_depth",
+    "seed", "time_limit", "node_limit", "on_budget",
 )
 
 
