@@ -10,9 +10,140 @@ removes the name collision.
 
 from __future__ import annotations
 
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
 TIME_CAP = 20.0
+
+#: Version stamp of the unified ``--json`` payload every bench_*.py
+#: script writes.  Bump when the required shape below changes.
+BENCH_PAYLOAD_VERSION = 1
+
+_VALID_MODES = ("smoke", "full")
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@dataclass
+class BenchResult:
+    """The one ``--json`` payload shape shared by every bench script.
+
+    Before this existed each ``bench_*.py`` invented its own top-level
+    keys, so nothing downstream could consume "the benchmark results"
+    generically.  Now every script fills the same six slots and the
+    trajectory harness (``scripts/bench_trajectory.py --ingest``) can
+    lift any script's measured ``points`` into the committed
+    ``BENCH_trajectory.json`` without per-script adapters.
+
+    * ``workload`` — instance shape(s): sizes, parameters, seeds;
+    * ``rows`` — the human-facing measurement table, one dict per row
+      (script-specific columns, as printed);
+    * ``gates`` — threshold verdicts; must carry ``passed`` (bool);
+    * ``points`` — flat measured durations ``{"series", "seconds"}``,
+      the machine-facing export (no speedups, no derived ratios);
+    * ``extras`` — anything else worth keeping (spawn times, latency
+      percentiles, counters).
+    """
+
+    benchmark: str
+    mode: str
+    workload: Dict[str, object]
+    rows: List[Dict[str, object]]
+    gates: Dict[str, object]
+    points: List[Dict[str, object]] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def add_point(self, series: str, seconds: float) -> None:
+        """Register one measured duration (must be finite and >= 0)."""
+        if not isinstance(seconds, (int, float)) or not math.isfinite(seconds) \
+                or seconds < 0:
+            raise ValueError(
+                f"point {series!r}: seconds must be a finite non-negative "
+                f"number, got {seconds!r}"
+            )
+        self.points.append({"series": series, "seconds": float(seconds)})
+
+    def to_payload(self) -> Dict[str, object]:
+        payload = {
+            "payload_version": BENCH_PAYLOAD_VERSION,
+            "benchmark": self.benchmark,
+            "mode": self.mode,
+            "workload": _clean(self.workload),
+            "rows": _clean(self.rows),
+            "gates": _clean(self.gates),
+            "points": self.points,
+            "extras": _clean(self.extras),
+        }
+        errors = validate_bench_payload(payload)
+        if errors:
+            raise ValueError(
+                "BenchResult payload invalid: " + "; ".join(errors)
+            )
+        return payload
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_payload(), fh, indent=2, allow_nan=False)
+            fh.write("\n")
+
+
+def _clean(value):
+    """JSON-safe copy: INF/NaN become null (the paper's INF convention
+    has no strict-JSON spelling), tuples become lists."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {str(k): _clean(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_clean(v) for v in value]
+    return value
+
+
+def validate_bench_payload(payload) -> List[str]:
+    """Schema errors of a unified bench payload ([] when valid)."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload must be an object"]
+    if payload.get("payload_version") != BENCH_PAYLOAD_VERSION:
+        errors.append(
+            f"payload_version must be {BENCH_PAYLOAD_VERSION}, "
+            f"got {payload.get('payload_version')!r}"
+        )
+    if not isinstance(payload.get("benchmark"), str) or not payload.get("benchmark"):
+        errors.append("benchmark must be a non-empty string")
+    if payload.get("mode") not in _VALID_MODES:
+        errors.append(f"mode must be one of {_VALID_MODES}")
+    if not isinstance(payload.get("workload"), dict):
+        errors.append("workload must be an object")
+    rows = payload.get("rows")
+    if not isinstance(rows, list) or not all(isinstance(r, dict) for r in rows):
+        errors.append("rows must be a list of objects")
+    gates = payload.get("gates")
+    if not isinstance(gates, dict) or not isinstance(gates.get("passed"), bool):
+        errors.append("gates must be an object with a boolean 'passed'")
+    points = payload.get("points")
+    if not isinstance(points, list):
+        errors.append("points must be a list")
+    else:
+        for i, point in enumerate(points):
+            if (
+                not isinstance(point, dict)
+                or set(point) != {"series", "seconds"}
+                or not isinstance(point.get("series"), str)
+                or not point.get("series")
+                or not isinstance(point.get("seconds"), (int, float))
+                or not math.isfinite(point["seconds"])
+                or point["seconds"] < 0
+            ):
+                errors.append(
+                    f"points[{i}] must be {{'series': str, 'seconds': "
+                    f"finite non-negative number}}"
+                )
+    if not isinstance(payload.get("extras"), dict):
+        errors.append("extras must be an object")
+    return errors

@@ -21,11 +21,11 @@ equivalence check).
 from __future__ import annotations
 
 import argparse
-import json
 import random
 import sys
 import time
 
+from _fixtures import BenchResult
 from repro.core.config import adv_enum_config
 from repro.core.context import Budget
 from repro.core.solver import prepare_components
@@ -139,20 +139,24 @@ def main(argv=None) -> int:
         not args.smoke and peel_speedup is not None and peel_speedup < 3.0
     )
     if args.json:
-        payload = {
-            "benchmark": "backend_kernels",
-            "mode": "smoke" if args.smoke else "full",
-            "workload": {"vertices": n, "edges": m, "k": k},
-            "csr_construction_s": t_freeze,
-            "rows": json_rows,
-            "gates": {
+        result = BenchResult(
+            benchmark="backend_kernels",
+            mode="smoke" if args.smoke else "full",
+            workload={"vertices": n, "edges": m, "k": k},
+            rows=json_rows,
+            gates={
                 "peel_speedup_min": None if args.smoke else 3.0,
                 "peel_speedup": peel_speedup,
                 "passed": not (failures or gate_failed),
             },
-        }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2)
+            extras={"csr_construction_s": t_freeze},
+        )
+        for name, t_py, t_csr in rows:
+            slug = name.replace(" ", "-").replace("_", "-")
+            result.add_point(f"{slug}/python", t_py)
+            result.add_point(f"{slug}/csr", t_csr)
+        result.add_point("csr-construction", t_freeze)
+        result.write(args.json)
         print(f"wrote {args.json}")
 
     if failures:

@@ -33,11 +33,11 @@ Standalone script (no pytest-benchmark needed)::
 from __future__ import annotations
 
 import argparse
-import json
 import random
 import sys
 import time
 
+from _fixtures import BenchResult
 from repro.core.session import KRCoreSession
 from repro.graph.attributed_graph import AttributedGraph
 
@@ -188,23 +188,24 @@ def main(argv=None) -> int:
     gate_failed = [name for name, speedup in gate_rows if speedup < 2.0]
 
     if args.json:
-        payload = {
-            "benchmark": "edit_stream",
-            "mode": "smoke" if args.smoke else "full",
-            "backend": args.backend,
-            "workload": {
+        result = BenchResult(
+            benchmark="edit_stream",
+            mode="smoke" if args.smoke else "full",
+            workload={
                 "vertices": base.vertex_count, "edges": base.edge_count,
-                "edits": count,
+                "edits": count, "backend": args.backend,
             },
-            "rows": json_rows,
-            "gates": {
+            rows=json_rows,
+            gates={
                 "churn_speedup_min": 2.0,
                 "speedups": {name: s for name, s in gate_rows},
                 "passed": not (failures or gate_failed),
             },
-        }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2)
+        )
+        for row in json_rows:
+            result.add_point(f"{row['workload']}/recompute", row["recompute_s"])
+            result.add_point(f"{row['workload']}/maintained", row["maintained_s"])
+        result.write(args.json)
         print(f"wrote {args.json}")
 
     if failures:

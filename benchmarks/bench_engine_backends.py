@@ -46,11 +46,11 @@ Standalone script (no pytest-benchmark needed)::
 from __future__ import annotations
 
 import argparse
-import json
 import random
 import sys
 import time
 
+from _fixtures import BenchResult
 from repro.core.config import adv_enum_config, adv_max_config
 from repro.core.context import Budget, ComponentContext
 from repro.core.enumerate import enumerate_component
@@ -227,10 +227,10 @@ def main(argv=None) -> int:
     ]
 
     if args.json:
-        payload = {
-            "benchmark": "engine_backends",
-            "mode": "smoke" if args.smoke else "full",
-            "workloads": {
+        result = BenchResult(
+            benchmark="engine_backends",
+            mode="smoke" if args.smoke else "full",
+            workload={
                 "faction": {
                     **params, "k": K, "r": R,
                     "vertices": faction_graph.vertex_count,
@@ -242,17 +242,20 @@ def main(argv=None) -> int:
                     "edges": deep.graph.edge_count,
                 },
             },
-            "rows": rows,
-            "gates": {
+            rows=rows,
+            gates={
                 "enumeration_speedup_min": None if args.smoke else ENUM_GATE,
                 "enumeration_speedup": speedups["enumerate"],
                 "maximum_speedup_min": None if args.smoke else MAX_GATE,
                 "maximum_speedup": speedups["maximum"],
                 "passed": not (failures or gate_failures),
             },
-        }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2)
+        )
+        for row in rows:
+            result.add_point(f"{row['engine']}/python", row["python_s"])
+            result.add_point(f"{row['engine']}/csr", row["csr_s"])
+            result.add_point(f"{row['engine']}/prep", row["prep_seconds"])
+        result.write(args.json)
         print(f"wrote {args.json}")
 
     if failures:

@@ -49,10 +49,10 @@ Standalone script (no pytest-benchmark needed)::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
+from _fixtures import BenchResult
 from repro.core.config import adv_enum_config, adv_max_config
 from repro.core.executor import shutdown_pools
 from repro.core.solver import run_enumeration, run_maximum
@@ -306,12 +306,10 @@ def main(argv=None) -> int:
         split_gate is not None and split_speedup < split_gate
     )
     if args.json:
-        payload = {
-            "benchmark": "parallel_components",
-            "mode": "smoke" if args.smoke else "full",
-            "workers": args.workers,
-            "pool_spawn_seconds": spawn_s,
-            "workloads": {
+        result = BenchResult(
+            benchmark="parallel_components",
+            mode="smoke" if args.smoke else "full",
+            workload={
                 "onion_enum": {
                     **{k_: list(v) if isinstance(v, tuple) else v
                        for k_, v in params.items()},
@@ -334,8 +332,8 @@ def main(argv=None) -> int:
                     "edges": giant.graph.edge_count,
                 },
             },
-            "rows": rows,
-            "gates": {
+            rows=rows,
+            gates={
                 "parallel_speedup_min": gate,
                 "parallel_speedup": speedups["enumerate"],
                 "split_speedup_min": split_gate,
@@ -343,9 +341,17 @@ def main(argv=None) -> int:
                 "process_single_component_speedup": process_speedup,
                 "passed": not (failures or gate_failed or split_gate_failed),
             },
-        }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2)
+            extras={
+                "workers": args.workers,
+                "pool_spawn_seconds": spawn_s,
+            },
+        )
+        for row in rows[:-1]:
+            result.add_point(f"{row['mode']}/serial", row["serial_s"])
+            result.add_point(f"{row['mode']}/process", row["process_s"])
+        for label, secs in giant_times.items():
+            result.add_point(f"giant-maximum/{label}", secs)
+        result.write(args.json)
         print(f"wrote {args.json}")
 
     shutdown_pools()

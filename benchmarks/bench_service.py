@@ -34,6 +34,7 @@ import time
 import urllib.request
 from pathlib import Path
 
+from _fixtures import BenchResult
 from repro.core.session import KRCoreSession
 from repro.datasets.adversarial import onion_graph, onion_predicate_r
 from repro.serve import KRCoreService, make_server, run_server
@@ -216,10 +217,10 @@ def main(argv=None) -> int:
 
     gate_failed = speedup < WARM_SPEEDUP_MIN
     if args.json:
-        payload = {
-            "benchmark": "service",
-            "mode": "smoke" if args.smoke else "full",
-            "workload": {
+        result = BenchResult(
+            benchmark="service",
+            mode="smoke" if args.smoke else "full",
+            workload={
                 "onion": {"vertices": onion.vertex_count,
                           "edges": onion.edge_count,
                           "grid": [len(ks), len(rs)]},
@@ -228,21 +229,33 @@ def main(argv=None) -> int:
                            "clients": clients,
                            "requests": len(latencies)},
             },
-            "warm_vs_cold": {
-                "cold_s": cold_s, "warm_s": warm_s, "speedup": speedup,
-            },
-            "daemon_latency": {
-                "p50_s": p50, "p90_s": p90, "p99_s": p99,
-                "counters": counters,
-            },
-            "gates": {
+            rows=[
+                {"workload": "warm-vs-cold", "cold_s": cold_s,
+                 "warm_s": warm_s, "speedup": speedup},
+                {"workload": "daemon-latency", "p50_s": p50,
+                 "p90_s": p90, "p99_s": p99},
+            ],
+            gates={
                 "warm_speedup_min": WARM_SPEEDUP_MIN,
                 "warm_speedup": speedup,
                 "passed": not (failures or gate_failed),
             },
-        }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2)
+            extras={
+                "warm_vs_cold": {
+                    "cold_s": cold_s, "warm_s": warm_s, "speedup": speedup,
+                },
+                "daemon_latency": {
+                    "p50_s": p50, "p90_s": p90, "p99_s": p99,
+                    "counters": counters,
+                },
+            },
+        )
+        result.add_point("warm-vs-cold/cold", cold_s)
+        result.add_point("warm-vs-cold/warm", warm_s)
+        result.add_point("daemon/p50", p50)
+        result.add_point("daemon/p90", p90)
+        result.add_point("daemon/p99", p99)
+        result.write(args.json)
         print(f"wrote {args.json}")
 
     if failures:

@@ -26,11 +26,11 @@ Standalone script (no pytest-benchmark needed)::
 from __future__ import annotations
 
 import argparse
-import json
 import random
 import sys
 import time
 
+from _fixtures import BenchResult
 from repro.core.api import find_maximum_krcore, krcore_statistics
 from repro.core.session import KRCoreSession
 from repro.graph.attributed_graph import AttributedGraph
@@ -135,22 +135,24 @@ def main(argv=None) -> int:
             gate_failed = True
 
     if args.json:
-        payload = {
-            "benchmark": "session_reuse",
-            "mode": "smoke" if args.smoke else "full",
-            "backend": args.backend,
-            "workload": {
+        result = BenchResult(
+            benchmark="session_reuse",
+            mode="smoke" if args.smoke else "full",
+            workload={
                 "vertices": graph.vertex_count, "edges": graph.edge_count,
+                "backend": args.backend,
             },
-            "rows": json_rows,
-            "gates": {
+            rows=json_rows,
+            gates={
                 "r_sweep_speedup_min": 2.0,
                 "r_sweep_speedup": json_rows[0]["speedup"],
                 "passed": not (failures or gate_failed),
             },
-        }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2)
+        )
+        for row in json_rows:
+            result.add_point(f"{row['workload']}/one-shot", row["one_shot_s"])
+            result.add_point(f"{row['workload']}/session", row["session_s"])
+        result.write(args.json)
         print(f"wrote {args.json}")
 
     if failures:

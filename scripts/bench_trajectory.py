@@ -1,0 +1,26 @@
+"""Benchmark trajectory runner (continuous perf regression gate).
+
+Executes the registered workload matrix, appends machine-normalised
+records to the committed ``BENCH_trajectory.json``, runs the exact
+Mann–Whitney regression check per series against the trailing window,
+and rewrites ``BENCH_report.md``.  CI runs the smoke matrix::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py --smoke
+
+Everything lives in :mod:`repro.bench.trajectory_cli`; this file is
+the conventional scripts/ entry point.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.bench.trajectory_cli import main
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.bench.trajectory_cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,16 @@ Structure:
 * :mod:`~repro.bench.experiments` — one function per table/figure; each
   returns the same rows/series the paper plots;
 * :mod:`~repro.bench.cli` — ``python -m repro.bench.cli --experiment
-  fig9a`` (or ``--all``) prints the series and optionally writes JSON.
+  fig9a`` (or ``--all``) prints the series and optionally writes JSON;
+* :mod:`~repro.bench.stat_tests` — stdlib-only exact/normal
+  Mann–Whitney U and Hodges–Lehmann shift estimates;
+* :mod:`~repro.bench.trajectory` — the continuous benchmark
+  trajectory: workload matrix, machine calibration, the committed
+  ``BENCH_trajectory.json`` store, and statistical regression gates;
+* :mod:`~repro.bench.report` — markdown trajectory reports
+  (sparklines, verdicts, provenance);
+* :mod:`~repro.bench.trajectory_cli` — ``repro bench trajectory`` /
+  ``scripts/bench_trajectory.py``.
 
 The ``benchmarks/`` directory wraps representative points of each
 experiment in pytest-benchmark tests; the CLI runs the full sweeps.
@@ -25,6 +34,18 @@ from repro.bench.harness import (
     run_max_timed,
 )
 from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.stat_tests import (
+    MWUResult,
+    hodges_lehmann_shift,
+    mann_whitney_u,
+)
+from repro.bench.trajectory import (
+    SeriesVerdict,
+    TrajectoryRecord,
+    load_trajectory,
+    regression_check,
+    workload_matrix,
+)
 
 __all__ = [
     "INF",
@@ -34,4 +55,12 @@ __all__ = [
     "run_max_timed",
     "EXPERIMENTS",
     "run_experiment",
+    "MWUResult",
+    "mann_whitney_u",
+    "hodges_lehmann_shift",
+    "TrajectoryRecord",
+    "SeriesVerdict",
+    "load_trajectory",
+    "regression_check",
+    "workload_matrix",
 ]

@@ -1,0 +1,167 @@
+"""Markdown trajectory reports: sparklines, verdicts, provenance.
+
+Renders the committed ``BENCH_trajectory.json`` history plus the
+current run's :class:`~repro.bench.trajectory.SeriesVerdict` list into
+``BENCH_report.md`` — the artifact a reviewer reads instead of raw
+JSON.  Pure formatting; all statistics come from
+:mod:`repro.bench.trajectory`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.stat_tests import median
+from repro.bench.trajectory import (
+    SeriesVerdict,
+    TrajectoryRecord,
+    canonical_sort,
+)
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+_VERDICT_MARKS = {
+    "pass": "✅ pass",
+    "warn": "⚠️ warn",
+    "fail": "❌ fail",
+    "error": "💥 error",
+    "baseline": "🆕 baseline",
+}
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a value series (empty string for none)."""
+    values = [v for v in values if v == v]  # drop NaN defensively
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_BLOCKS[3] * len(values)
+    span = hi - lo
+    return "".join(
+        _SPARK_BLOCKS[
+            min(len(_SPARK_BLOCKS) - 1,
+                int((v - lo) / span * len(_SPARK_BLOCKS)))
+        ]
+        for v in values
+    )
+
+
+def _fmt(value: Optional[float], pattern: str = "{:.3f}") -> str:
+    return pattern.format(value) if value is not None else "—"
+
+
+def _series_history(
+    records: Sequence[TrajectoryRecord],
+) -> Dict[str, List[TrajectoryRecord]]:
+    grouped: Dict[str, List[TrajectoryRecord]] = {}
+    for record in canonical_sort(records):
+        grouped.setdefault(record.series, []).append(record)
+    return grouped
+
+
+def generate_report(
+    records: Sequence[TrajectoryRecord],
+    verdicts: Optional[Sequence[SeriesVerdict]] = None,
+    title: str = "Benchmark trajectory report",
+) -> str:
+    """Markdown report over the whole trajectory.
+
+    Timings are reported on the *normalised* scale (workload seconds ÷
+    machine-calibration probe seconds), so points from different
+    machines sit on one comparable axis.
+    """
+    grouped = _series_history(records)
+    lines: List[str] = [f"# {title}", ""]
+
+    latest = max(records, key=lambda r: (r.timestamp, r.run_id), default=None)
+    if latest is not None:
+        prov = latest.provenance
+        lines += [
+            f"Latest run `{latest.run_id}` at {latest.timestamp} — "
+            f"python {prov.get('python', '?')} on "
+            f"{prov.get('platform', '?')}/{prov.get('machine', '?')}, "
+            f"{prov.get('cpu_count', '?')} CPU(s), "
+            f"commit `{prov.get('commit') or '?'}`, "
+            f"calibration {latest.calibration_s * 1e3:.1f} ms.",
+            "",
+            f"{len(grouped)} series, {len(records)} records. Values are "
+            f"normalised medians (seconds ÷ calibration probe); lower is "
+            f"faster.",
+            "",
+        ]
+
+    if verdicts:
+        lines += [
+            "## Regression verdicts",
+            "",
+            "| series | verdict | p | shift | fresh | history | detail |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        for v in verdicts:
+            lines.append(
+                "| `{}` | {} | {} | {} | {} | {} | {} |".format(
+                    v.series,
+                    _VERDICT_MARKS.get(v.verdict, v.verdict),
+                    _fmt(v.p_value, "{:.4g}"),
+                    _fmt(v.shift, "{:+.1%}"),
+                    _fmt(v.fresh_median),
+                    _fmt(v.history_median),
+                    v.detail.replace("|", "\\|"),
+                )
+            )
+        lines.append("")
+
+    lines += [
+        "## Series trajectories",
+        "",
+        "| series | runs | trajectory | first | last | drift |",
+        "|---|---|---|---|---|---|",
+    ]
+    for series in sorted(grouped):
+        history = grouped[series]
+        medians = [
+            median(r.sample_norm) for r in history
+            if r.status == "ok" and r.sample_norm
+        ]
+        failed = sum(1 for r in history if r.status != "ok")
+        if medians:
+            drift = (
+                (medians[-1] - medians[0]) / medians[0]
+                if medians[0] > 0 else 0.0
+            )
+            row = (
+                f"| `{series}` | {len(history)}"
+                f"{f' ({failed} failed)' if failed else ''} "
+                f"| `{sparkline(medians)}` | {medians[0]:.3f} "
+                f"| {medians[-1]:.3f} | {drift:+.1%} |"
+            )
+        else:
+            row = (
+                f"| `{series}` | {len(history)} ({failed} failed) "
+                f"| — | — | — | — |"
+            )
+        lines.append(row)
+    lines += [
+        "",
+        "## Reading this report",
+        "",
+        "- **fail** — the fresh sample is statistically slower "
+        "(exact Mann–Whitney U, one-sided) *and* the Hodges–Lehmann "
+        "median shift crosses the effect-size floor. Fix the "
+        "regression, or bless an intentional change by committing the "
+        "new trajectory records (see README).",
+        "- **warn** — significant at the looser threshold; watch the "
+        "next few runs.",
+        "- **baseline** — first record of a series; nothing to compare "
+        "against yet.",
+        "- **error** — the workload raised or tripped its budget; the "
+        "failed point is recorded in the trajectory.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def write_report(path: str, text: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)

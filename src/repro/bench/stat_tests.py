@@ -1,0 +1,199 @@
+"""Stdlib-only significance tests for benchmark trajectories.
+
+The regression gate compares a fresh timing sample against the pooled
+trailing window of a series (see :mod:`repro.bench.trajectory`).  Both
+samples are small — a handful of repeats per run — so the workhorse is
+the Mann–Whitney U test with the *exact* null distribution for small
+samples (computed by the classic counting recurrence, no tables) and
+the tie-corrected normal approximation beyond the exact range or when
+ties make the exact distribution invalid.
+
+Effect size is reported as the Hodges–Lehmann shift (the median of all
+pairwise differences), which is what "the fresh run is X% slower"
+actually means for noisy timings: robust to a single outlier repeat,
+unlike a difference of means.
+
+No scipy: CI and dev boxes only have the baked-in toolchain, and the
+numbers here are small enough that exact enumeration is cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+#: Largest per-sample size for which the exact U distribution is used
+#: (both samples must be at or under this, and tie-free).  C(16, 8) =
+#: 12870 arrangements — trivial to enumerate via the recurrence.
+EXACT_MAX_N = 8
+
+ALTERNATIVES = ("two-sided", "greater", "less")
+
+
+@dataclass(frozen=True)
+class MWUResult:
+    """Outcome of one Mann–Whitney U test."""
+
+    u: float            # U statistic of the first sample
+    p_value: float
+    method: str         # "exact" | "normal"
+    alternative: str
+    n1: int
+    n2: int
+
+
+def median(values: Sequence[float]) -> float:
+    """Plain sample median (mean of the middle two for even sizes)."""
+    if not values:
+        raise ValueError("median of an empty sample")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def hodges_lehmann_shift(x: Sequence[float], y: Sequence[float]) -> float:
+    """Median of all pairwise differences ``x_i - y_j``.
+
+    The natural effect size companion to Mann–Whitney: a robust
+    estimate of how far ``x`` sits above ``y``.  Positive means ``x``
+    is larger (for timings: slower).
+    """
+    if not x or not y:
+        raise ValueError("hodges_lehmann_shift needs two non-empty samples")
+    return median([xi - yj for xi in x for yj in y])
+
+
+def _u_statistic(x: Sequence[float], y: Sequence[float]) -> float:
+    """U of ``x`` over ``y``: #{x_i > y_j} + ½·#{x_i == y_j}."""
+    u = 0.0
+    for xi in x:
+        for yj in y:
+            if xi > yj:
+                u += 1.0
+            elif xi == yj:
+                u += 0.5
+    return u
+
+
+@lru_cache(maxsize=None)
+def _exact_counts(n: int, m: int) -> Tuple[int, ...]:
+    """Counts of arrangements with U = 0..n*m under H0 (no ties).
+
+    Classic recurrence: every arrangement of n x-ranks among n+m slots
+    either puts the largest value in x (contributing m to U) or in y:
+    ``f(n, m, u) = f(n-1, m, u-m) + f(n, m-1, u)``.  The tuple sums to
+    C(n+m, n).
+    """
+    if n == 0 or m == 0:
+        return (1,)
+    left = _exact_counts(n - 1, m)   # largest value is an x: U gains m
+    right = _exact_counts(n, m - 1)  # largest value is a y
+    counts = [0] * (n * m + 1)
+    for u, c in enumerate(left):
+        counts[u + m] += c
+    for u, c in enumerate(right):
+        counts[u] += c
+    return tuple(counts)
+
+
+def _exact_p(u: float, n: int, m: int, alternative: str) -> float:
+    counts = _exact_counts(n, m)
+    total = sum(counts)
+    # u is integral in the tie-free exact regime.
+    u_int = int(round(u))
+    cdf = sum(counts[: u_int + 1]) / total       # P(U <= u)
+    sf = sum(counts[u_int:]) / total             # P(U >= u)
+    if alternative == "greater":
+        return sf
+    if alternative == "less":
+        return cdf
+    return min(1.0, 2.0 * min(cdf, sf))
+
+
+def _tie_groups(values: Sequence[float]) -> Dict[float, int]:
+    groups: Dict[float, int] = {}
+    for v in values:
+        groups[v] = groups.get(v, 0) + 1
+    return groups
+
+
+def _normal_p(
+    u: float, n: int, m: int, ties: Dict[float, int], alternative: str
+) -> float:
+    big_n = n + m
+    mean = n * m / 2.0
+    tie_term = sum(t ** 3 - t for t in ties.values())
+    variance = (n * m / 12.0) * (
+        (big_n + 1) - tie_term / (big_n * (big_n - 1))
+    )
+    if variance <= 0:
+        # Every observation identical: no evidence either way.
+        return 1.0
+    sd = math.sqrt(variance)
+
+    def upper(stat: float) -> float:
+        # P(U >= stat) with continuity correction.
+        z = (stat - 0.5 - mean) / sd
+        return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+    def lower(stat: float) -> float:
+        z = (stat + 0.5 - mean) / sd
+        return 0.5 * math.erfc(-z / math.sqrt(2.0))
+
+    if alternative == "greater":
+        return min(1.0, upper(u))
+    if alternative == "less":
+        return min(1.0, lower(u))
+    return min(1.0, 2.0 * min(upper(u), lower(u)))
+
+
+def mann_whitney_u(
+    x: Sequence[float],
+    y: Sequence[float],
+    alternative: str = "two-sided",
+) -> MWUResult:
+    """Mann–Whitney U test of ``x`` against ``y``.
+
+    ``alternative="greater"`` tests whether ``x`` is stochastically
+    greater than ``y`` (for timings: the fresh sample is *slower*).
+    Uses the exact small-sample distribution when both samples have at
+    most :data:`EXACT_MAX_N` observations and the pooled sample is
+    tie-free; otherwise the tie-corrected, continuity-corrected normal
+    approximation.
+    """
+    if alternative not in ALTERNATIVES:
+        raise ValueError(
+            f"alternative must be one of {ALTERNATIVES}, got {alternative!r}"
+        )
+    if not x or not y:
+        raise ValueError("mann_whitney_u needs two non-empty samples")
+    n, m = len(x), len(y)
+    u = _u_statistic(x, y)
+    ties = _tie_groups(list(x) + list(y))
+    has_ties = any(t > 1 for t in ties.values())
+    if n <= EXACT_MAX_N and m <= EXACT_MAX_N and not has_ties:
+        return MWUResult(
+            u=u,
+            p_value=_exact_p(u, n, m, alternative),
+            method="exact",
+            alternative=alternative,
+            n1=n,
+            n2=m,
+        )
+    return MWUResult(
+        u=u,
+        p_value=_normal_p(u, n, m, ties, alternative),
+        method="normal",
+        alternative=alternative,
+        n1=n,
+        n2=m,
+    )
+
+
+def exact_null_counts(n: int, m: int) -> List[int]:
+    """Public view of the exact U null distribution (testing hook)."""
+    return list(_exact_counts(n, m))

@@ -1,0 +1,206 @@
+"""CLI for the benchmark trajectory harness.
+
+Reachable three ways, all one entry point:
+
+* ``PYTHONPATH=src python scripts/bench_trajectory.py --smoke``
+* ``repro bench trajectory --smoke``
+* ``python -m repro.bench.trajectory_cli --smoke``
+
+A run executes the registered workload matrix (or a ``--series``
+subset), appends machine-normalised records to the committed
+trajectory file, judges the fresh samples against the trailing window
+per series, rewrites the markdown report, and exits non-zero on any
+``fail``/``error`` verdict — the CI regression gate is this exit code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.bench import report as report_mod
+from repro.bench import trajectory as traj
+from repro.exceptions import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bench_trajectory",
+        description="run the benchmark workload matrix, append to the "
+                    "committed trajectory, and gate on statistical "
+                    "regressions",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smoke-sized matrix (CI default); without it the full-size "
+             "matrix runs",
+    )
+    parser.add_argument(
+        "--trajectory", metavar="PATH", default=traj.DEFAULT_TRAJECTORY,
+        help=f"trajectory file to append to (default {traj.DEFAULT_TRAJECTORY})",
+    )
+    parser.add_argument(
+        "--report", metavar="PATH", default=traj.DEFAULT_REPORT,
+        help=f"markdown report to (re)write (default {traj.DEFAULT_REPORT})",
+    )
+    parser.add_argument(
+        "--no-report", action="store_true", help="skip the markdown report",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="append only; skip the regression verdicts",
+    )
+    parser.add_argument(
+        "--check-only", action="store_true",
+        help="no new measurements: judge the latest record per series "
+             "and rewrite the report",
+    )
+    parser.add_argument(
+        "--series", action="append", default=[], metavar="SUBSTR",
+        help="only run workloads whose series contains SUBSTR (repeatable)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="override the per-workload repeat count",
+    )
+    parser.add_argument(
+        "--run-id", default=None,
+        help="explicit run id (default: UTC stamp + random suffix)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=traj.DEFAULT_WINDOW,
+        help=f"trailing records per series pooled as history "
+             f"(default {traj.DEFAULT_WINDOW})",
+    )
+    parser.add_argument(
+        "--ingest", nargs="+", metavar="JSON", default=None,
+        help="append measured points from unified bench_*.py --json "
+             "payloads instead of running the matrix",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list the registered series for the mode and exit",
+    )
+    return parser
+
+
+def _print_verdicts(verdicts) -> None:
+    if not verdicts:
+        print("no series to judge")
+        return
+    width = max(len(v.series) for v in verdicts)
+    for v in verdicts:
+        print(f"{v.series:<{width}}  {v.verdict.upper():8s}  {v.detail}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+
+    try:
+        matrix = traj.workload_matrix(mode)
+        if args.series:
+            matrix = [
+                w for w in matrix
+                if any(s in w.series(mode) for s in args.series)
+            ]
+        if args.list:
+            for w in matrix:
+                print(f"{w.series(mode)}  repeats={w.repeats} "
+                      f"cap={w.time_cap}s")
+            return 0
+
+        run_id = args.run_id or traj.new_run_id()
+        timestamp = traj.utc_timestamp()
+
+        records = []
+        if args.check_only:
+            run_id = None
+        elif args.ingest:
+            calibration = traj.calibrate()
+            provenance = traj.run_provenance()
+            print(f"run {run_id}: calibration probe "
+                  f"{calibration * 1e3:.1f} ms, ingesting "
+                  f"{len(args.ingest)} payload(s)")
+            for path in args.ingest:
+                with open(path, "r", encoding="utf-8") as fh:
+                    payload = json.load(fh)
+                new = traj.records_from_bench_payload(
+                    payload, calibration, run_id, timestamp, provenance
+                )
+                print(f"  {path}: {len(new)} point(s)")
+                records.extend(new)
+        else:
+            if args.repeats is not None:
+                matrix = [
+                    traj.Workload(
+                        problem=w.problem, family=w.family,
+                        backend=w.backend, executor=w.executor,
+                        params=w.params, repeats=args.repeats,
+                        time_cap=w.time_cap, workers=w.workers,
+                    )
+                    for w in matrix
+                ]
+            if not matrix:
+                print("no workloads match the --series filter",
+                      file=sys.stderr)
+                return 2
+            calibration = traj.calibrate()
+            provenance = traj.run_provenance()
+            print(f"run {run_id} ({mode}): {len(matrix)} workload(s), "
+                  f"calibration probe {calibration * 1e3:.1f} ms")
+            for workload in matrix:
+                record = traj.measure_workload(
+                    workload, mode, calibration, run_id, timestamp,
+                    provenance,
+                )
+                records.append(record)
+                if record.status == "ok":
+                    norm = traj.median(record.sample_norm)
+                    print(f"  {record.series}: "
+                          f"median {traj.median(record.sample_s) * 1e3:.1f} ms "
+                          f"(norm {norm:.3f}, n={len(record.sample_s)})")
+                else:
+                    print(f"  {record.series}: {record.status.upper()} — "
+                          f"{record.error}")
+
+        if records:
+            merged = traj.append_records(args.trajectory, records)
+            print(f"appended {len(records)} record(s) to "
+                  f"{args.trajectory} ({len(merged)} total)")
+        else:
+            try:
+                merged = traj.load_trajectory(args.trajectory)
+            except FileNotFoundError:
+                print(f"error: no trajectory file at {args.trajectory}",
+                      file=sys.stderr)
+                return 2
+
+        exit_code = 0
+        verdicts = []
+        if not args.no_check:
+            verdicts = traj.regression_check(
+                merged, run_id=run_id, window=args.window
+            )
+            _print_verdicts(verdicts)
+            if any(v.gate_failed for v in verdicts):
+                exit_code = 1
+
+        if not args.no_report:
+            text = report_mod.generate_report(merged, verdicts)
+            report_mod.write_report(args.report, text)
+            print(f"wrote {args.report}")
+
+        if exit_code:
+            print("FAIL: statistical regression gate tripped "
+                  "(see verdicts above)", file=sys.stderr)
+        return exit_code
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -350,6 +350,19 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    # Both harnesses own their argparse surface; forward verbatim so
+    # `repro bench trajectory --smoke` and the scripts/ entry points
+    # stay one option set.
+    if args.harness == "trajectory":
+        from repro.bench.trajectory_cli import main as trajectory_main
+
+        return trajectory_main(args.rest)
+    from repro.bench.cli import main as figures_main
+
+    return figures_main(args.rest)
+
+
 def _cmd_datasets(_args) -> int:
     header = (f"{'dataset':<11} {'nodes':>7} {'edges':>8} {'davg':>6} "
               f"{'dmax':>5}   paper(nodes/edges/davg)")
@@ -404,6 +417,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_ds = sub.add_parser("datasets", help="list the named synthetic analogs")
     p_ds.set_defaults(fn=_cmd_datasets)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark harnesses: 'trajectory' (continuous regression "
+             "gate) or 'figures' (paper tables/figures)",
+    )
+    p_bench.add_argument("harness", choices=("trajectory", "figures"))
+    p_bench.add_argument(
+        "rest", nargs=argparse.REMAINDER,
+        help="arguments forwarded to the harness (try 'trajectory --list')",
+    )
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_store = sub.add_parser(
         "store", help="manage the persistent graph store (sqlite)",

@@ -1,0 +1,262 @@
+"""Exact-value tests for the stdlib Mann-Whitney U implementation.
+
+The regression gates in :mod:`repro.bench.trajectory` hinge on these
+p-values, so they are pinned three independent ways:
+
+1. hand-computed exact tables for tiny samples (n, m <= 8) — the values
+   below were derived on paper from the U null distribution, not from
+   scipy, so the suite stays dependency-free;
+2. a brute-force oracle that enumerates every ``C(n+m, n)`` assignment
+   of ranks to the x-sample and counts U outcomes directly;
+3. structural identities (symmetry, complementarity, two-sided
+   doubling) that must hold for any correct implementation.
+
+Tie handling and the exact->normal crossover are covered explicitly
+because the trajectory gate exercises both regimes: early history
+windows are tiny and tie-free (exact path), pooled windows are larger
+and full of repeated timings (normal approximation with tie
+correction).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.bench.stat_tests import (
+    EXACT_MAX_N,
+    exact_null_counts,
+    hodges_lehmann_shift,
+    mann_whitney_u,
+    median,
+)
+
+
+def brute_force_p(x, y, alternative):
+    """Oracle: enumerate every rank assignment of the pooled sample.
+
+    Under H0 every ``C(n+m, n)`` choice of which pooled positions hold
+    the x-sample is equally likely; the p-value is the fraction whose U
+    statistic is at least (``greater``) / at most (``less``) as extreme
+    as the observed one.  Only valid for tie-free data.
+    """
+    n, m = len(x), len(y)
+    pooled = sorted(x + y)
+    assert len(set(pooled)) == n + m, "oracle requires tie-free data"
+    u_obs = sum(1 for xi in x for yj in y if xi > yj)
+    total = 0
+    at_least = 0
+    at_most = 0
+    for x_pos in itertools.combinations(range(n + m), n):
+        x_set = set(x_pos)
+        u = sum(
+            1
+            for i in x_pos
+            for j in range(n + m)
+            if j not in x_set and i > j
+        )
+        total += 1
+        if u >= u_obs:
+            at_least += 1
+        if u <= u_obs:
+            at_most += 1
+    if alternative == "greater":
+        return at_least / total
+    if alternative == "less":
+        return at_most / total
+    return min(1.0, 2.0 * min(at_least, at_most) / total)
+
+
+class TestExactNullDistribution:
+    def test_counts_3_3_hand_table(self):
+        # f(3,3,u) for u = 0..9: the standard textbook table.
+        assert exact_null_counts(3, 3) == [1, 1, 2, 3, 3, 3, 3, 2, 1, 1]
+
+    def test_counts_2_2_hand_table(self):
+        assert exact_null_counts(2, 2) == [1, 1, 2, 1, 1]
+
+    def test_counts_1_4_hand_table(self):
+        # One x against four y: U is uniform on 0..4.
+        assert exact_null_counts(1, 4) == [1, 1, 1, 1, 1]
+
+    def test_counts_4_4_hand_table(self):
+        assert exact_null_counts(4, 4) == [
+            1, 1, 2, 3, 5, 5, 7, 7, 8, 7, 7, 5, 5, 3, 2, 1, 1,
+        ]
+
+    @pytest.mark.parametrize("n,m", [(2, 3), (3, 5), (4, 4), (5, 5)])
+    def test_counts_sum_to_binomial(self, n, m):
+        counts = exact_null_counts(n, m)
+        assert len(counts) == n * m + 1
+        assert sum(counts) == math.comb(n + m, n)
+
+    @pytest.mark.parametrize("n,m", [(2, 4), (3, 3), (4, 6), (5, 5)])
+    def test_counts_symmetric_in_u(self, n, m):
+        counts = exact_null_counts(n, m)
+        assert counts == counts[::-1]
+
+    @pytest.mark.parametrize("n,m", [(2, 5), (3, 4), (6, 2)])
+    def test_counts_symmetric_in_samples(self, n, m):
+        assert exact_null_counts(n, m) == exact_null_counts(m, n)
+
+
+class TestExactPValues:
+    def test_complete_separation_3_3(self):
+        # x entirely above y: U = 9, P(U >= 9) = 1/C(6,3) = 1/20.
+        res = mann_whitney_u([7, 8, 9], [1, 2, 3], alternative="greater")
+        assert res.method == "exact"
+        assert res.u == 9.0
+        assert res.p_value == pytest.approx(1 / 20)
+
+    def test_complete_separation_4_4(self):
+        # U = 16, P = 1/C(8,4) = 1/70.
+        res = mann_whitney_u(
+            [10, 11, 12, 13], [1, 2, 3, 4], alternative="greater"
+        )
+        assert res.p_value == pytest.approx(1 / 70)
+
+    def test_complete_separation_5_5(self):
+        # The trajectory gate's smallest fresh-vs-history comparison:
+        # 5 fresh samples all slower than 5 history samples must reach
+        # p = 1/C(10,5) = 1/252 < 0.01 so a real regression can fail.
+        res = mann_whitney_u(
+            [2.1, 2.2, 2.3, 2.4, 2.5],
+            [1.1, 1.2, 1.3, 1.4, 1.5],
+            alternative="greater",
+        )
+        assert res.method == "exact"
+        assert res.p_value == pytest.approx(1 / 252)
+        assert res.p_value < 0.01
+
+    def test_one_inversion_3_3(self):
+        # x = {2,8,9}, y = {1,3,4}: pairs with x>y = 1+3+3 = 7,
+        # P(U >= 7) = (2+1+1)/20 = 4/20.
+        res = mann_whitney_u([2, 8, 9], [1, 3, 4], alternative="greater")
+        assert res.u == 7.0
+        assert res.p_value == pytest.approx(4 / 20)
+
+    def test_two_sided_doubles_smaller_tail(self):
+        res_g = mann_whitney_u([7, 8, 9], [1, 2, 3], alternative="greater")
+        res_t = mann_whitney_u([7, 8, 9], [1, 2, 3], alternative="two-sided")
+        assert res_t.p_value == pytest.approx(
+            min(1.0, 2 * res_g.p_value)
+        )
+
+    def test_less_is_mirror_of_greater(self):
+        res_l = mann_whitney_u([1, 2, 3], [7, 8, 9], alternative="less")
+        res_g = mann_whitney_u([7, 8, 9], [1, 2, 3], alternative="greater")
+        assert res_l.p_value == pytest.approx(res_g.p_value)
+
+    def test_no_shift_is_insignificant(self):
+        res = mann_whitney_u([1, 4, 5, 8], [2, 3, 6, 7],
+                             alternative="two-sided")
+        assert res.p_value > 0.5
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("alternative", ["greater", "less", "two-sided"])
+    def test_matches_brute_force_oracle(self, seed, alternative):
+        import random
+
+        rng = random.Random(seed)
+        n, m = rng.randint(2, 5), rng.randint(2, 5)
+        values = rng.sample(range(1000), n + m)
+        x, y = values[:n], values[n:]
+        res = mann_whitney_u(x, y, alternative=alternative)
+        assert res.method == "exact"
+        assert res.p_value == pytest.approx(
+            brute_force_p(x, y, alternative)
+        )
+
+
+class TestTiesAndCrossover:
+    def test_ties_force_normal_approximation(self):
+        x = [1.0, 2.0, 2.0, 3.0]
+        y = [2.0, 2.0, 4.0, 5.0]
+        res = mann_whitney_u(x, y, alternative="two-sided")
+        assert res.method == "normal"
+        assert 0.0 < res.p_value <= 1.0
+
+    def test_tied_pairs_earn_half_credit(self):
+        # x = y elementwise: U must be exactly nm/2.
+        res = mann_whitney_u([1, 2, 3], [1, 2, 3], alternative="two-sided")
+        assert res.u == 4.5
+        assert res.p_value == pytest.approx(1.0)
+
+    def test_large_n_uses_normal_approximation(self):
+        x = [float(i) + 100.0 for i in range(EXACT_MAX_N + 1)]
+        y = [float(i) for i in range(EXACT_MAX_N + 1)]
+        res = mann_whitney_u(x, y, alternative="greater")
+        assert res.method == "normal"
+        assert res.p_value < 0.01
+
+    def test_exact_path_taken_at_boundary(self):
+        x = [float(i) + 0.5 for i in range(EXACT_MAX_N)]
+        y = [float(i) for i in range(EXACT_MAX_N)]
+        res = mann_whitney_u(x, y, alternative="greater")
+        assert res.method == "exact"
+
+    def test_crossover_agreement(self):
+        # At the boundary the normal approximation with continuity
+        # correction should agree with the exact test to within a few
+        # percent — this pins the approximation against drift.
+        x = [20, 23, 27, 29, 31, 34, 36, 40]
+        y = [10, 12, 15, 19, 22, 25, 28, 30]
+        exact = mann_whitney_u(x, y, alternative="greater")
+        assert exact.method == "exact"
+        shifted = [v + 1e-9 for v in x]  # break no ties, still exact
+        assert mann_whitney_u(
+            shifted, y, alternative="greater"
+        ).p_value == pytest.approx(exact.p_value)
+        bigger_x = x + [26]
+        bigger_y = y + [33]
+        approx = mann_whitney_u(bigger_x, bigger_y, alternative="greater")
+        assert approx.method == "normal"
+        oracle = brute_force_p(bigger_x, bigger_y, "greater")
+        assert approx.p_value == pytest.approx(oracle, rel=0.15)
+
+    def test_normal_approximation_is_conservative_in_deep_tail(self):
+        # Deep in the tail the continuity-corrected approximation must
+        # err on the large side (fewer false regression alarms), and
+        # stay within 2x of the enumerated truth.
+        x = [20, 23, 27, 29, 31, 34, 36, 40, 41]
+        y = [9, 10, 12, 15, 19, 22, 25, 28, 30]
+        approx = mann_whitney_u(x, y, alternative="greater")
+        assert approx.method == "normal"
+        oracle = brute_force_p(x, y, "greater")
+        assert oracle <= approx.p_value <= 2.0 * oracle
+
+    def test_degenerate_all_equal(self):
+        res = mann_whitney_u([3.0] * 4, [3.0] * 4, alternative="two-sided")
+        assert res.p_value == 1.0
+
+
+class TestEffectSize:
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([4, 1, 3, 2]) == 2.5
+
+    def test_hodges_lehmann_pure_shift(self):
+        x = [11, 12, 13]
+        y = [1, 2, 3]
+        assert hodges_lehmann_shift(x, y) == 10.0
+
+    def test_hodges_lehmann_hand_computed(self):
+        # Pairwise x-y differences of [1,5] vs [2,3]:
+        # {-1, -2, 3, 2} sorted = [-2, -1, 2, 3], median = 0.5.
+        assert hodges_lehmann_shift([1, 5], [2, 3]) == 0.5
+
+    def test_hodges_lehmann_robust_to_outlier(self):
+        # One wild outlier must not drag the shift estimate along.
+        assert hodges_lehmann_shift([10, 10, 10, 1000], [10, 10, 10, 10]) == 0.0
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+        with pytest.raises(ValueError):
+            mann_whitney_u([1.0], [])
+
+    def test_unknown_alternative_raises(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([1.0], [2.0], alternative="sideways")

@@ -1,0 +1,88 @@
+"""Every standalone benchmark's ``--json`` payload shares one schema.
+
+The six ``benchmarks/bench_*.py`` scripts used to emit six ad-hoc JSON
+shapes; they now all build a :class:`benchmarks._fixtures.BenchResult`.
+This suite runs each script's ``main()`` in-process in smoke mode and
+validates the written payload with the same strict checker the
+trajectory runner's ``--ingest`` path depends on — so a bench script
+whose payload drifts breaks here, not in CI artifact post-processing.
+
+Speed gates may legitimately fail on a loaded test machine, so exit
+codes are *not* asserted — only that a payload is written and valid.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = str(Path(__file__).parent.parent / "benchmarks")
+
+BENCH_SCRIPTS = (
+    "bench_backend_kernels",
+    "bench_session_reuse",
+    "bench_engine_backends",
+    "bench_parallel_components",
+    "bench_edit_stream",
+    "bench_service",
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def benchmarks_on_path():
+    sys.path.insert(0, BENCHMARKS_DIR)
+    try:
+        yield
+    finally:
+        sys.path.remove(BENCHMARKS_DIR)
+
+
+@pytest.mark.parametrize("script", BENCH_SCRIPTS)
+def test_smoke_json_payload_is_unified(script, tmp_path):
+    module = importlib.import_module(script)
+    out = tmp_path / f"{script}.json"
+    module.main(["--smoke", "--json", str(out)])
+
+    from _fixtures import BENCH_PAYLOAD_VERSION, validate_bench_payload
+
+    payload = json.loads(out.read_text())
+    errors = validate_bench_payload(payload)
+    assert errors == []
+    assert payload["payload_version"] == BENCH_PAYLOAD_VERSION
+    assert payload["benchmark"] == script.removeprefix("bench_")
+    assert payload["mode"] == "smoke"
+    assert payload["points"], "every benchmark must expose measured points"
+    series = [p["series"] for p in payload["points"]]
+    assert len(series) == len(set(series)), "point series must be unique"
+    assert isinstance(payload["gates"]["passed"], bool)
+
+
+def test_bench_result_rejects_bad_points(benchmarks_on_path=None):
+    sys.path.insert(0, BENCHMARKS_DIR)
+    try:
+        from _fixtures import BenchResult, validate_bench_payload
+    finally:
+        sys.path.remove(BENCHMARKS_DIR)
+
+    result = BenchResult(
+        benchmark="demo", mode="smoke", workload={}, rows=[],
+        gates={"passed": True},
+    )
+    with pytest.raises(ValueError):
+        result.add_point("a", float("nan"))
+    with pytest.raises(ValueError):
+        result.add_point("a", -1.0)
+    result.add_point("a", 0.5)
+    payload = result.to_payload()
+    assert validate_bench_payload(payload) == []
+
+    payload["mode"] = "nightly"
+    assert validate_bench_payload(payload)
+
+    payload["mode"] = "smoke"
+    payload["points"][0]["seconds"] = "fast"
+    assert validate_bench_payload(payload)
