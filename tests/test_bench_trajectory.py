@@ -50,6 +50,23 @@ from repro.bench.trajectory_cli import main as trajectory_main
 
 GOLDEN = Path(__file__).parent / "data" / "bench_trajectory_golden.json"
 
+
+@pytest.fixture(autouse=True)
+def _isolate_default_paths(monkeypatch, tmp_path):
+    """Redirect the CLI's default output paths into ``tmp_path``.
+
+    The CLI defaults to the committed repo-root ``BENCH_trajectory.json``
+    / ``BENCH_report.md``; a test that forgets an explicit ``--report``
+    or ``--trajectory`` must never clobber those artifacts.
+    """
+    monkeypatch.setattr(
+        traj, "DEFAULT_TRAJECTORY",
+        str(tmp_path / "default_BENCH_trajectory.json"),
+    )
+    monkeypatch.setattr(
+        traj, "DEFAULT_REPORT", str(tmp_path / "default_BENCH_report.md"),
+    )
+
 SERIES_A = "smoke:maximum/onion/csr/serial"      # planted 2x regression
 SERIES_B = "smoke:enumerate/onion/csr/serial"    # stable
 SERIES_C = "smoke:maximum/borderline/python/serial"  # error in run r3
@@ -425,11 +442,16 @@ class TestCLI:
         self, tmp_path, capsys,
     ):
         path = tmp_path / "t.json"
+        report = tmp_path / "report.md"
         path.write_bytes(GOLDEN.read_bytes())
-        code = trajectory_main(["--check-only", "--trajectory", str(path)])
+        code = trajectory_main([
+            "--check-only", "--trajectory", str(path),
+            "--report", str(report),
+        ])
         assert code == 1
         out = capsys.readouterr().out
         assert "FAIL" in out
+        assert "❌ fail" in report.read_text()
 
     def test_ingest_bench_payload(self, stubbed_matrix, tmp_path):
         payload = {
