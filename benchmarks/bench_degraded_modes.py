@@ -1,0 +1,209 @@
+"""Degraded query modes: accuracy/latency trade-off on adversarial families.
+
+For each adversarial family the script answers the maximum query four
+ways on one prepared session pair:
+
+* **exact** — the reference: full branch-and-bound, no budget;
+* **anytime** — the same search under a node budget that trips on hard
+  instances; the answer is the best incumbent plus a residual bound gap
+  (``status="budget"``), and must be byte-identical to exact when the
+  budget does not trip;
+* **heuristic** — the greedy §8 lower-bound pass only;
+* **top-3** — the three largest maximal cores via the budget-tolerant
+  enumeration path.
+
+Each run emits a measured latency point (``{"series", "seconds"}`` —
+ingestable by ``repro bench trajectory --ingest``) and an accuracy row
+(``found_size / exact_size``), so the committed trajectory can track the
+measured trade-off curves over time.
+
+Gates: anytime without a budget must equal exact exactly (same vertex
+set); every degraded answer must be a valid lower bound (``size <=
+exact``) within its reported upper bound; accuracies must be in [0, 1].
+
+Standalone script (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_degraded_modes.py           # full
+    PYTHONPATH=src python benchmarks/bench_degraded_modes.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+from _fixtures import BenchResult
+from repro.core.session import KRCoreSession
+from repro.datasets.adversarial import FAMILIES, build_instance, sample_instance
+
+#: Node budget that reliably trips mid-search on the full-size instances.
+TRIP_NODE_LIMIT = 8
+
+
+def bench_family(inst, node_limit: int):
+    """Measure all four query paths on one instance; returns rows+points."""
+    pred = inst.predicate()
+
+    session = KRCoreSession(inst.graph, copy=False)
+    t0 = time.perf_counter()
+    exact_out = session.maximum_outcome(
+        inst.k, predicate=pred, mode="anytime"
+    )
+    exact_s = time.perf_counter() - t0
+    exact_size = exact_out.size
+
+    # Fresh session: the degraded runs must not be served from the
+    # exact run's result cache, or the budget never trips.
+    cold = KRCoreSession(inst.graph, copy=False)
+    t0 = time.perf_counter()
+    anytime_out = cold.maximum_outcome(
+        inst.k, predicate=pred, mode="anytime", node_limit=node_limit
+    )
+    anytime_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    heur_out = KRCoreSession(inst.graph, copy=False).maximum_outcome(
+        inst.k, predicate=pred, mode="heuristic"
+    )
+    heur_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    top_out = session.top_cores(inst.k, predicate=pred, t=3)
+    top_s = time.perf_counter() - t0
+
+    def accuracy(size: int) -> float:
+        return 1.0 if exact_size == 0 else size / exact_size
+
+    ok = True
+    # Exactness gate: the unbudgeted anytime run IS the exact answer.
+    if exact_out.status != "exact" or exact_out.gap != 0:
+        print(f"FAIL: {inst.family}: unbudgeted anytime run not exact "
+              f"(status={exact_out.status}, gap={exact_out.gap})")
+        ok = False
+    # Soundness gates: lower bounds below exact, exact below upper bounds.
+    for label, out in (("anytime", anytime_out), ("heuristic", heur_out)):
+        if out.size > exact_size:
+            print(f"FAIL: {inst.family}/{label}: size {out.size} exceeds "
+                  f"exact {exact_size}")
+            ok = False
+        if exact_size > out.upper_bound:
+            print(f"FAIL: {inst.family}/{label}: upper bound "
+                  f"{out.upper_bound} below exact {exact_size}")
+            ok = False
+    if top_out.cores and top_out.cores[0].size > exact_size:
+        print(f"FAIL: {inst.family}/top: largest core "
+              f"{top_out.cores[0].size} exceeds exact {exact_size}")
+        ok = False
+
+    rows = [
+        {
+            "family": inst.family, "mode": "exact", "status": "exact",
+            "size": exact_size, "accuracy": 1.0, "gap": 0,
+            "seconds": exact_s,
+        },
+        {
+            "family": inst.family, "mode": "anytime",
+            "status": anytime_out.status, "size": anytime_out.size,
+            "accuracy": accuracy(anytime_out.size),
+            "gap": anytime_out.gap, "seconds": anytime_s,
+        },
+        {
+            "family": inst.family, "mode": "heuristic",
+            "status": heur_out.status, "size": heur_out.size,
+            "accuracy": accuracy(heur_out.size),
+            "gap": heur_out.gap, "seconds": heur_s,
+        },
+        {
+            "family": inst.family, "mode": "top3",
+            "status": top_out.status,
+            "size": top_out.cores[0].size if top_out.cores else 0,
+            "accuracy": accuracy(
+                top_out.cores[0].size if top_out.cores else 0
+            ),
+            "gap": 0, "seconds": top_s,
+        },
+    ]
+    points = [
+        (f"{inst.family}/exact", exact_s),
+        (f"{inst.family}/anytime", anytime_s),
+        (f"{inst.family}/heuristic", heur_s),
+        (f"{inst.family}/top3", top_s),
+    ]
+    for row in rows:
+        if not 0.0 <= row["accuracy"] <= 1.0:
+            print(f"FAIL: {inst.family}/{row['mode']}: accuracy "
+                  f"{row['accuracy']} outside [0, 1]")
+            ok = False
+    return rows, points, ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sampled instances for CI")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the measurements as JSON")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        rng = random.Random(7)
+        instances = [
+            sample_instance(name, rng, "tiny") for name in sorted(FAMILIES)
+        ]
+        node_limit = 4
+    else:
+        instances = [build_instance(name) for name in sorted(FAMILIES)]
+        node_limit = TRIP_NODE_LIMIT
+
+    all_rows, all_points = [], []
+    failures = 0
+    for inst in instances:
+        rows, points, ok = bench_family(inst, node_limit)
+        if not ok:
+            failures += 1
+        all_rows.extend(rows)
+        all_points.extend(points)
+        for row in rows:
+            print(f"{inst.family:>16} {row['mode']:<10} "
+                  f"status={row['status']:<10} size={row['size']:<4} "
+                  f"accuracy={row['accuracy']:.3f} gap<={row['gap']:<4} "
+                  f"{row['seconds'] * 1e3:8.1f}ms")
+
+    if args.json:
+        result = BenchResult(
+            benchmark="degraded_modes",
+            mode="smoke" if args.smoke else "full",
+            workload={
+                "families": [inst.family for inst in instances],
+                "node_limit": node_limit,
+                "instances": [
+                    {"family": inst.family, "k": inst.k, "r": inst.r,
+                     "vertices": inst.graph.vertex_count,
+                     "edges": inst.graph.edge_count}
+                    for inst in instances
+                ],
+            },
+            rows=all_rows,
+            gates={"passed": failures == 0},
+            extras={
+                "accuracy": {
+                    f"{row['family']}/{row['mode']}": row["accuracy"]
+                    for row in all_rows
+                },
+            },
+        )
+        for series, seconds in all_points:
+            result.add_point(series, seconds)
+        result.write(args.json)
+        print(f"wrote {args.json}")
+
+    if failures:
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

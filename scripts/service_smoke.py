@@ -21,7 +21,11 @@ import urllib.request
 from pathlib import Path
 
 from repro.core.session import KRCoreSession
-from repro.datasets.adversarial import ring_of_cliques, ring_predicate_r
+from repro.datasets.adversarial import (
+    build_instance,
+    ring_of_cliques,
+    ring_predicate_r,
+)
 from repro.serve import KRCoreService, make_server, run_server
 from repro.store import GraphStore
 
@@ -70,8 +74,14 @@ def main() -> int:
     db_dir = tempfile.mkdtemp(prefix="service_smoke_")
     db = str(Path(db_dir) / "smoke.db")
 
+    # a second, engineered-hard instance whose maximum search provably
+    # cannot finish within a one-node budget (degraded-mode checks)
+    hard = build_instance("ring-of-cliques")
+    hard_params = {"k": hard.k, "r": hard.r, "metric": hard.metric}
+
     with GraphStore(db) as store:
         fp = store.save_graph("adversarial", graph)
+        store.save_graph("hard", hard.graph)
     print(f"stored adversarial graph: n={graph.vertex_count} "
           f"m={graph.edge_count} fingerprint={fp[:12]}…")
 
@@ -82,7 +92,56 @@ def main() -> int:
     try:
         status, health = request(base, "GET", "/health")
         check(status == 200 and health["ok"], "health endpoint")
-        check(health["graphs"] == ["adversarial"], "stored graph listed")
+        check(health["graphs"] == ["adversarial", "hard"],
+              "stored graphs listed")
+
+        # degraded query modes FIRST, while the hard graph's session is
+        # cold — a warmed result cache would answer without charging the
+        # node budget and the trip checks below would be vacuous
+        status, out = request(
+            base, "POST", "/graphs/hard/maximum",
+            {**hard_params, "node_limit": 1},
+        )
+        check(
+            status == 200 and out["status"] == "budget",
+            "budget-tripped maximum returns a partial, not a 500",
+        )
+        status, out = request(
+            base, "POST", "/graphs/hard/maximum",
+            {**hard_params, "mode": "anytime", "node_limit": 1},
+        )
+        check(
+            status == 200 and out["status"] == "budget"
+            and out["upper_bound"] >= out["size"]
+            and out["gap"] == out["upper_bound"] - out["size"],
+            "anytime budget answer carries incumbent + bound gap",
+        )
+        status, heur = request(
+            base, "POST", "/graphs/hard/maximum",
+            {**hard_params, "mode": "heuristic"},
+        )
+        check(
+            status == 200 and heur["status"] == "heuristic",
+            "heuristic mode answers",
+        )
+        status, top = request(
+            base, "POST", "/graphs/hard/top", {**hard_params, "t": 3},
+        )
+        check(
+            status == 200
+            and top["sizes"] == sorted(top["sizes"], reverse=True)
+            and len(top["cores"]) <= 3,
+            "top-3 returns the largest cores first",
+        )
+        status, exact = request(
+            base, "POST", "/graphs/hard/maximum",
+            {**hard_params, "mode": "anytime"},
+        )
+        check(
+            status == 200 and exact["status"] == "exact"
+            and heur["size"] <= exact["size"] <= heur["upper_bound"],
+            "heuristic answer brackets the exact maximum",
+        )
 
         status, out = request(
             base, "POST", "/graphs/adversarial/enumerate", {"k": k, "r": r},

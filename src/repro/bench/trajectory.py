@@ -37,6 +37,7 @@ makes matching workloads raise.
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import subprocess
@@ -541,6 +542,15 @@ def utc_timestamp() -> str:
 # Ingest: unified benchmarks/bench_*.py payloads as trajectory points
 # ----------------------------------------------------------------------
 
+def _registered_series() -> frozenset:
+    """Every series name the runner itself can emit, in either mode."""
+    return frozenset(
+        workload.series(mode)
+        for mode in ("smoke", "full")
+        for workload in workload_matrix(mode)
+    )
+
+
 def records_from_bench_payload(
     payload: Dict[str, object],
     calibration_s: float,
@@ -549,17 +559,56 @@ def records_from_bench_payload(
     provenance: Optional[Dict[str, object]] = None,
 ) -> List[TrajectoryRecord]:
     """Trajectory records for a ``benchmarks/_fixtures.BenchResult``
-    payload's measured points (series ``<mode>:bench/<name>/<point>``)."""
+    payload's measured points (series ``<mode>:bench/<name>/<point>``).
+
+    Refuses payloads whose points would land on (or masquerade as) a
+    series owned by the registered workload matrix: ingested bench
+    points must never pollute the history that
+    :func:`regression_check` gates on.
+    """
     for key in ("benchmark", "mode", "points"):
         if key not in payload:
             raise TrajectoryError(
                 f"bench payload is missing {key!r} — not a unified "
                 f"BenchResult payload?"
             )
+    mode = payload["mode"]
+    if mode not in ("smoke", "full"):
+        raise TrajectoryError(
+            f"bench payload mode must be 'smoke' or 'full', got {mode!r}"
+        )
+    points = payload["points"]
+    if not isinstance(points, list):
+        raise TrajectoryError("bench payload 'points' must be a list")
+    registered = _registered_series()
     records = []
-    for point in payload["points"]:  # type: ignore[index]
-        series = f"{payload['mode']}:bench/{payload['benchmark']}/{point['series']}"
-        seconds = float(point["seconds"])
+    for point in points:
+        if not isinstance(point, dict) or not isinstance(
+            point.get("series"), str
+        ):
+            raise TrajectoryError(
+                f"bench point must be an object with a string 'series', "
+                f"got {point!r}"
+            )
+        try:
+            seconds = float(point["seconds"])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            raise TrajectoryError(
+                f"bench point {point['series']!r} has no numeric 'seconds'"
+            ) from None
+        if not math.isfinite(seconds) or seconds < 0:
+            raise TrajectoryError(
+                f"bench point {point['series']!r} has invalid seconds "
+                f"{seconds!r} (must be finite and non-negative)"
+            )
+        series = f"{mode}:bench/{payload['benchmark']}/{point['series']}"
+        for candidate in (series, f"{mode}:{point['series']}"):
+            if candidate in registered:
+                raise TrajectoryError(
+                    f"bench point series {point['series']!r} shadows the "
+                    f"registered workload series {candidate!r} — ingested "
+                    f"bench payloads may not write to runner-owned series"
+                )
         records.append(TrajectoryRecord(
             series=series,
             run_id=run_id,

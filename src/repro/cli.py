@@ -174,6 +174,21 @@ def _executor_overrides(args) -> dict:
 
 def _cmd_mine(args) -> int:
     graph, pred = _load_graph(args)
+    if args.top is not None:
+        session = KRCoreSession(graph, backend=args.backend, copy=False)
+        outcome, stats = session.top_cores(
+            args.k, predicate=pred, t=args.top, algorithm=args.algorithm,
+            time_limit=args.time_limit, with_stats=True,
+            **_executor_overrides(args),
+        )
+        print(f"top {outcome.t} of {outcome.total_found} maximal "
+              f"({args.k},{pred.r:g})-cores [{outcome.status}, "
+              f"{stats.elapsed:.2f}s, {stats.nodes} nodes]")
+        for core in outcome.cores:
+            names = sorted(graph.label(u) for u in core)
+            shown = ", ".join(names[:12]) + (", ..." if len(names) > 12 else "")
+            print(f"  size {core.size:4d}: {shown}")
+        return 0
     cores, stats = enumerate_maximal_krcores(
         graph, args.k, predicate=pred, algorithm=args.algorithm,
         backend=args.backend, time_limit=args.time_limit, with_stats=True,
@@ -192,6 +207,27 @@ def _cmd_mine(args) -> int:
 
 def _cmd_maximum(args) -> int:
     graph, pred = _load_graph(args)
+    if args.mode is not None and args.mode != "exact":
+        session = KRCoreSession(graph, backend=args.backend, copy=False)
+        outcome, stats = session.maximum_outcome(
+            args.k, predicate=pred, mode=args.mode,
+            algorithm=args.algorithm, time_limit=args.time_limit,
+            node_limit=args.node_limit, with_stats=True,
+            **_executor_overrides(args),
+        )
+        if outcome.core is None:
+            print(f"no ({args.k},{pred.r:g})-core found "
+                  f"[{outcome.status}, upper bound {outcome.upper_bound}, "
+                  f"{stats.elapsed:.2f}s, {stats.nodes} nodes]")
+            return 0
+        names = sorted(graph.label(u) for u in outcome.core)
+        shown = ", ".join(names[:15]) + (", ..." if len(names) > 15 else "")
+        print(f"{args.mode} ({args.k},{pred.r:g})-core: "
+              f"{outcome.size} vertices [{outcome.status}, "
+              f"gap <= {outcome.gap}, {stats.elapsed:.2f}s, "
+              f"{stats.nodes} nodes]")
+        print(f"  {shown}")
+        return 0
     best, stats = find_maximum_krcore(
         graph, args.k, predicate=pred, algorithm=args.algorithm,
         backend=args.backend, time_limit=args.time_limit, with_stats=True,
@@ -277,6 +313,44 @@ def _cmd_store(args) -> int:
     if args.action != "list" and not args.name:
         raise ReproError(f"store {args.action} needs a graph name")
     with GraphStore(args.db) as store:
+        if args.action == "fetch":
+            from repro.datasets.remote import (
+                REMOTE_DATASETS,
+                RemoteDataset,
+                fetch_dataset,
+            )
+
+            if args.remote:
+                spec = args.remote
+            elif args.edges_url:
+                spec = RemoteDataset(
+                    name=args.name,
+                    edges_url=args.edges_url,
+                    attrs_url=args.attrs_url,
+                    attr_kind=args.attr_kind,
+                )
+            elif args.name in REMOTE_DATASETS:
+                spec = args.name
+            else:
+                raise ReproError(
+                    "store fetch needs --remote NAME or --edges-url URL "
+                    "(or a graph name matching a registered remote dataset)"
+                )
+            csr, ingest_stats = fetch_dataset(
+                spec,
+                cache_dir=args.cache_dir,
+                memory_limit_mb=args.memory_limit_mb,
+                refresh=args.refresh,
+                with_stats=True,
+            )
+            fp = store.save_csr_graph(args.name, csr)
+            print(f"fetched {args.name!r}: n={csr.vertex_count} "
+                  f"m={csr.edge_count} fingerprint={fp[:16]}… "
+                  f"(peak ingest buffers "
+                  f"{ingest_stats.peak_buffer_bytes} bytes, "
+                  f"{ingest_stats.self_loops_dropped} self loops / "
+                  f"{ingest_stats.duplicates_dropped} duplicates dropped)")
+            return 0
         if args.action == "add":
             graph = _load_graph_only(args)
             fp = store.save_graph(args.name, graph)
@@ -386,11 +460,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_mine = sub.add_parser("mine", help="enumerate all maximal (k,r)-cores",
                             parents=[execution])
     _add_graph_args(p_mine)
+    p_mine.add_argument("--top", type=int, default=None, metavar="T",
+                        help="report only the T largest cores "
+                             "(budget-tolerant: a tripped --time-limit "
+                             "ranks what was found instead of failing)")
     p_mine.set_defaults(fn=_cmd_mine)
 
     p_max = sub.add_parser("maximum", help="find the maximum (k,r)-core",
                            parents=[execution])
     _add_graph_args(p_max)
+    p_max.add_argument("--mode", choices=("exact", "anytime", "heuristic"),
+                       default=None,
+                       help="query mode: exact search (default), anytime "
+                            "(best incumbent + bound gap on budget trip), "
+                            "or the greedy heuristic fast path")
+    p_max.add_argument("--node-limit", type=int, default=None,
+                       help="search-tree node budget")
     p_max.set_defaults(fn=_cmd_maximum)
 
     p_stats = sub.add_parser("stats", help="count/max/avg of maximal cores",
@@ -435,11 +520,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         parents=[execution],
     )
     p_store.add_argument(
-        "action", choices=("add", "list", "info", "delete", "warm"),
+        "action", choices=("add", "fetch", "list", "info", "delete", "warm"),
     )
     p_store.add_argument("name", nargs="?", default=None,
                          help="graph name (all actions except list)")
     p_store.add_argument("--db", required=True, help="store database path")
+    fetch = p_store.add_argument_group("remote fetch (fetch)")
+    fetch.add_argument("--remote", default=None,
+                       help="registered remote dataset name "
+                            "(see repro.datasets.remote)")
+    fetch.add_argument("--edges-url", default=None,
+                       help="ad-hoc edge-list URL (http(s):// or file://)")
+    fetch.add_argument("--attrs-url", default=None,
+                       help="ad-hoc attribute-file URL")
+    fetch.add_argument("--cache-dir", default=None,
+                       help="download cache (default "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro-krcore)")
+    fetch.add_argument("--memory-limit-mb", type=float, default=None,
+                       help="ingest memory ceiling in MB")
+    fetch.add_argument("--refresh", action="store_true",
+                       help="re-download even when cached (pin still "
+                            "verified)")
     src = p_store.add_argument_group("graph source (add)")
     src.add_argument("--dataset", choices=sorted(DATASETS))
     src.add_argument("--scale", type=float, default=1.0)

@@ -36,7 +36,13 @@ from repro.core.config import (
     be_cr_et_config,
     color_kcore_max_config,
 )
-from repro.core.results import KRCore, filter_maximal, summarize_cores
+from repro.core.results import (
+    KRCore,
+    MaximumOutcome,
+    TopCoresOutcome,
+    filter_maximal,
+    summarize_cores,
+)
 from repro.core.stats import SearchStats
 
 __all__ = [
@@ -53,6 +59,8 @@ __all__ = [
     "ExecutionPlan",
     "SearchConfig",
     "KRCore",
+    "MaximumOutcome",
+    "TopCoresOutcome",
     "SearchStats",
     "filter_maximal",
     "summarize_cores",

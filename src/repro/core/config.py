@@ -42,6 +42,13 @@ VERTEX_ORDERS = (
     "weighted-delta",
 )
 BRANCH_ORDERS = ("adaptive", "expand", "shrink")
+
+#: Degraded query modes of the service surface: ``"exact"`` runs the
+#: full branch-and-bound; ``"anytime"`` returns the best incumbent plus
+#: a residual bound gap when the budget trips (identical to exact when
+#: it does not); ``"heuristic"`` runs only the greedy lower-bound pass
+#: (paper §8) — a fast inexact answer with no optimality claim.
+QUERY_MODES = ("exact", "anytime", "heuristic")
 MAXIMAL_CHECKS = ("search", "pairwise", "none")
 BOUNDS = ("naive", "color-kcore", "kkprime")
 BACKENDS = ("csr", "python")
@@ -197,6 +204,7 @@ class SearchConfig:
     time_limit: Optional[float] = None  # seconds; None = unlimited
     node_limit: Optional[int] = None    # search-tree nodes; None = unlimited
     on_budget: str = "raise"            # "raise" or "partial"
+    mode: str = "exact"                 # "exact" | "anytime" | "heuristic"
 
     def __post_init__(self) -> None:
         # executor/shm are two spellings of one choice (see
@@ -253,6 +261,10 @@ class SearchConfig:
         if self.on_budget not in ("raise", "partial"):
             raise InvalidParameterError(
                 f"on_budget must be 'raise' or 'partial', got {self.on_budget!r}"
+            )
+        if self.mode not in QUERY_MODES:
+            raise InvalidParameterError(
+                f"mode must be one of {QUERY_MODES}, got {self.mode!r}"
             )
         if self.lam < 0:
             raise InvalidParameterError(f"lam must be >= 0, got {self.lam}")

@@ -72,6 +72,68 @@ class KRCore:
         return f"KRCore(size={len(self.vertices)}, k={self.k}, r={self.r})"
 
 
+@dataclass(frozen=True)
+class MaximumOutcome:
+    """A maximum query answered under a degraded-capable mode.
+
+    ``status`` reports what the answer *is*: ``"exact"`` (the true
+    maximum — anytime mode whose budget never tripped, or plain exact
+    mode), ``"budget"`` (best incumbent when the budget tripped;
+    ``upper_bound`` bounds the true maximum size, so ``gap`` bounds the
+    sub-optimality) or ``"heuristic"`` (greedy §8 lower bound, no search
+    run).  ``upper_bound`` is always a valid upper bound on the true
+    maximum size, whatever the status.
+    """
+
+    core: Optional[KRCore]
+    mode: str          # mode that produced this: exact | anytime | heuristic
+    status: str        # "exact" | "budget" | "heuristic"
+    upper_bound: int
+
+    @property
+    def size(self) -> int:
+        return self.core.size if self.core is not None else 0
+
+    @property
+    def gap(self) -> int:
+        """Residual bound gap: how far above the incumbent the true
+        maximum could still be (0 means proven optimal)."""
+        return max(0, self.upper_bound - self.size)
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "status": self.status,
+            "size": self.size,
+            "upper_bound": self.upper_bound,
+            "gap": self.gap,
+            "vertices": (
+                sorted(self.core.vertices) if self.core is not None else None
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class TopCoresOutcome:
+    """The ``t`` largest maximal (k,r)-cores (possibly from a partial
+    enumeration: ``status == "budget"`` means more/larger cores may
+    exist beyond what the budget allowed)."""
+
+    cores: List[KRCore]  # at most t, largest first
+    t: int
+    status: str          # "exact" | "budget"
+    total_found: int     # maximal cores discovered before truncation
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "t": self.t,
+            "total_found": self.total_found,
+            "sizes": [c.size for c in self.cores],
+            "cores": [sorted(c.vertices) for c in self.cores],
+        }
+
+
 def filter_maximal(cores: Iterable[FrozenSet[int]]) -> List[FrozenSet[int]]:
     """Drop vertex sets strictly contained in another (the naive maximal
     check of Algorithm 1, lines 6–8).

@@ -53,6 +53,7 @@ from typing import (
 )
 
 from repro.core.config import (
+    QUERY_MODES,
     ExecutionPlan,
     SearchConfig,
     adv_enum_config,
@@ -69,9 +70,15 @@ from repro.core.executor import (
     raise_for_outcome,
     remaining_time,
 )
+from repro.core.heuristics import greedy_core_in_component
 from repro.core.maintenance import MaintenanceStats, maintain_session
 from repro.core.maximum import find_maximum_in_component
-from repro.core.results import KRCore, summarize_cores
+from repro.core.results import (
+    KRCore,
+    MaximumOutcome,
+    TopCoresOutcome,
+    summarize_cores,
+)
 from repro.core.solver import (
     component_adjacency,
     component_edges_key,
@@ -597,6 +604,183 @@ class KRCoreSession:
             return core, stats
         return core
 
+    def maximum_outcome(
+        self,
+        k: int,
+        r: Optional[float] = None,
+        *,
+        metric: Union[str, Callable, None] = None,
+        predicate: Optional[SimilarityPredicate] = None,
+        algorithm: str = "advanced",
+        mode: Optional[str] = None,
+        config: Optional[SearchConfig] = None,
+        backend: Optional[str] = None,
+        plan: Optional[Union[ExecutionPlan, dict]] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+        shm: Optional[bool] = None,
+        split_depth: Optional[int] = None,
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+        with_stats: bool = False,
+    ):
+        """The maximum query with degraded modes and a residual bound.
+
+        ``mode`` (default: the config's ``mode`` field) selects:
+
+        * ``"exact"`` — the full search; a tripped budget raises (or
+          honours ``on_budget="partial"``) exactly like :meth:`maximum`.
+        * ``"anytime"`` — the full search, but a tripped budget returns
+          the best incumbent with ``status="budget"`` and an
+          ``upper_bound`` folding in every per-component bound the
+          search established before stopping.  When the budget does not
+          trip the outcome is the exact answer with ``gap == 0`` —
+          byte-identical core, shared result caches.
+        * ``"heuristic"`` — only the greedy §8 lower-bound pass per
+          component; no branch-and-bound, no exact-result caching.
+
+        Returns a :class:`~repro.core.results.MaximumOutcome` (or
+        ``(outcome, stats)`` with ``with_stats=True``).
+        """
+        predicate = self._resolve_predicate(r, metric, predicate)
+        if config is not None:
+            cfg = config
+        elif self._default_config is not None:
+            cfg = self._default_config
+        else:
+            cfg = resolve_max_config(algorithm)
+        cfg = self._apply_overrides(
+            cfg, backend, time_limit, node_limit, executor, workers,
+            plan=plan, shm=shm, split_depth=split_depth,
+        )
+        mode = mode if mode is not None else cfg.mode
+        if mode not in QUERY_MODES:
+            raise InvalidParameterError(
+                f"mode must be one of {QUERY_MODES}, got {mode!r}"
+            )
+
+        if mode == "heuristic":
+            stats = SearchStats()
+            start = time.monotonic()
+            budget = Budget(cfg.time_limit, cfg.node_limit)
+            parts = self._prepare(k, predicate, cfg.backend, stats)
+            best: Optional[FrozenSet[int]] = None
+            for part in parts:
+                found = greedy_core_in_component(
+                    self._context(part, k, cfg, stats, budget)
+                )
+                if found is not None and (
+                    best is None or len(found) > len(best)
+                ):
+                    best = found
+            core = KRCore(best, k, predicate.r) if best else None
+            upper = self._maximum_upper_bound(
+                k, predicate, cfg, len(best) if best else 0, stats
+            )
+            stats.elapsed = time.monotonic() - start
+            self.total_stats.merge(stats)
+            outcome = MaximumOutcome(
+                core=core, mode=mode, status="heuristic", upper_bound=upper,
+            )
+            return (outcome, stats) if with_stats else outcome
+
+        run_cfg = cfg.evolve(on_budget="partial") if mode == "anytime" else cfg
+        core, stats = self._run_maximum(k, predicate, run_cfg)
+        self.total_stats.merge(stats)
+        size = core.size if core is not None else 0
+        if stats.timed_out:
+            upper = self._maximum_upper_bound(k, predicate, cfg, size, stats)
+            status = "budget"
+        else:
+            upper = size
+            status = "exact"
+        outcome = MaximumOutcome(
+            core=core, mode=mode, status=status, upper_bound=upper,
+        )
+        return (outcome, stats) if with_stats else outcome
+
+    def _maximum_upper_bound(
+        self,
+        k: int,
+        predicate: SimilarityPredicate,
+        cfg: SearchConfig,
+        incumbent_size: int,
+        stats: SearchStats,
+    ) -> int:
+        """Residual upper bound on the true maximum size.
+
+        Folds the incumbent with every per-component bound in the
+        result cache — ``("exact", core)`` entries contribute their true
+        size, ``("atmost", b)`` entries their proven bound, and
+        untouched components their vertex count (always sound).
+        """
+        fp = self._config_fingerprint(cfg)
+        parts = self._prepare(k, predicate, cfg.backend, stats)
+        upper = incumbent_size
+        for part in parts:
+            entry = self._result_get(("max", fp, k, part.signature))
+            if entry is None:
+                bound = len(part.vertices)
+            else:
+                tag, payload = entry
+                if tag == "exact":
+                    bound = len(payload) if payload is not None else 0
+                else:
+                    bound = min(payload, len(part.vertices))
+            upper = max(upper, bound)
+        return upper
+
+    def top_cores(
+        self,
+        k: int,
+        r: Optional[float] = None,
+        *,
+        t: int = 1,
+        metric: Union[str, Callable, None] = None,
+        predicate: Optional[SimilarityPredicate] = None,
+        algorithm: str = "advanced",
+        config: Optional[SearchConfig] = None,
+        backend: Optional[str] = None,
+        plan: Optional[Union[ExecutionPlan, dict]] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+        shm: Optional[bool] = None,
+        split_depth: Optional[int] = None,
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+        with_stats: bool = False,
+    ):
+        """The ``t`` largest maximal (k,r)-cores, budget-tolerant.
+
+        Runs the enumeration; when the budget trips, the cores the
+        completed components found are ranked instead of raising, and
+        the outcome carries ``status="budget"`` (larger cores may exist
+        in the unsearched components).  Returns a
+        :class:`~repro.core.results.TopCoresOutcome`.
+        """
+        if not isinstance(t, int) or isinstance(t, bool) or t < 1:
+            raise InvalidParameterError(
+                f"t must be a positive integer, got {t!r}"
+            )
+        try:
+            cores, stats = self.enumerate(
+                k, r, metric=metric, predicate=predicate,
+                algorithm=algorithm, config=config, backend=backend,
+                plan=plan, executor=executor, workers=workers, shm=shm,
+                split_depth=split_depth, time_limit=time_limit,
+                node_limit=node_limit, with_stats=True,
+            )
+        except SearchBudgetExceeded as exc:
+            cores, stats = exc.partial
+            cores = sorted(cores, key=lambda c: (-c.size, sorted(c.vertices)))
+            self.total_stats.merge(stats)
+        status = "budget" if stats.timed_out else "exact"
+        outcome = TopCoresOutcome(
+            cores=list(cores[:t]), t=t, status=status,
+            total_found=len(cores),
+        )
+        return (outcome, stats) if with_stats else outcome
+
     def statistics(
         self,
         k: int,
@@ -865,7 +1049,7 @@ class KRCoreSession:
         """
         return cfg.evolve(
             time_limit=None, node_limit=None, on_budget="raise",
-            executor="serial", workers=None,
+            executor="serial", workers=None, mode="exact",
         )
 
     def _run_enumeration(

@@ -42,6 +42,12 @@ from repro.datasets.registry import (
     default_predicate,
     load_dataset,
 )
+from repro.datasets.remote import (
+    REMOTE_DATASETS,
+    RemoteDataset,
+    fetch_dataset,
+    fetch_file,
+)
 from repro.datasets.synthetic import (
     random_attributed_graph,
     random_geo_graph,
@@ -65,6 +71,10 @@ __all__ = [
     "planted_communities",
     "planted_bridge_case_study",
     "DATASETS",
+    "REMOTE_DATASETS",
+    "RemoteDataset",
+    "fetch_dataset",
+    "fetch_file",
     "load_dataset",
     "default_predicate",
     "dataset_statistics",

@@ -24,6 +24,27 @@ class InvalidParameterError(ReproError, ValueError):
     """A parameter is outside its documented domain (e.g. ``k < 1``)."""
 
 
+class IngestError(GraphError):
+    """A streaming ingest run failed before a complete CSR was built.
+
+    Raised by :mod:`repro.graph.ingest` for malformed input (ragged
+    rows, non-integer ids, header/body disagreement), policy violations
+    (duplicate edges or self loops under ``"error"`` policies), and
+    memory-ceiling trips.  The ingester never hands back a partially
+    built graph: every failure is this exception.
+    """
+
+
+class RemoteDatasetError(ReproError):
+    """A remote-dataset fetch failed or was refused.
+
+    Raised by :mod:`repro.datasets.remote` for unknown dataset names,
+    download failures, and fingerprint-pin mismatches (a cached or
+    freshly downloaded file whose SHA-256 no longer matches the pinned
+    digest is never handed to the ingester).
+    """
+
+
 class MissingAttributeError(GraphError):
     """A similarity metric needed a vertex attribute that was never set."""
 

@@ -40,6 +40,12 @@ from repro.graph.kcore import (
     max_core_number,
     anchored_k_core,
 )
+from repro.graph.ingest import (
+    IngestStats,
+    csr_fingerprint,
+    ingest_attributed_graph,
+    ingest_edge_list,
+)
 
 __all__ = [
     "AttributedGraph",
@@ -62,4 +68,8 @@ __all__ = [
     "k_core_subgraph",
     "max_core_number",
     "anchored_k_core",
+    "IngestStats",
+    "csr_fingerprint",
+    "ingest_attributed_graph",
+    "ingest_edge_list",
 ]

@@ -23,17 +23,78 @@ import hashlib
 import os
 from typing import Any, Dict, Iterator, Optional, TextIO, Tuple, Union
 
-from repro.exceptions import GraphError
+from repro.exceptions import GraphError, IngestError
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.builder import GraphBuilder
 
 PathOrFile = Union[str, os.PathLike, TextIO]
 
+#: Accepted values of the ``self_loops`` / ``duplicates`` policy flags
+#: (shared with :mod:`repro.graph.ingest`).
+EDGE_POLICIES = ("skip", "error")
+
+#: Characters per raw read of the streaming line splitter.
+_READ_CHARS = 1 << 20
+
 
 def _open_for_read(source: PathOrFile):
     if hasattr(source, "read"):
         return source, False
-    return open(source, "r", encoding="utf-8"), True
+    # newline="" turns off the handle's own translation; the splitter
+    # below handles every line-ending convention identically for paths
+    # and caller-supplied objects.
+    return open(source, "r", encoding="utf-8", newline=""), True
+
+
+def _ends_with_break(text: str) -> bool:
+    # str.splitlines' break set, minus "\r" (handled by the hold logic).
+    return text.endswith(("\n", "\v", "\f", "\x1c", "\x1d", "\x1e",
+                          "\x85", "\u2028", "\u2029"))
+
+
+def iter_raw_lines(source: PathOrFile, read_chars: int = _READ_CHARS) -> Iterator[str]:
+    """Stream logical lines with universal newline handling.
+
+    Splits on ``\\n``, ``\\r\\n`` and bare ``\\r`` (classic-Mac dumps)
+    regardless of how the handle was opened — a caller-supplied
+    ``io.StringIO`` gets the same lines as a path, so a stray ``\\r``
+    can never survive into a token and silently change labels or
+    fingerprints.  Lines are yielded without their terminators; memory
+    is bounded by ``read_chars`` plus one logical line.
+    """
+    fh, should_close = _open_for_read(source)
+    try:
+        buf = ""
+        while True:
+            chunk = fh.read(read_chars)
+            if not chunk:
+                break
+            buf += chunk
+            if buf.endswith("\r"):
+                # The next read may start with "\n", completing a CRLF
+                # pair — hold the "\r" back until we can tell.
+                hold = "\r"
+                buf = buf[:-1]
+            else:
+                hold = ""
+            lines = buf.splitlines()
+            if buf and not _ends_with_break(buf):
+                buf = lines.pop() + hold
+            else:
+                buf = hold
+            yield from lines
+        if buf:
+            yield from buf.splitlines()
+    finally:
+        if should_close:
+            fh.close()
+
+
+def _check_edge_policy(name: str, value: str) -> None:
+    if value not in EDGE_POLICIES:
+        raise IngestError(
+            f"{name} policy must be one of {EDGE_POLICIES}, got {value!r}"
+        )
 
 
 def _open_for_write(target: PathOrFile):
@@ -62,54 +123,66 @@ def iter_edge_list(source: PathOrFile, sep: Optional[str] = None) -> Iterator[Tu
     """Yield ``(u, v)`` label pairs from an edge-list file.
 
     Lines starting with ``#`` and blank lines are skipped.  ``sep=None``
-    splits on any whitespace (the SNAP convention).
+    splits on any whitespace (the SNAP convention).  Line endings are
+    normalised (``\\n``, ``\\r\\n``, bare ``\\r``) before splitting, so a
+    carriage return never leaks into a label.
     """
-    fh, should_close = _open_for_read(source)
-    try:
-        for lineno, raw in enumerate(fh, start=1):
-            line = raw.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split(sep)
-            if len(parts) < 2:
-                raise GraphError(
-                    f"edge list line {lineno}: expected two fields, got {line!r}"
-                )
-            yield parts[0], parts[1]
-    finally:
-        if should_close:
-            fh.close()
+    for lineno, raw in enumerate(iter_raw_lines(source), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(sep)
+        if len(parts) < 2:
+            raise GraphError(
+                f"edge list line {lineno}: expected two fields, got {line!r}"
+            )
+        yield parts[0], parts[1]
 
 
 def _build_from_edge_lines(
-    builder: GraphBuilder, source: PathOrFile, sep: Optional[str]
+    builder: GraphBuilder,
+    source: PathOrFile,
+    sep: Optional[str],
+    self_loops: str = "skip",
+    duplicates: str = "skip",
 ) -> None:
     """Feed an edge-list file into ``builder``, honouring the vertex-count
     header: trailing isolated vertices (which have no edge lines to name
     them) are padded back in under their default labels."""
+    _check_edge_policy("self_loops", self_loops)
+    _check_edge_policy("duplicates", duplicates)
     declared: Optional[int] = None
-    fh, should_close = _open_for_read(source)
-    try:
-        for lineno, raw in enumerate(fh, start=1):
-            line = raw.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                if declared is None:
-                    declared = _parse_vertex_count_header(line)
-                continue
-            parts = line.split(sep)
-            if len(parts) < 2:
-                raise GraphError(
-                    f"edge list line {lineno}: expected two fields, got {line!r}"
+    seen: set = set()
+    for lineno, raw in enumerate(iter_raw_lines(source), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if declared is None:
+                declared = _parse_vertex_count_header(line)
+            continue
+        parts = line.split(sep)
+        if len(parts) < 2:
+            raise GraphError(
+                f"edge list line {lineno}: expected two fields, got {line!r}"
+            )
+        a, b = parts[0], parts[1]
+        if a == b:
+            if self_loops == "error":
+                raise IngestError(
+                    f"edge list line {lineno}: self loop on {a!r}"
                 )
-            a, b = parts[0], parts[1]
-            if a == b:
-                continue  # real SNAP dumps contain a few self loops
-            builder.add_edge(a, b)
-    finally:
-        if should_close:
-            fh.close()
+            continue  # real SNAP dumps contain a few self loops
+        pair = (a, b) if a <= b else (b, a)
+        if pair in seen:
+            if duplicates == "error":
+                raise IngestError(
+                    f"edge list line {lineno}: duplicate edge "
+                    f"({pair[0]!r}, {pair[1]!r})"
+                )
+            continue
+        seen.add(pair)
+        builder.add_edge(a, b)
     if declared is not None:
         candidate = builder.vertex_count
         while builder.vertex_count < declared:
@@ -121,18 +194,26 @@ def _build_from_edge_lines(
                 builder.add_vertex(label)
 
 
-def read_edge_list(source: PathOrFile, sep: Optional[str] = None) -> AttributedGraph:
+def read_edge_list(
+    source: PathOrFile,
+    sep: Optional[str] = None,
+    *,
+    self_loops: str = "skip",
+    duplicates: str = "skip",
+) -> AttributedGraph:
     """Load an edge-list file into an :class:`AttributedGraph`.
 
     Vertex labels are kept (accessible through ``graph.label``); ids are
-    assigned in order of first appearance.  Duplicate edges collapse;
-    self loops are skipped (real SNAP dumps contain a few).  A
+    assigned in order of first appearance.  ``self_loops`` and
+    ``duplicates`` take the ingester's policy values (``"skip"`` — the
+    default, matching real SNAP dumps — or ``"error"``).  A
     ``# nodes N edges M`` header (as written by :func:`write_edge_list`)
     restores isolated vertices, so a graph with attributeless isolated
-    vertices round-trips losslessly.
+    vertices round-trips losslessly.  All line-ending conventions are
+    accepted, including from caller-supplied file objects.
     """
     builder = GraphBuilder()
-    _build_from_edge_lines(builder, source, sep)
+    _build_from_edge_lines(builder, source, sep, self_loops, duplicates)
     return builder.build()
 
 
@@ -173,19 +254,14 @@ def parse_attribute_line(line: str, kind: str) -> Tuple[str, Any]:
 
 def read_attributes(source: PathOrFile, kind: str) -> Dict[str, Any]:
     """Load a whole attribute file into ``label -> value``."""
-    fh, should_close = _open_for_read(source)
-    try:
-        out: Dict[str, Any] = {}
-        for raw in fh:
-            line = raw.strip()
-            if not line or line.startswith("#"):
-                continue
-            label, value = parse_attribute_line(line, kind)
-            out[label] = value
-        return out
-    finally:
-        if should_close:
-            fh.close()
+    out: Dict[str, Any] = {}
+    for raw in iter_raw_lines(source):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        label, value = parse_attribute_line(line, kind)
+        out[label] = value
+    return out
 
 
 def read_attributed_graph(
@@ -193,16 +269,21 @@ def read_attributed_graph(
     attr_source: PathOrFile,
     kind: str,
     sep: Optional[str] = None,
+    *,
+    self_loops: str = "skip",
+    duplicates: str = "skip",
 ) -> AttributedGraph:
     """Load edges + attributes in one call.
 
     Vertices that appear only in the attribute file are added as isolated
     vertices; vertices missing an attribute keep ``None`` (similarity
     metrics raise :class:`MissingAttributeError` if they are reached,
-    which preprocessing normally prevents by k-core pruning).
+    which preprocessing normally prevents by k-core pruning).  The
+    ``self_loops``/``duplicates`` policy flags match
+    :func:`read_edge_list`.
     """
     builder = GraphBuilder()
-    _build_from_edge_lines(builder, edge_source, sep)
+    _build_from_edge_lines(builder, edge_source, sep, self_loops, duplicates)
     for label, value in read_attributes(attr_source, kind).items():
         builder.set_attribute(label, value)
     return builder.build()
@@ -224,17 +305,23 @@ def graph_fingerprint(graph: AttributedGraph) -> str:
     for u in sorted(graph.vertices()):
         if not graph.has_attribute(u):
             continue
-        attr = graph.attribute(u)
-        if isinstance(attr, (frozenset, set)):
-            canon = "s:" + ",".join(sorted(map(str, attr)))
-        elif isinstance(attr, dict):
-            canon = "d:" + ",".join(
-                f"{key}={attr[key]!r}" for key in sorted(attr)
-            )
-        else:
-            canon = f"v:{attr!r}"
+        canon = _canonical_attribute(graph.attribute(u))
         h.update(f"a {u} {canon}\n".encode())
     return h.hexdigest()
+
+
+def _canonical_attribute(attr: Any) -> str:
+    """Order-independent serialisation of one attribute value.
+
+    Shared by :func:`graph_fingerprint` and the CSR-native
+    :func:`repro.graph.ingest.csr_fingerprint` so both produce identical
+    digests for identical content.
+    """
+    if isinstance(attr, (frozenset, set)):
+        return "s:" + ",".join(sorted(map(str, attr)))
+    if isinstance(attr, dict):
+        return "d:" + ",".join(f"{key}={attr[key]!r}" for key in sorted(attr))
+    return f"v:{attr!r}"
 
 
 def write_edge_list(graph: AttributedGraph, target: PathOrFile) -> None:

@@ -40,7 +40,7 @@ from repro.serve.service import KRCoreService
 _MAX_BODY = 16 * 1024 * 1024
 
 _POST_OPS = (
-    "enumerate", "maximum", "statistics", "sweep", "edit", "flush",
+    "enumerate", "maximum", "top", "statistics", "sweep", "edit", "flush",
 )
 
 

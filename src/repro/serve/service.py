@@ -39,6 +39,7 @@ from repro.core.session import KRCoreSession
 from repro.exceptions import (
     InvalidParameterError,
     ReproError,
+    SearchBudgetExceeded,
     ServiceError,
     StoreError,
 )
@@ -46,7 +47,7 @@ from repro.graph.io import graph_fingerprint
 from repro.store import GraphStore, codec
 
 #: Read operations eligible for request coalescing.
-_READ_OPS = ("enumerate", "maximum", "statistics", "sweep")
+_READ_OPS = ("enumerate", "maximum", "top", "statistics", "sweep")
 
 
 def _coerce_bool(value: Any) -> bool:
@@ -305,7 +306,8 @@ class KRCoreService:
 
     def _dispatch(self, entry: _GraphEntry, op: str, params: Dict[str, Any]):
         session = entry.session
-        kwargs = self._query_kwargs(params)
+        extra = {"maximum": ("mode",), "top": ("t",)}.get(op, ())
+        kwargs = self._query_kwargs(params, extra=extra)
         with_stats = bool(params.get("with_stats", False))
         if op == "sweep":
             ks = params.get("ks")
@@ -334,12 +336,56 @@ class KRCoreService:
                 "cores": [sorted(core.vertices) for core in cores],
             }
         elif op == "maximum":
-            core, stats = session.maximum(k, r, with_stats=True, **kwargs)
-            out = {
-                "k": k, "r": r,
-                "core": sorted(core.vertices) if core is not None else None,
-                "size": core.size if core is not None else 0,
-            }
+            mode = params.get("mode")
+            if mode is not None:
+                # Degraded-capable path: anytime/heuristic answers carry
+                # their status and residual bound gap.
+                try:
+                    outcome, stats = session.maximum_outcome(
+                        k, r, mode=str(mode), with_stats=True, **kwargs
+                    )
+                    payload = outcome.to_dict()
+                    payload["core"] = payload["vertices"]
+                except SearchBudgetExceeded as exc:
+                    # mode="exact" with a raising budget still surfaces
+                    # the incumbent the session holds, never a bare 500.
+                    core, stats = exc.partial
+                    payload = {
+                        "mode": str(mode), "status": "budget",
+                        "size": core.size if core is not None else 0,
+                        "core": (
+                            sorted(core.vertices)
+                            if core is not None else None
+                        ),
+                    }
+                out = {"k": k, "r": r, **payload}
+            else:
+                try:
+                    core, stats = session.maximum(
+                        k, r, with_stats=True, **kwargs
+                    )
+                    status = "ok"
+                except SearchBudgetExceeded as exc:
+                    core, stats = exc.partial
+                    status = "budget"
+                out = {
+                    "k": k, "r": r,
+                    "status": status,
+                    "core": (
+                        sorted(core.vertices) if core is not None else None
+                    ),
+                    "size": core.size if core is not None else 0,
+                }
+        elif op == "top":
+            t = params.get("t", 1)
+            if isinstance(t, bool) or not isinstance(t, int) or t < 1:
+                raise ServiceError(
+                    f"parameter 't' must be a positive integer, got {t!r}"
+                )
+            outcome, stats = session.top_cores(
+                k, r, t=t, with_stats=True, **kwargs
+            )
+            out = {"k": k, "r": r, **outcome.to_dict()}
         else:  # statistics
             summary, stats = session.statistics(k, r, with_stats=True, **kwargs)
             out = {"k": k, "r": r, **summary}
@@ -348,7 +394,9 @@ class KRCoreService:
         entry.dirty = True
         return out
 
-    def _query_kwargs(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _query_kwargs(
+        self, params: Dict[str, Any], extra: Tuple[str, ...] = ()
+    ) -> Dict[str, Any]:
         kwargs: Dict[str, Any] = {}
         plan_given = params.get("plan") is not None
         for knob, coerce in _QUERY_KNOBS.items():
@@ -369,6 +417,7 @@ class KRCoreService:
             set(params)
             - set(_QUERY_KNOBS)
             - {"k", "r", "ks", "rs", "with_stats"}
+            - set(extra)
         )
         if unknown:
             raise ServiceError(f"unknown parameters: {sorted(unknown)}")

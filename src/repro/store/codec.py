@@ -33,7 +33,7 @@ _CONFIG_FIELDS = (
     "order", "branch", "lam", "retain_candidates", "move_similarity_free",
     "early_termination", "maximal_check", "check_order", "bound",
     "warm_start", "backend", "executor", "workers", "shm", "split_depth",
-    "seed", "time_limit", "node_limit", "on_budget",
+    "seed", "time_limit", "node_limit", "on_budget", "mode",
 )
 
 

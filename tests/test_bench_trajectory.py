@@ -225,6 +225,65 @@ class TestBenchPayloadIngest:
                 {"benchmark": "x", "mode": "smoke"}, 0.025, "r", "t",
             )
 
+    def test_unknown_mode_refused(self):
+        with pytest.raises(TrajectoryError, match="mode"):
+            records_from_bench_payload(
+                {"benchmark": "x", "mode": "custom",
+                 "points": [{"series": "a", "seconds": 0.1}]},
+                0.025, "r", "t",
+            )
+
+    def test_masquerading_registered_series_refused(self):
+        # a payload whose point, prefixed with its mode, lands exactly
+        # on a runner-owned series must be rejected: it would pollute
+        # the history the regression gate reads
+        registered = workload_matrix("smoke")[0].series("smoke")
+        bare = registered.split(":", 1)[1]
+        payload = {
+            "benchmark": "evil", "mode": "smoke",
+            "points": [{"series": bare, "seconds": 0.001}],
+        }
+        with pytest.raises(TrajectoryError, match="shadows"):
+            records_from_bench_payload(payload, 0.025, "r", "t")
+
+    def test_full_mode_series_also_guarded(self):
+        registered = workload_matrix("full")[0].series("full")
+        bare = registered.split(":", 1)[1]
+        payload = {
+            "benchmark": "evil", "mode": "full",
+            "points": [{"series": bare, "seconds": 0.001}],
+        }
+        with pytest.raises(TrajectoryError, match="shadows"):
+            records_from_bench_payload(payload, 0.025, "r", "t")
+
+    def test_malformed_point_refused(self):
+        for bad in (
+            "not-a-dict",
+            {"seconds": 0.1},
+            {"series": 7, "seconds": 0.1},
+        ):
+            with pytest.raises(TrajectoryError, match="series"):
+                records_from_bench_payload(
+                    {"benchmark": "x", "mode": "smoke", "points": [bad]},
+                    0.025, "r", "t",
+                )
+
+    def test_non_finite_or_negative_seconds_refused(self):
+        for bad in (float("nan"), float("inf"), -1.0, "soon", None):
+            with pytest.raises(TrajectoryError, match="seconds"):
+                records_from_bench_payload(
+                    {"benchmark": "x", "mode": "smoke",
+                     "points": [{"series": "a", "seconds": bad}]},
+                    0.025, "r", "t",
+                )
+
+    def test_points_must_be_a_list(self):
+        with pytest.raises(TrajectoryError, match="list"):
+            records_from_bench_payload(
+                {"benchmark": "x", "mode": "smoke", "points": "nope"},
+                0.025, "r", "t",
+            )
+
 
 class TestFaultInjection:
     def _smoke_workload(self):
@@ -469,6 +528,25 @@ class TestCLI:
         assert code == 0
         (record,) = load_trajectory(str(path))
         assert record.series == "smoke:bench/demo/a/b"
+
+    def test_ingest_refuses_shadowing_payload(self, tmp_path, capsys):
+        bare = workload_matrix("smoke")[0].series("smoke").split(":", 1)[1]
+        payload = {
+            "payload_version": 1, "benchmark": "evil", "mode": "smoke",
+            "workload": {}, "rows": [], "gates": {"passed": True},
+            "points": [{"series": bare, "seconds": 0.001}], "extras": {},
+        }
+        bench_json = tmp_path / "bench.json"
+        bench_json.write_text(json.dumps(payload))
+        path = tmp_path / "t.json"
+        code = trajectory_main([
+            "--trajectory", str(path), "--no-report",
+            "--ingest", str(bench_json), "--run-id", "r1",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "shadows" in err
+        assert not path.exists()  # nothing was appended
 
 
 class TestReport:

@@ -1,6 +1,6 @@
 """Every standalone benchmark's ``--json`` payload shares one schema.
 
-The six ``benchmarks/bench_*.py`` scripts used to emit six ad-hoc JSON
+The ``benchmarks/bench_*.py`` scripts used to emit ad-hoc JSON
 shapes; they now all build a :class:`benchmarks._fixtures.BenchResult`.
 This suite runs each script's ``main()`` in-process in smoke mode and
 validates the written payload with the same strict checker the
@@ -29,6 +29,7 @@ BENCH_SCRIPTS = (
     "bench_parallel_components",
     "bench_edit_stream",
     "bench_service",
+    "bench_degraded_modes",
 )
 
 

@@ -189,3 +189,72 @@ class TestSweepCommand:
         ])
         assert code == 0
         assert "session reuse:" in capsys.readouterr().out
+
+class TestDegradedModeFlags:
+    def test_maximum_mode_anytime(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "maximum", "--edges", edges, "--attrs", attrs,
+            "--attr-kind", "set", "--k", "2", "--r", "0.5",
+            "--mode", "anytime",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "anytime (2,0.5)-core: 3 vertices" in out
+        assert "[exact, gap <= 0" in out
+
+    def test_maximum_mode_heuristic(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "maximum", "--edges", edges, "--attrs", attrs,
+            "--attr-kind", "set", "--k", "2", "--r", "0.5",
+            "--mode", "heuristic",
+        ])
+        assert code == 0
+        assert "[heuristic," in capsys.readouterr().out
+
+    def test_maximum_mode_anytime_with_node_limit(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "maximum", "--edges", edges, "--attrs", attrs,
+            "--attr-kind", "set", "--k", "2", "--r", "0.5",
+            "--mode", "anytime", "--node-limit", "1",
+        ])
+        assert code == 0  # never a crash: budget answers are partial
+
+    def test_mine_top(self, file_graph, capsys):
+        edges, attrs = file_graph
+        code = main([
+            "mine", "--edges", edges, "--attrs", attrs,
+            "--attr-kind", "set", "--k", "2", "--r", "0.5", "--top", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top 1 of 2 maximal (2,0.5)-cores" in out
+
+
+class TestStoreFetchCommand:
+    def test_fetch_ad_hoc_url_into_store(self, tmp_path, capsys):
+        upstream = tmp_path / "edges.txt"
+        upstream.write_text("# nodes 4 edges 3\n0 1\n1 2\n2 3\n")
+        db = str(tmp_path / "cli.db")
+        code = main([
+            "store", "fetch", "fetched", "--db", db,
+            "--edges-url", upstream.as_uri(),
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fetched 'fetched': n=4 m=3" in out
+
+        code = main(["store", "list", "--db", db])
+        assert code == 0
+        assert "fetched" in capsys.readouterr().out
+
+    def test_fetch_without_source_errors(self, tmp_path, capsys):
+        code = main([
+            "store", "fetch", "unregistered",
+            "--db", str(tmp_path / "cli.db"),
+        ])
+        assert code == 2
+        assert "store fetch needs" in capsys.readouterr().err

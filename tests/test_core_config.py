@@ -127,3 +127,24 @@ class TestResolvers:
     def test_max_unknown(self):
         with pytest.raises(InvalidParameterError):
             resolve_max_config("wat")
+
+class TestQueryMode:
+    def test_default_mode_exact(self):
+        assert SearchConfig().mode == "exact"
+
+    @pytest.mark.parametrize("mode", ["exact", "anytime", "heuristic"])
+    def test_valid_modes(self, mode):
+        assert SearchConfig(mode=mode).mode == mode
+
+    def test_invalid_mode(self):
+        with pytest.raises(InvalidParameterError, match="mode"):
+            SearchConfig(mode="psychic")
+
+    def test_evolve_mode(self):
+        cfg = basic_max_config().evolve(mode="anytime")
+        assert cfg.mode == "anytime"
+
+    def test_codec_round_trips_mode(self):
+        from repro.store.codec import decode_config, encode_config
+        cfg = SearchConfig(mode="heuristic")
+        assert decode_config(encode_config(cfg)).mode == "heuristic"

@@ -342,3 +342,102 @@ class TestSweep:
         assert len(rows) == 6
         assert stats.reused_filters >= 1   # each r's filter shared across k
         assert stats.seeded_peels >= 1     # k=3 peels seeded from k=2
+
+class TestDegradedModes:
+    """Anytime / heuristic / top-t query modes (ISSUE 10)."""
+
+    def _graph(self):
+        return make_random_attr_graph(2, n=30)
+
+    def test_anytime_untripped_identical_to_exact(self):
+        exact = KRCoreSession(self._graph()).maximum(2, 0.3)
+        out = KRCoreSession(self._graph()).maximum_outcome(
+            2, 0.3, mode="anytime"
+        )
+        assert out.status == "exact"
+        assert out.gap == 0
+        assert out.core is not None
+        assert out.core.vertices == exact.vertices
+
+    def test_exact_mode_matches_maximum(self):
+        session = KRCoreSession(self._graph())
+        exact = session.maximum(2, 0.3)
+        out = session.maximum_outcome(2, 0.3, mode="exact")
+        assert out.status == "exact"
+        assert out.core.vertices == exact.vertices
+
+    def test_anytime_budget_returns_incumbent_with_gap(self):
+        # cold session: node_limit=1 provably trips on this graph
+        out = KRCoreSession(self._graph()).maximum_outcome(
+            2, 0.3, mode="anytime", node_limit=1
+        )
+        assert out.status == "budget"
+        assert out.upper_bound >= out.size
+        assert out.gap == out.upper_bound - out.size
+
+    def test_exact_mode_still_raises_on_budget(self):
+        with pytest.raises(SearchBudgetExceeded):
+            KRCoreSession(self._graph()).maximum_outcome(
+                2, 0.3, mode="exact", node_limit=1
+            )
+
+    def test_heuristic_brackets_exact(self):
+        exact = KRCoreSession(self._graph()).maximum(2, 0.3)
+        out = KRCoreSession(self._graph()).maximum_outcome(
+            2, 0.3, mode="heuristic"
+        )
+        assert out.status == "heuristic"
+        assert out.size <= exact.size <= out.upper_bound
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(InvalidParameterError, match="mode"):
+            KRCoreSession(self._graph()).maximum_outcome(
+                2, 0.3, mode="psychic"
+            )
+
+    def test_outcome_to_dict_shape(self):
+        out = KRCoreSession(self._graph()).maximum_outcome(
+            2, 0.3, mode="anytime"
+        )
+        d = out.to_dict()
+        assert d["mode"] == "anytime"
+        assert d["status"] == "exact"
+        assert d["size"] == len(d["vertices"])
+        assert d["gap"] == 0
+
+    def test_top_cores_are_largest_maximal_cores(self):
+        session = KRCoreSession(self._graph())
+        cores = session.enumerate(2, 0.3)
+        out = session.top_cores(2, 0.3, t=3)
+        assert out.status == "exact"
+        assert out.total_found == len(cores)
+        want = sorted(
+            cores, key=lambda c: (-c.size, sorted(c.vertices))
+        )[:3]
+        assert [sorted(c.vertices) for c in out.cores] == \
+            [sorted(c.vertices) for c in want]
+
+    def test_top_cores_t_larger_than_found(self):
+        session = KRCoreSession(self._graph())
+        out = session.top_cores(2, 0.3, t=10 ** 6)
+        assert len(out.cores) == out.total_found
+
+    def test_top_cores_bad_t(self):
+        session = KRCoreSession(self._graph())
+        for bad in (0, -1, True, 1.5):
+            with pytest.raises(InvalidParameterError):
+                session.top_cores(2, 0.3, t=bad)
+
+    def test_top_cores_budget_returns_partial(self):
+        out = KRCoreSession(self._graph()).top_cores(
+            2, 0.3, t=3, node_limit=1
+        )
+        assert out.status == "budget"
+        assert isinstance(out.cores, list)
+
+    def test_config_mode_field_drives_default(self):
+        cfg = basic_enum_config().evolve(mode="heuristic")
+        out = KRCoreSession(self._graph()).maximum_outcome(
+            2, 0.3, config=cfg
+        )
+        assert out.status == "heuristic"

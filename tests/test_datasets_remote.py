@@ -1,0 +1,158 @@
+"""Remote dataset registry: cache reuse, TOFU pinning, tamper refusal.
+
+Everything runs offline over ``file://`` URLs — the tests never touch
+the network.
+"""
+
+import gzip
+import json
+
+import pytest
+
+from repro.datasets.remote import (
+    PIN_FILE,
+    REMOTE_DATASETS,
+    RemoteDataset,
+    default_cache_dir,
+    fetch_dataset,
+    fetch_file,
+    resolve_remote,
+)
+from repro.exceptions import IngestError, RemoteDatasetError
+
+EDGES = "# nodes 4 edges 3\n0 1\n1 2\n2 3\n"
+
+
+@pytest.fixture
+def edges_url(tmp_path):
+    src = tmp_path / "upstream" / "edges.txt"
+    src.parent.mkdir()
+    src.write_text(EDGES)
+    return src.as_uri()
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return tmp_path / "cache"
+
+
+class TestFetchFile:
+    def test_fetch_and_pin(self, edges_url, cache):
+        path = fetch_file(edges_url, cache_dir=cache)
+        assert path.read_text() == EDGES
+        pins = json.loads((cache / PIN_FILE).read_text())
+        assert edges_url in pins
+
+    def test_cached_reuse_without_refetch(self, edges_url, cache, tmp_path):
+        first = fetch_file(edges_url, cache_dir=cache)
+        # delete the upstream file: a cache hit must not touch it
+        (tmp_path / "upstream" / "edges.txt").unlink()
+        second = fetch_file(edges_url, cache_dir=cache)
+        assert second == first
+        assert second.read_text() == EDGES
+
+    def test_upstream_tamper_refused_on_refresh(
+        self, edges_url, cache, tmp_path
+    ):
+        fetch_file(edges_url, cache_dir=cache)
+        (tmp_path / "upstream" / "edges.txt").write_text("0 1\n")
+        with pytest.raises(RemoteDatasetError, match="fingerprint pin"):
+            fetch_file(edges_url, cache_dir=cache, refresh=True)
+
+    def test_cache_tamper_refused(self, edges_url, cache):
+        path = fetch_file(edges_url, cache_dir=cache)
+        path.write_text("0 1\nevil row\n")
+        with pytest.raises(RemoteDatasetError, match="fingerprint pin"):
+            fetch_file(edges_url, cache_dir=cache)
+
+    def test_refresh_recovers_tampered_cache(self, edges_url, cache):
+        path = fetch_file(edges_url, cache_dir=cache)
+        path.write_text("tampered")
+        fixed = fetch_file(edges_url, cache_dir=cache, refresh=True)
+        assert fixed.read_text() == EDGES
+
+    def test_explicit_pin_wins(self, edges_url, cache):
+        with pytest.raises(RemoteDatasetError, match="fingerprint pin"):
+            fetch_file(
+                edges_url, cache_dir=cache, expected_sha256="0" * 64
+            )
+
+    def test_gzip_decompressed_and_pin_covers_plain_bytes(
+        self, cache, tmp_path
+    ):
+        gz = tmp_path / "edges.txt.gz"
+        gz.write_bytes(gzip.compress(EDGES.encode()))
+        path = fetch_file(gz.as_uri(), cache_dir=cache)
+        assert path.read_text() == EDGES
+        assert not path.name.endswith(".gz")
+
+    def test_missing_url_is_typed_error(self, cache, tmp_path):
+        missing = (tmp_path / "nope.txt").as_uri()
+        with pytest.raises(RemoteDatasetError, match="download"):
+            fetch_file(missing, cache_dir=cache)
+
+    def test_corrupt_pin_file_is_typed_error(self, edges_url, cache):
+        cache.mkdir()
+        (cache / PIN_FILE).write_text("not json{")
+        with pytest.raises(RemoteDatasetError, match="pin file"):
+            fetch_file(edges_url, cache_dir=cache)
+
+
+class TestRegistry:
+    def test_papers_snap_networks_registered(self):
+        assert {
+            "snap-brightkite", "snap-gowalla", "snap-dblp", "snap-pokec"
+        } <= set(REMOTE_DATASETS)
+
+    def test_resolve_by_name(self):
+        assert resolve_remote("snap-dblp").name == "snap-dblp"
+
+    def test_resolve_passthrough(self):
+        spec = RemoteDataset(name="x", edges_url="file:///tmp/x")
+        assert resolve_remote(spec) is spec
+
+    def test_unknown_name(self):
+        with pytest.raises(RemoteDatasetError, match="unknown remote"):
+            resolve_remote("snap-missing")
+
+    def test_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+
+class TestFetchDataset:
+    def test_ad_hoc_spec_to_csr(self, edges_url, cache):
+        spec = RemoteDataset(name="local", edges_url=edges_url)
+        g, stats = fetch_dataset(
+            spec, cache_dir=cache, with_stats=True
+        )
+        assert g.vertex_count == 4
+        assert g.edge_count == 3
+        assert stats.edge_lines == 3
+
+    def test_memory_limit_passed_through(self, cache, tmp_path):
+        big = tmp_path / "big.txt"
+        big.write_text("\n".join(f"{i} {i + 1}" for i in range(5000)))
+        spec = RemoteDataset(name="big", edges_url=big.as_uri())
+        with pytest.raises(IngestError, match="memory ceiling"):
+            # the tiny ceiling trips inside the ingester; fetch_dataset
+            # must not swallow it into a partial graph
+            fetch_dataset(spec, cache_dir=cache, memory_limit_mb=0.001)
+
+    def test_attrs_url_without_kind_refused(self, edges_url, cache):
+        spec = RemoteDataset(
+            name="x", edges_url=edges_url, attrs_url=edges_url
+        )
+        with pytest.raises(RemoteDatasetError, match="attr_kind"):
+            fetch_dataset(spec, cache_dir=cache)
+
+    def test_attributed_dataset(self, edges_url, cache, tmp_path):
+        attrs = tmp_path / "attrs.txt"
+        attrs.write_text("0 a\n1 b\n2 c\n3 d\n")
+        spec = RemoteDataset(
+            name="attrd", edges_url=edges_url,
+            attrs_url=attrs.as_uri(), attr_kind="set",
+        )
+        g = fetch_dataset(spec, cache_dir=cache)
+        assert g.has_attribute(0)
+        assert g.attribute(3) == frozenset({"d"})

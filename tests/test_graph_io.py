@@ -4,10 +4,11 @@ import io
 
 import pytest
 
-from repro.exceptions import GraphError
+from repro.exceptions import GraphError, IngestError
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.io import (
     graph_fingerprint,
+    iter_raw_lines,
     parse_attribute_line,
     read_attributed_graph,
     read_attributes,
@@ -198,3 +199,122 @@ class TestLosslessRoundTrips:
         write_attributes(g, apath, "counter")
         g2 = read_attributed_graph(epath, apath, "counter")
         assert graph_fingerprint(g2) == graph_fingerprint(g)
+
+class TestLineEndings:
+    """CRLF/CR regression: with ``sep=None``, a Windows edge file used to
+    produce labels with a trailing ``\\r`` glued on (``"b\\r" != "b"``),
+    silently doubling the vertex count."""
+
+    def test_crlf_file_fixture(self, tmp_path):
+        path = tmp_path / "edges_crlf.txt"
+        path.write_bytes(b"# comment\r\na b\r\nb c\r\n")
+        g = read_edge_list(path)
+        assert g.vertex_count == 3
+        assert g.edge_count == 2
+        assert {g.label(u) for u in g.vertices()} == {"a", "b", "c"}
+
+    def test_cr_only_file_fixture(self, tmp_path):
+        path = tmp_path / "edges_cr.txt"
+        path.write_bytes(b"a b\rb c\rc d\r")
+        g = read_edge_list(path)
+        assert g.edge_count == 3
+        assert {g.label(u) for u in g.vertices()} == {"a", "b", "c", "d"}
+
+    def test_mixed_endings_file_fixture(self, tmp_path):
+        path = tmp_path / "edges_mixed.txt"
+        path.write_bytes(b"a b\r\nb c\nc d\rd e\r\n")
+        g = read_edge_list(path)
+        assert g.edge_count == 4
+        assert g.vertex_count == 5
+
+    def test_crlf_stream(self):
+        g = read_edge_list(io.StringIO("a b\r\nb c\r\n"))
+        assert {g.label(u) for u in g.vertices()} == {"a", "b", "c"}
+
+    def test_crlf_header_counts_respected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_bytes(b"# nodes 4 edges 1\r\na b\r\n")
+        g = read_edge_list(path)
+        assert g.vertex_count == 4
+
+    def test_crlf_with_custom_separator(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_bytes(b"a,b\r\nb,c\r\n")
+        g = read_edge_list(path, sep=",")
+        assert {g.label(u) for u in g.vertices()} == {"a", "b", "c"}
+
+    def test_crlf_attributes(self, tmp_path):
+        path = tmp_path / "attrs.txt"
+        path.write_bytes(b"u1 rock jazz\r\nu2 pop\r\n")
+        attrs = read_attributes(path, "set")
+        assert attrs["u1"] == frozenset({"rock", "jazz"})
+        assert attrs["u2"] == frozenset({"pop"})
+
+    def test_crlf_attributed_graph_fingerprint(self, tmp_path):
+        # byte-identical graphs whether the files use LF or CRLF
+        lf_e, lf_a = tmp_path / "e_lf.txt", tmp_path / "a_lf.txt"
+        lf_e.write_bytes(b"u1 u2\nu2 u3\n")
+        lf_a.write_bytes(b"u1 x\nu2 y\nu3 z\n")
+        crlf_e, crlf_a = tmp_path / "e_crlf.txt", tmp_path / "a_crlf.txt"
+        crlf_e.write_bytes(b"u1 u2\r\nu2 u3\r\n")
+        crlf_a.write_bytes(b"u1 x\r\nu2 y\r\nu3 z\r\n")
+        g_lf = read_attributed_graph(lf_e, lf_a, "set")
+        g_crlf = read_attributed_graph(crlf_e, crlf_a, "set")
+        assert graph_fingerprint(g_crlf) == graph_fingerprint(g_lf)
+
+
+class TestIterRawLines:
+    def test_mixed_endings(self):
+        src = io.StringIO("a\rb\r\nc\nd")
+        assert list(iter_raw_lines(src)) == ["a", "b", "c", "d"]
+
+    def test_crlf_straddles_read_boundary(self):
+        # "\r" as the last char of one read, "\n" first of the next,
+        # must still count as ONE line break
+        src = io.StringIO("ab\r\ncd\r\nef")
+        assert list(iter_raw_lines(src, read_chars=3)) == ["ab", "cd", "ef"]
+
+    def test_cr_at_eof(self):
+        assert list(iter_raw_lines(io.StringIO("ab\r"), read_chars=2)) == ["ab"]
+
+    def test_unicode_line_breaks(self):
+        src = io.StringIO("a b c\x85d")
+        assert list(iter_raw_lines(src)) == ["a", "b", "c", "d"]
+
+    def test_empty_source(self):
+        assert list(iter_raw_lines(io.StringIO(""))) == []
+
+
+class TestEdgePolicies:
+    def test_self_loops_error(self):
+        with pytest.raises(IngestError, match="self loop"):
+            read_edge_list(io.StringIO("a a\n"), self_loops="error")
+
+    def test_self_loops_skip_default(self):
+        g = read_edge_list(io.StringIO("a a\na b\n"))
+        assert g.edge_count == 1
+
+    def test_duplicates_error(self):
+        with pytest.raises(IngestError, match="duplicate"):
+            read_edge_list(io.StringIO("a b\na b\n"), duplicates="error")
+
+    def test_duplicates_error_catches_reversed_pair(self):
+        with pytest.raises(IngestError, match="duplicate"):
+            read_edge_list(io.StringIO("a b\nb a\n"), duplicates="error")
+
+    def test_duplicates_skip_default(self):
+        g = read_edge_list(io.StringIO("a b\nb a\na b\n"))
+        assert g.edge_count == 1
+
+    def test_bad_policy_value(self):
+        with pytest.raises(IngestError, match="self_loops"):
+            read_edge_list(io.StringIO("a b\n"), self_loops="wat")
+
+    def test_policies_on_attributed_graph(self, tmp_path):
+        epath, apath = tmp_path / "e.txt", tmp_path / "a.txt"
+        epath.write_bytes(b"u1 u1\r\nu1 u2\r\n")
+        apath.write_bytes(b"u1 x\r\nu2 y\r\n")
+        g = read_attributed_graph(epath, apath, "set")
+        assert g.edge_count == 1
+        with pytest.raises(IngestError, match="self loop"):
+            read_attributed_graph(epath, apath, "set", self_loops="error")

@@ -376,3 +376,141 @@ def test_urlopen_get_404_maps(http_server):
     with pytest.raises(urllib.error.HTTPError) as err:
         urllib.request.urlopen(http_server + "/graphs/g/unknown", timeout=10)
     assert err.value.code == 404
+
+# A graph whose k=2, r=0.3 maximum search provably needs more than one
+# search node, so ``node_limit=1`` trips even on a cold session.
+def hard_graph():
+    return make_random_attr_graph(2, n=30)
+
+
+@pytest.fixture
+def hard_service(tmp_path):
+    db = str(tmp_path / "hard.db")
+    with GraphStore(db) as store:
+        store.save_graph("b", hard_graph())
+    svc = KRCoreService(GraphStore(db))
+    yield svc
+    svc.close()
+
+
+@pytest.fixture
+def hard_http_server(tmp_path):
+    db = str(tmp_path / "hard_http.db")
+    with GraphStore(db) as store:
+        store.save_graph("b", hard_graph())
+    service = KRCoreService(GraphStore(db))
+    server = make_server(service, port=0)
+    ready = threading.Event()
+    thread = threading.Thread(target=run_server, args=(server, ready))
+    thread.start()
+    assert ready.wait(5.0)
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.stop()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+
+
+class TestMaximumBudgetPartial:
+    """A budget-tripped maximum returns a partial incumbent with
+    ``"status": "budget"`` — never a bare 500 (regression)."""
+
+    def test_legacy_maximum_reports_ok_status(self, service):
+        out = service.handle("g", "maximum", {"k": 2, "r": 0.3})
+        assert out["status"] == "ok"
+
+    def test_budget_trip_returns_partial_not_error(self, hard_service):
+        # cold service: the budget must charge real search nodes
+        out = hard_service.handle(
+            "b", "maximum", {"k": 2, "r": 0.3, "node_limit": 1},
+        )
+        assert out["status"] == "budget"
+        assert "size" in out and "core" in out
+
+    def test_budget_partial_over_http(self, hard_http_server):
+        status, body = _post(
+            hard_http_server, "/graphs/b/maximum",
+            {"k": 2, "r": 0.3, "node_limit": 1},
+        )
+        assert status == 200
+        assert body["status"] == "budget"
+
+
+class TestDegradedModes:
+    def test_mode_exact_matches_legacy(self, service):
+        legacy = service.handle("h", "maximum", {"k": 2, "r": 0.3})
+        out = service.handle(
+            "h", "maximum", {"k": 2, "r": 0.3, "mode": "exact"},
+        )
+        assert out["status"] == "exact"
+        assert out["size"] == legacy["size"]
+        assert out["core"] == legacy["core"]
+        assert out["gap"] == 0
+
+    def test_mode_anytime_untripped_is_exact(self, service):
+        exact = service.handle("g", "maximum", {"k": 2, "r": 0.3})
+        out = service.handle(
+            "g", "maximum", {"k": 2, "r": 0.3, "mode": "anytime"},
+        )
+        assert out["status"] == "exact"
+        assert out["core"] == exact["core"]
+
+    def test_mode_anytime_budget_reports_gap(self, hard_service):
+        out = hard_service.handle(
+            "b", "maximum",
+            {"k": 2, "r": 0.3, "mode": "anytime", "node_limit": 1},
+        )
+        assert out["status"] == "budget"
+        assert out["upper_bound"] >= out["size"]
+        assert out["gap"] == out["upper_bound"] - out["size"]
+
+    def test_mode_heuristic(self, service):
+        exact = service.handle("g", "maximum", {"k": 2, "r": 0.3})
+        out = service.handle(
+            "g", "maximum", {"k": 2, "r": 0.3, "mode": "heuristic"},
+        )
+        assert out["status"] == "heuristic"
+        assert out["size"] <= exact["size"] <= out["upper_bound"]
+
+    def test_unknown_mode_400(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.handle(
+                "g", "maximum", {"k": 2, "r": 0.3, "mode": "psychic"},
+            )
+        assert err.value.status == 400
+
+    def test_mode_rejected_on_other_ops(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.handle(
+                "g", "enumerate", {"k": 2, "r": 0.3, "mode": "anytime"},
+            )
+        assert err.value.status == 400
+
+
+class TestTopCores:
+    def test_top_sizes_descend_and_match_enumerate(self, service):
+        full = service.handle("g", "enumerate", {"k": 2, "r": 0.3})
+        out = service.handle("g", "top", {"k": 2, "r": 0.3, "t": 3})
+        assert out["status"] == "exact"
+        assert out["total_found"] == full["count"]
+        assert out["sizes"] == sorted(out["sizes"], reverse=True)
+        assert len(out["cores"]) <= 3
+        for core in out["cores"]:
+            assert sorted(core) in full["cores"]
+
+    def test_top_default_t_is_one(self, service):
+        out = service.handle("g", "top", {"k": 2, "r": 0.3})
+        assert len(out["cores"]) <= 1
+
+    def test_top_bad_t_400(self, service):
+        for bad in (0, -2, True, "three"):
+            with pytest.raises(ServiceError) as err:
+                service.handle("g", "top", {"k": 2, "r": 0.3, "t": bad})
+            assert err.value.status == 400
+
+    def test_top_over_http(self, http_server):
+        status, body = _post(
+            http_server, "/graphs/g/top", {"k": 2, "r": 0.3, "t": 2},
+        )
+        assert status == 200
+        assert body["sizes"] == sorted(body["sizes"], reverse=True)
